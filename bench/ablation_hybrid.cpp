@@ -1,0 +1,92 @@
+// Ablation: re-optimize, degrade, or both (paper §7, "Re-optimize or
+// degrade?").
+//
+// The paper argues the two approaches are complementary: a system may
+// degrade as a stopgap while re-optimization runs, then stop shedding once
+// the adapted deployment catches up. This bench quantifies the trade-off on
+// a hard overload (x2.5 surge) for all four combinations: neither (NoAdapt),
+// degradation only, re-optimization only (WASP), and both (Hybrid).
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+
+namespace {
+
+struct Outcome {
+  double avg_delay = 0.0;
+  double peak_delay = 0.0;
+  double p99_delay = 0.0;
+  double processed_pct = 0.0;
+  std::size_t adaptations = 0;
+};
+
+Outcome run(wasp::runtime::AdaptationMode mode) {
+  using namespace wasp;
+  using namespace wasp::bench;
+
+  Testbed bed;
+  auto spec = make_query(bed, Query::kTopk);
+  auto pattern = uniform_rates(spec, 10'000.0);
+  pattern.add_step(200.0, 2.5);
+  pattern.add_step(800.0, 1.0);
+  runtime::SystemConfig config;
+  config.mode = mode;
+  config.slo_sec = 10.0;
+  runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
+  // A failure on top of the surge: 60 s of accumulated events that no
+  // re-optimization can avoid -- the window where degradation-as-stopgap
+  // pays off.
+  system.run_until(400.0);
+  system.fail_all_sites();
+  system.run_until(460.0);
+  system.restore_all_sites();
+  system.run_until(1100.0);
+
+  const auto& rec = system.recorder();
+  Outcome out;
+  // Exclude the dead failure window (delay is the capped estimate
+  // while nothing runs); measure recovery behaviour after the restore.
+  out.avg_delay = rec.delay().mean_over(460.0, 1100.0);
+  for (const auto& [t, v] : rec.delay().points()) {
+    out.peak_delay = std::max(out.peak_delay, v);
+  }
+  out.p99_delay = rec.delay_histogram().percentile(99);
+  out.processed_pct = 100.0 * rec.processed_fraction();
+  out.adaptations = rec.events().size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wasp;
+  using namespace wasp::bench;
+
+  print_section(std::cout,
+                "Ablation: re-optimize vs degrade vs both (Top-K, x2.5 "
+                "surge during t=[200, 800), full failure t=[400, 460))");
+  TextTable table({"mode", "avg delay post-restore (s)", "peak delay (s)", "p99 delay (s)",
+                   "processed (%)", "adaptations"});
+  for (auto mode :
+       {runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
+        runtime::AdaptationMode::kWasp, runtime::AdaptationMode::kHybrid}) {
+    const Outcome o = run(mode);
+    table.add_row({to_string(mode), TextTable::fmt(o.avg_delay, 2),
+                   TextTable::fmt(o.peak_delay, 1),
+                   TextTable::fmt(o.p99_delay, 2),
+                   TextTable::fmt(o.processed_pct, 1),
+                   std::to_string(o.adaptations)});
+  }
+  table.print(std::cout);
+
+  expected_shape(
+      "NoAdapt diverges; Degrade bounds the delay but sheds events for the "
+      "entire overload; WASP keeps 100% of the events with a transient "
+      "spike while adapting; Hybrid combines them -- delay bounded like "
+      "Degrade (lower peak/p99 than WASP), losses limited to the short "
+      "window before the re-optimization lands (processed%% between Degrade "
+      "and WASP, close to 100)");
+  return 0;
+}

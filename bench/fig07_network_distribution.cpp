@@ -1,0 +1,58 @@
+// Figure 7: inter-site bandwidth and latency distributions of the testbed,
+// split into edge-attached links and data-center-to-data-center links.
+//
+// The paper configured DC links from a 1-day EC2 measurement and edge links
+// from Akamai public-Internet statistics; Fig. 7 shows the resulting CDFs.
+// We print the CDFs of the generated testbed.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+
+int main() {
+  using namespace wasp;
+  using namespace wasp::bench;
+
+  Testbed bed;
+  WeightedHistogram edge_bw, dc_bw, edge_lat, dc_lat;
+  for (const auto& a : bed.topology.sites()) {
+    for (const auto& b : bed.topology.sites()) {
+      if (a.id == b.id) continue;
+      const double bw = bed.topology.base_bandwidth(a.id, b.id);
+      const double lat = bed.topology.latency_ms(a.id, b.id);
+      if (a.type == net::SiteType::kDataCenter &&
+          b.type == net::SiteType::kDataCenter) {
+        dc_bw.add(bw);
+        dc_lat.add(lat);
+      } else {
+        edge_bw.add(bw);
+        edge_lat.add(lat);
+      }
+    }
+  }
+
+  auto print_cdf = [](const char* title, const char* x_label,
+                      const WeightedHistogram& edge,
+                      const WeightedHistogram& dc) {
+    print_section(std::cout, title);
+    TextTable table({"cdf", std::string("edge ") + x_label,
+                     std::string("datacenter ") + x_label});
+    for (int pct = 5; pct <= 100; pct += 5) {
+      table.add_row({TextTable::fmt(pct / 100.0, 2),
+                     TextTable::fmt(edge.percentile(pct), 1),
+                     TextTable::fmt(dc.percentile(pct), 1)});
+    }
+    table.print(std::cout);
+  };
+
+  print_cdf("Figure 7(a): bandwidth distribution", "bandwidth(Mbps)", edge_bw,
+            dc_bw);
+  print_cdf("Figure 7(b): latency distribution", "latency(ms)", edge_lat,
+            dc_lat);
+
+  expected_shape(
+      "edge links concentrate at low bandwidth (public Internet, ~1-25 Mbps, "
+      "median below 10) while DC links spread to ~250 Mbps; latency spans "
+      "two orders of magnitude across site pairs (paper: up to ~300 ms)");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9: processing ratio under workload and bandwidth dynamics, for all
+// three queries and {No Adapt, Degrade, Re-opt}.
+//
+// Same runs as Figure 8; the processing ratio is the query's processing
+// rate over the aggregated source rate (§8.3) -- 1 means keeping up, < 1
+// constrained (or shedding, for Degrade), > 1 draining queued events.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace wasp;
+  using namespace wasp::bench;
+
+  const runtime::AdaptationMode kModes[] = {
+      runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
+      runtime::AdaptationMode::kWasp};
+  const char* kModeNames[] = {"NoAdapt", "Degrade", "Re-opt"};
+
+  for (Query q : {Query::kYsb, Query::kTopk, Query::kEventsOfInterest}) {
+    print_section(std::cout,
+                  std::string("Figure 9: processing ratio over time -- ") +
+                      query_name(q));
+    std::vector<TimeSeries> series;
+    for (int m = 0; m < 3; ++m) {
+      Testbed bed(std::make_shared<net::SteppedBandwidth>(
+          std::vector<std::pair<double, double>>{{900.0, 0.5},
+                                                 {1200.0, 1.0}}));
+      auto spec = make_query(bed, q);
+      auto pattern = uniform_rates(spec, 10'000.0);
+      pattern.add_step(300.0, 2.0);
+      pattern.add_step(600.0, 1.0);
+      runtime::SystemConfig config;
+      config.mode = kModes[m];
+      config.slo_sec = 10.0;
+      runtime::WaspSystem system(bed.network, std::move(spec), pattern,
+                                 config);
+      system.run_until(1500.0);
+      series.push_back(
+          bucketed(system.recorder().ratio(), 50.0, kModeNames[m]));
+    }
+    print_series(std::cout, "t(s)", series, 3);
+  }
+
+  expected_shape(
+      "NoAdapt and Degrade drop to ~0.8-0.9 during the constrained windows; "
+      "NoAdapt rebounds above 1 afterwards (consuming queued events) while "
+      "Degrade returns to 1 (dropped events are gone). Re-opt dips only "
+      "momentarily during state-migration transitions and otherwise holds "
+      "~1 (no events lost)");
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrates: the simplex LP solver, the branch & bound ILP (placement-sized
+// instances), the min-max migration LP, and the engine tick.
+//
+// These are not paper figures; they document that the control-plane
+// optimizations are cheap enough to run inside a 1 Hz simulation loop (and,
+// in the prototype's terms, inside a 40 s monitoring interval).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "microengine/micro_engine.h"
+#include "ilp/branch_and_bound.h"
+#include "lp/simplex.h"
+#include "net/bandwidth_model.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "physical/scheduler.h"
+#include "state/migration.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace wasp;
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(42);
+  lp::Problem p(lp::Sense::kMinimize);
+  for (int i = 0; i < n; ++i) p.add_variable(rng.uniform(-1.0, 1.0), 0.0, 10.0);
+  for (int r = 0; r < n; ++r) {
+    std::vector<double> coeffs(n);
+    for (auto& c : coeffs) c = rng.uniform(-1.0, 1.0);
+    p.add_dense_constraint(coeffs, lp::RowType::kLe, rng.uniform(1.0, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(p));
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PlacementIlp(benchmark::State& state) {
+  // A placement-shaped ILP: m sites, Eq. 1-5 structure.
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+
+  class RandomView final : public physical::NetworkView {
+   public:
+    RandomView(std::size_t n, Rng& rng) : n_(n) {
+      bw_.resize(n * n);
+      lat_.resize(n * n);
+      slots_.resize(n);
+      for (auto& b : bw_) b = rng.uniform(5.0, 200.0);
+      for (auto& l : lat_) l = rng.uniform(5.0, 300.0);
+      for (auto& s : slots_) s = static_cast<int>(rng.uniform_int(2, 8));
+    }
+    std::size_t num_sites() const override { return n_; }
+    double available_mbps(SiteId f, SiteId t) const override {
+      return bw_[static_cast<std::size_t>(f.value()) * n_ +
+                 static_cast<std::size_t>(t.value())];
+    }
+    double latency_ms(SiteId f, SiteId t) const override {
+      return lat_[static_cast<std::size_t>(f.value()) * n_ +
+                  static_cast<std::size_t>(t.value())];
+    }
+    int available_slots(SiteId s) const override {
+      return slots_[static_cast<std::size_t>(s.value())];
+    }
+
+   private:
+    std::size_t n_;
+    std::vector<double> bw_, lat_;
+    std::vector<int> slots_;
+  } view(m, rng);
+
+  physical::StageContext ctx;
+  ctx.parallelism = 3;
+  for (int u = 0; u < 4; ++u) {
+    ctx.upstream.push_back(physical::TrafficEndpoint{
+        SiteId(rng.uniform_int(0, static_cast<std::int64_t>(m) - 1)),
+        rng.uniform(1'000.0, 20'000.0), 120.0});
+  }
+  physical::Scheduler scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.place_stage(ctx, view));
+  }
+}
+BENCHMARK(BM_PlacementIlp)->Arg(8)->Arg(16);
+
+void BM_MigrationMinMaxLp(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  net::Topology topo = net::Topology::make_uniform(
+      static_cast<int>(2 * n), 4, 100.0, 20.0);
+  net::Network network(topo, std::make_shared<net::ConstantBandwidth>());
+
+  class TruthView final : public physical::NetworkView {
+   public:
+    explicit TruthView(const net::Network& network) : network_(network) {}
+    std::size_t num_sites() const override {
+      return network_.topology().num_sites();
+    }
+    double available_mbps(SiteId f, SiteId t) const override {
+      return network_.capacity(f, t, 0.0);
+    }
+    double latency_ms(SiteId f, SiteId t) const override {
+      return network_.latency_ms(f, t);
+    }
+    int available_slots(SiteId) const override { return 8; }
+
+   private:
+    const net::Network& network_;
+  } view(network);
+
+  std::vector<state::StateSource> sources;
+  std::vector<state::StateDestination> dests;
+  for (std::size_t i = 0; i < n; ++i) {
+    sources.push_back({SiteId(static_cast<std::int64_t>(i)),
+                       rng.uniform(10.0, 200.0)});
+  }
+  double total = 0.0;
+  for (const auto& s : sources) total += s.state_mb;
+  for (std::size_t j = 0; j < n; ++j) {
+    dests.push_back({SiteId(static_cast<std::int64_t>(n + j)),
+                     total / static_cast<double>(n)});
+  }
+  state::MigrationPlanner planner(state::MigrationStrategy::kNetworkAware,
+                                  Rng(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(sources, dests, view));
+  }
+}
+BENCHMARK(BM_MigrationMinMaxLp)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EngineTickTopk(benchmark::State& state) {
+  Rng rng(7);
+  net::Topology topo = net::Topology::make_paper_testbed(rng);
+  net::Network network(topo, std::make_shared<net::ConstantBandwidth>());
+  std::vector<SiteId> east, west;
+  SiteId sink;
+  for (const auto& site : topo.sites()) {
+    if (site.type == net::SiteType::kEdge) {
+      (east.size() <= west.size() ? east : west).push_back(site.id);
+    } else if (!sink.valid()) {
+      sink = site.id;
+    }
+  }
+  auto spec = workload::make_topk_topics(east, west, sink);
+  physical::PhysicalPlan physical;
+  // Simple hub placement for the micro-benchmark.
+  for (OperatorId id : spec.plan.topological_order()) {
+    const auto& op = spec.plan.op(id);
+    physical::StagePlacement placement;
+    placement.per_site.assign(topo.num_sites(), 0);
+    if (!op.pinned_sites.empty()) {
+      for (SiteId s : op.pinned_sites) {
+        ++placement.per_site[static_cast<std::size_t>(s.value())];
+      }
+    } else {
+      placement.per_site[static_cast<std::size_t>(sink.value())] = 1;
+    }
+    physical.add_stage(id, placement);
+  }
+  engine::Engine engine(spec.plan, physical, network, engine::EngineConfig{});
+  for (OperatorId src : spec.sources) {
+    for (SiteId s : spec.plan.op(src).pinned_sites) {
+      engine.set_source_rate(src, s, 10'000.0);
+    }
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    network.step(t, 1.0);
+    engine.tick(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(t));
+}
+BENCHMARK(BM_EngineTickTopk);
+
+void BM_MicroEngineRecords(benchmark::State& state) {
+  // Per-record DES throughput: how many simulated records per second of
+  // wall time the validation engine sustains on a 3-stage pipeline.
+  query::LogicalPlan plan;
+  query::LogicalOperator src;
+  src.name = "src";
+  src.kind = query::OperatorKind::kSource;
+  src.events_per_sec_per_slot = 1e6;
+  src.pinned_sites = {SiteId(0)};
+  const OperatorId s = plan.add_operator(std::move(src));
+  query::LogicalOperator map;
+  map.name = "map";
+  map.kind = query::OperatorKind::kMap;
+  map.events_per_sec_per_slot = 50'000.0;
+  const OperatorId m = plan.add_operator(std::move(map));
+  query::LogicalOperator sink;
+  sink.name = "sink";
+  sink.kind = query::OperatorKind::kSink;
+  sink.events_per_sec_per_slot = 1e6;
+  sink.pinned_sites = {SiteId(2)};
+  const OperatorId k = plan.add_operator(std::move(sink));
+  plan.connect(s, m);
+  plan.connect(m, k);
+  physical::PhysicalPlan physical;
+  physical.add_stage(s, physical::StagePlacement{.per_site = {1, 0, 0}});
+  physical.add_stage(m, physical::StagePlacement{.per_site = {0, 1, 0}});
+  physical.add_stage(k, physical::StagePlacement{.per_site = {0, 0, 1}});
+  const auto topo = net::Topology::make_uniform(3, 2, 1000.0, 10.0);
+
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    micro::MicroConfig config;
+    config.horizon_sec = 10.0;
+    micro::MicroEngine engine(plan, physical, topo, config);
+    engine.set_source_rate(s, SiteId(0), 5'000.0);
+    const auto results = engine.run();
+    records += results.generated;
+    benchmark::DoNotOptimize(results.sink_eps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_MicroEngineRecords);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,338 @@
+// wasp_sim: command-line scenario runner.
+//
+// Drives any of the benchmark queries under configurable dynamics and
+// adaptation modes, printing either a human-readable summary or a CSV
+// time series -- the general-purpose front door to the simulator.
+//
+// Examples:
+//   wasp_sim                                      # Top-K, full WASP, defaults
+//   wasp_sim --query=ysb --mode=degrade --slo=5
+//   wasp_sim --workload-step=300:2 --bandwidth-step=900:0.5 --duration=1500
+//   wasp_sim --live-bandwidth --live-workload --fail=540:60 --csv
+//   wasp_sim --trace=bandwidth.csv                # replay a measured trace
+//
+// Run `wasp_sim --help` for the full flag list.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "net/bandwidth_model.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "net/trace_io.h"
+#include "workload/trace_io.h"
+#include "runtime/wasp_system.h"
+#include "workload/patterns.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace wasp;
+
+struct Options {
+  std::string query = "topk";
+  std::string mode = "wasp";
+  double duration = 900.0;
+  double rate = 10'000.0;
+  std::uint64_t seed = 7;
+  double slo = 10.0;
+  double alpha = 0.8;
+  bool live_bandwidth = false;
+  bool live_workload = false;
+  bool csv = false;
+  bool verbose = false;
+  std::string trace_file;
+  std::string workload_trace_file;
+  std::vector<std::pair<double, double>> workload_steps;
+  std::vector<std::pair<double, double>> bandwidth_steps;
+  std::optional<std::pair<double, double>> failure;  // (t, duration)
+};
+
+void print_usage() {
+  std::cout <<
+      R"(wasp_sim -- wide-area adaptive stream processing scenario runner
+
+  --query=topk|ysb|interest|join   query to deploy (default topk)
+  --mode=wasp|no-adapt|degrade|re-assign|scale|re-plan|hybrid
+                                   adaptation mode (default wasp)
+  --duration=SECONDS               simulated runtime (default 900)
+  --rate=EPS                       base events/s per source site (default 10000)
+  --seed=N                         master seed (default 7)
+  --slo=SECONDS                    degrade/hybrid SLO (default 10)
+  --alpha=X                        bandwidth utilization threshold (default 0.8)
+  --workload-step=T:FACTOR         scale the workload by FACTOR at time T
+                                   (repeatable)
+  --bandwidth-step=T:FACTOR        scale every link by FACTOR at time T
+                                   (repeatable)
+  --live-bandwidth                 random-walk bandwidth (factors 0.51-2.36)
+  --live-workload                  random-walk workload (factors 0.8-2.4)
+  --trace=FILE                     replay a bandwidth-trace CSV
+                                   (time_sec,from_site,to_site,factor)
+  --workload-trace=FILE            replay a workload-trace CSV
+                                   (time_sec,source_name,site,events_per_sec)
+  --fail=T:DURATION                revoke all compute at T for DURATION seconds
+  --csv                            print t,delay_s,ratio,parallelism_x as CSV
+  --verbose                        narrate adaptation decisions
+  --help                           this text
+)";
+}
+
+bool parse_pair(const std::string& value, std::pair<double, double>* out) {
+  const auto colon = value.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    out->first = std::stod(value.substr(0, colon));
+    out->second = std::stod(value.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::optional<std::string> {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else if (auto v = value_of("--query")) {
+      opts->query = *v;
+    } else if (auto v = value_of("--mode")) {
+      opts->mode = *v;
+    } else if (auto v = value_of("--duration")) {
+      opts->duration = std::stod(*v);
+    } else if (auto v = value_of("--rate")) {
+      opts->rate = std::stod(*v);
+    } else if (auto v = value_of("--seed")) {
+      opts->seed = std::stoull(*v);
+    } else if (auto v = value_of("--slo")) {
+      opts->slo = std::stod(*v);
+    } else if (auto v = value_of("--alpha")) {
+      opts->alpha = std::stod(*v);
+    } else if (auto v = value_of("--trace")) {
+      opts->trace_file = *v;
+    } else if (auto v = value_of("--workload-trace")) {
+      opts->workload_trace_file = *v;
+    } else if (auto v = value_of("--workload-step")) {
+      std::pair<double, double> step;
+      if (!parse_pair(*v, &step)) return false;
+      opts->workload_steps.push_back(step);
+    } else if (auto v = value_of("--bandwidth-step")) {
+      std::pair<double, double> step;
+      if (!parse_pair(*v, &step)) return false;
+      opts->bandwidth_steps.push_back(step);
+    } else if (auto v = value_of("--fail")) {
+      std::pair<double, double> f;
+      if (!parse_pair(*v, &f)) return false;
+      opts->failure = f;
+    } else if (arg == "--live-bandwidth") {
+      opts->live_bandwidth = true;
+    } else if (arg == "--live-workload") {
+      opts->live_workload = true;
+    } else if (arg == "--csv") {
+      opts->csv = true;
+    } else if (arg == "--verbose") {
+      opts->verbose = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<runtime::AdaptationMode> mode_of(const std::string& name) {
+  if (name == "wasp") return runtime::AdaptationMode::kWasp;
+  if (name == "no-adapt") return runtime::AdaptationMode::kNoAdapt;
+  if (name == "degrade") return runtime::AdaptationMode::kDegrade;
+  if (name == "re-assign") return runtime::AdaptationMode::kReassignOnly;
+  if (name == "scale") return runtime::AdaptationMode::kScaleOnly;
+  if (name == "re-plan") return runtime::AdaptationMode::kReplanOnly;
+  if (name == "hybrid") return runtime::AdaptationMode::kHybrid;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) {
+    print_usage();
+    return 2;
+  }
+  const auto mode = mode_of(opts.mode);
+  if (!mode.has_value()) {
+    std::cerr << "unknown mode '" << opts.mode << "'\n";
+    return 2;
+  }
+  if (opts.verbose) set_log_level(LogLevel::kInfo);
+
+  // --- substrate -----------------------------------------------------------
+  Rng rng(opts.seed);
+  net::Topology topo = net::Topology::make_paper_testbed(rng);
+
+  std::shared_ptr<const net::BandwidthModel> bw_model =
+      std::make_shared<net::ConstantBandwidth>();
+  if (!opts.trace_file.empty()) {
+    std::ifstream in(opts.trace_file);
+    if (!in) {
+      std::cerr << "cannot open trace file '" << opts.trace_file << "'\n";
+      return 1;
+    }
+    std::string error;
+    auto trace = std::make_shared<net::TraceBandwidth>(
+        net::load_bandwidth_trace(in, &error));
+    if (!error.empty()) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    bw_model = std::move(trace);
+  } else if (opts.live_bandwidth) {
+    Rng bw_rng(opts.seed + 1);
+    net::RandomWalkBandwidth::Config cfg;
+    cfg.horizon_sec = opts.duration;
+    cfg.min_factor = 0.51;
+    cfg.max_factor = 2.36;
+    bw_model = std::make_shared<net::RandomWalkBandwidth>(topo.num_sites(),
+                                                          cfg, bw_rng);
+  }
+  if (!opts.bandwidth_steps.empty()) {
+    bw_model = std::make_shared<net::ComposedBandwidth>(
+        bw_model,
+        std::make_shared<net::SteppedBandwidth>(opts.bandwidth_steps));
+  }
+  net::Network network(topo, bw_model);
+
+  std::vector<SiteId> east, west, edges, dcs;
+  SiteId sink;
+  for (const auto& site : topo.sites()) {
+    if (site.type == net::SiteType::kEdge) {
+      (east.size() <= west.size() ? east : west).push_back(site.id);
+      edges.push_back(site.id);
+    } else {
+      dcs.push_back(site.id);
+      if (!sink.valid()) sink = site.id;
+    }
+  }
+
+  // --- query ----------------------------------------------------------------
+  workload::QuerySpec query = [&] {
+    if (opts.query == "ysb") return workload::make_ysb_campaign(edges, sink);
+    if (opts.query == "interest") {
+      return workload::make_events_of_interest(edges, sink);
+    }
+    if (opts.query == "join") {
+      return workload::make_four_source_join(dcs, sink, true);
+    }
+    return workload::make_topk_topics(east, west, sink);
+  }();
+
+  // --- workload ---------------------------------------------------------------
+  std::unique_ptr<workload::WorkloadPattern> pattern;
+  if (!opts.workload_trace_file.empty()) {
+    std::ifstream in(opts.workload_trace_file);
+    if (!in) {
+      std::cerr << "cannot open workload trace '" << opts.workload_trace_file
+                << "'\n";
+      return 1;
+    }
+    std::string error;
+    auto trace = std::make_unique<workload::TraceWorkload>(
+        workload::load_workload_trace(in, &error));
+    if (!error.empty()) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    for (OperatorId src : query.sources) {
+      trace->bind_source(src, query.plan.op(src).name);
+    }
+    pattern = std::move(trace);
+  } else if (opts.live_workload) {
+    Rng wl_rng(opts.seed + 2);
+    workload::RandomWalkWorkload::Config cfg;
+    cfg.horizon_sec = opts.duration;
+    auto live = std::make_unique<workload::RandomWalkWorkload>(cfg, wl_rng);
+    for (OperatorId src : query.sources) {
+      for (SiteId s : query.plan.op(src).pinned_sites) {
+        live->set_base_rate(src, s, opts.rate);
+      }
+    }
+    pattern = std::move(live);
+  } else {
+    auto stepped = std::make_unique<workload::SteppedWorkload>();
+    for (OperatorId src : query.sources) {
+      for (SiteId s : query.plan.op(src).pinned_sites) {
+        stepped->set_base_rate(src, s, opts.rate);
+      }
+    }
+    for (const auto& [t, factor] : opts.workload_steps) {
+      stepped->add_step(t, factor);
+    }
+    pattern = std::move(stepped);
+  }
+
+  // --- run ----------------------------------------------------------------------
+  runtime::SystemConfig config;
+  config.mode = *mode;
+  config.slo_sec = opts.slo;
+  config.scheduler.alpha = opts.alpha;
+  config.seed = opts.seed;
+  runtime::WaspSystem system(network, std::move(query), *pattern, config);
+
+  if (opts.failure.has_value()) {
+    system.run_until(opts.failure->first);
+    system.fail_all_sites();
+    system.run_until(opts.failure->first + opts.failure->second);
+    system.restore_all_sites();
+  }
+  system.run_until(opts.duration);
+
+  // --- report ---------------------------------------------------------------------
+  const auto& rec = system.recorder();
+  if (opts.csv) {
+    std::cout << "t,delay_s,ratio,parallelism_x\n";
+    for (std::size_t i = 0; i < rec.delay().points().size(); ++i) {
+      const auto& [t, delay] = rec.delay().points()[i];
+      std::cout << t << ',' << delay << ',' << rec.ratio().points()[i].second
+                << ',' << rec.parallelism().points()[i].second << '\n';
+    }
+    return 0;
+  }
+
+  std::cout << "query=" << opts.query << " mode=" << opts.mode
+            << " duration=" << opts.duration << "s rate=" << opts.rate
+            << " ev/s/site seed=" << opts.seed << "\n\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"avg delay (s)",
+                 TextTable::fmt(rec.delay().mean_over(0.0, opts.duration), 3)});
+  table.add_row(
+      {"p95 delay (s)", TextTable::fmt(rec.delay_histogram().percentile(95), 3)});
+  table.add_row(
+      {"p99 delay (s)", TextTable::fmt(rec.delay_histogram().percentile(99), 3)});
+  table.add_row({"processed (%)",
+                 TextTable::fmt(100.0 * rec.processed_fraction(), 2)});
+  table.add_row({"dropped events", TextTable::fmt(rec.total_dropped(), 0)});
+  table.add_row({"adaptations", std::to_string(rec.events().size())});
+  table.print(std::cout);
+  if (!rec.events().empty()) {
+    std::cout << "\nadaptations:\n";
+    for (const auto& e : rec.events()) {
+      std::cout << "  t=" << e.decided_at << "s " << e.kind << " ("
+                << e.reason << "), transition " << e.transition_sec()
+                << "s, migrated " << e.migrated_mb << " MB\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Execution health diagnosis (paper §3.2).
+//
+// An execution is healthy when no backpressure is observed and
+//   (1) λ_P = λ_I           -- enough compute to keep up, and
+//   (2) λ_I ≈ Σ_u λ_O[u]    -- enough network to receive the upstream output.
+// Violation of (1) with the input actually reaching the operator indicates a
+// compute bottleneck; violation of (2) -- data leaving upstream but not
+// arriving -- indicates a constrained/congested network path. A third
+// diagnosis, over-provisioning, flags stages whose allocated capacity far
+// exceeds the expected workload so the policy can scale them down (§4.2).
+#pragma once
+
+#include <string>
+
+#include "adapt/monitor.h"
+#include "common/ids.h"
+
+namespace wasp::adapt {
+
+enum class Health {
+  kHealthy,
+  kComputeBottleneck,
+  kNetworkBottleneck,
+  kOverprovisioned,
+};
+
+[[nodiscard]] const char* to_string(Health health);
+
+struct Diagnosis {
+  Health health = Health::kHealthy;
+  // How far the execution is from healthy: for bottlenecks, the ratio of
+  // expected input rate to sustainable rate (>1 = worse); for
+  // over-provisioning, the utilization (<1 = more wasteful).
+  double severity = 1.0;
+  std::string detail;
+};
+
+class Diagnoser {
+ public:
+  struct Config {
+    // Relative slack on the rate equalities (absorbs fluid noise).
+    double tolerance = 0.08;
+    // A stage is over-provisioned when expected input uses less than this
+    // fraction of its capacity (and it has more than one task).
+    double underutilization = 0.45;
+    // Require sustained queue growth (events/s) before declaring a
+    // bottleneck, filtering transient spikes (§7).
+    double min_queue_growth_eps = 1.0;
+    // ... or an already-standing channel backlog of at least this many
+    // events (saturated buffers stop growing under backpressure).
+    double min_backlog_events = 2'000.0;
+    // A non-draining inbound-channel backlog worth this many seconds of
+    // upstream traffic marks a network bottleneck even when the rate
+    // deficit is within tolerance (a link pinned at ~100% utilization).
+    // Must sit below ~1.9 s: saturated channel buffers cap at about twice
+    // their drain rate, so a higher threshold can never be reached.
+    double standing_backlog_sec = 1.5;
+    // Accumulated backlog is folded into the expected workload as
+    // backlog / drain_target_sec: the stage should be provisioned to clear
+    // its backlog within this horizon (drives post-failure scale-out, §8.6).
+    double drain_target_sec = 60.0;
+  };
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  Diagnoser() = default;
+  explicit Diagnoser(Config config) : config_(config) {}
+
+  // Diagnoses one operator from its window stats, the §3.3 expected input
+  // rate, the upstream expected output sum, and the stage's aggregate
+  // processing capacity (events/s across its tasks).
+  [[nodiscard]] Diagnosis diagnose(const OperatorWindowStats& stats,
+                                   double expected_input_eps,
+                                   double upstream_output_eps,
+                                   double capacity_eps) const;
+
+ private:
+  Config config_{};
+};
+
+}  // namespace wasp::adapt

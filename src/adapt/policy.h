@@ -1,0 +1,189 @@
+// WASP's adaptation policy (paper §6, Fig. 6).
+//
+// Every monitoring interval the policy looks at the diagnosed health of each
+// operator and decides ONE adaptation action (adapt, then let the system
+// stabilize -- §8.2's 40 s interval exists exactly for this):
+//
+//   compute bottleneck  -> scale UP: more tasks, same site when slots allow,
+//                          spilling to remote sites only when they don't;
+//   network bottleneck  -> stateless query: re-plan (re-optimize logical +
+//                          physical, nothing to migrate);
+//                          stateful query: re-assign tasks at the same
+//                          parallelism; if infeasible or the migration would
+//                          exceed t_max, scale OUT (state partitioning cuts
+//                          the per-link transfer); if that would push p past
+//                          p_max, fall back to re-planning when the state
+//                          allows (common sub-plans);
+//                          non-splittable operator: re-plan;
+//   over-provisioned    -> scale DOWN one task per interval (stability over
+//                          savings, §4.2), only when the survivors can absorb
+//                          the load.
+//
+// The `allow_*` switches reproduce the §8.5 single-technique baselines
+// (Re-assign / Scale / Re-plan) and the ablation benches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapt/diagnosis.h"
+#include "adapt/monitor.h"
+#include "common/ids.h"
+#include "engine/engine.h"
+#include "physical/physical_plan.h"
+#include "physical/scheduler.h"
+#include "query/planner.h"
+#include "state/migration.h"
+
+namespace wasp::adapt {
+
+enum class ActionKind {
+  kNone,
+  kReassign,
+  kScaleUp,
+  kScaleOut,
+  kScaleDown,
+  kReplan,
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind);
+
+struct AdaptationAction {
+  ActionKind kind = ActionKind::kNone;
+  OperatorId op;  // target stage (invalid for kReplan / kNone)
+  physical::StagePlacement new_placement;
+  state::MigrationPlan migration;
+  // Populated for kReplan.
+  std::optional<query::LogicalPlan> new_logical;
+  std::optional<physical::PhysicalPlan> new_physical;
+  // Non-zero when the re-plan orphans tumbling-window state: the switch
+  // must wait for the next boundary of this window (§4.3).
+  double boundary_window_sec = 0.0;
+  double estimated_transition_sec = 0.0;
+  std::string reason;
+};
+
+// Traffic-weighted delay estimate of a deployed plan, with a large penalty
+// per link whose demand exceeds α of the estimated available bandwidth.
+// Used to compare the current deployment against re-plan candidates.
+[[nodiscard]] double estimate_plan_cost(
+    const query::LogicalPlan& logical, const physical::PhysicalPlan& physical,
+    const std::unordered_map<OperatorId, query::OperatorRates>& rates,
+    const physical::NetworkView& view, double alpha);
+
+class AdaptationPolicy {
+ public:
+  struct Config {
+    int p_max = 3;            // re-plan instead of scaling past this (§6.2)
+    double t_max_sec = 30.0;  // migration-time threshold (§6.2)
+    bool allow_reassign = true;
+    bool allow_scale = true;
+    bool allow_replan = true;
+    // A re-plan must beat the current plan's estimated cost by this factor.
+    double replan_improvement = 0.9;
+    // A stage is not scaled down within this long of its last scale-up/out
+    // or re-assignment (prevents grow-trim oscillation around a dynamic),
+    // nor while the source backlog exceeds ~this many seconds of workload.
+    double scale_down_cooldown_sec = 180.0;
+    double scale_down_max_backlog_sec = 5.0;
+  };
+
+  AdaptationPolicy(Config config, physical::Scheduler scheduler,
+                   query::QueryPlanner planner,
+                   state::MigrationPlanner migration_planner,
+                   Diagnoser diagnoser = Diagnoser{})
+      : config_(config),
+        scheduler_(std::move(scheduler)),
+        planner_(std::move(planner)),
+        migration_planner_(std::move(migration_planner)),
+        diagnoser_(diagnoser) {}
+
+  // Informs the policy of the current time (drives the scale-down
+  // cooldown). Call once per decision round.
+  void set_now(double t) { now_ = t; }
+
+  // Decides the next action (or kNone). `view` must reflect *currently
+  // free* slots; the policy accounts for slots its own reconfiguration
+  // releases.
+  [[nodiscard]] AdaptationAction decide(const engine::Engine& engine,
+                                        const GlobalMetricMonitor& monitor,
+                                        const physical::NetworkView& view);
+
+  // Like decide(), but returns up to `max_actions` actions targeting
+  // *distinct* operators, with slot accounting threaded between them so two
+  // actions never double-book the same slot. A re-plan is always exclusive
+  // (it replaces the whole execution). Scale-downs are only issued when no
+  // bottleneck needs fixing (one per round: §4.2's gradual scale-down).
+  [[nodiscard]] std::vector<AdaptationAction> decide_all(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view, std::size_t max_actions = 3);
+
+  // §6.2 long-term dynamics: evaluates whether a different plan-placement
+  // pair would beat the current deployment under the *current* workload,
+  // independent of any diagnosed bottleneck. Used by the runtime's periodic
+  // background re-evaluation (e.g. for predictable daily shifts). Returns
+  // kReplan or kNone.
+  [[nodiscard]] AdaptationAction consider_replan(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view, const std::string& why);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct OpDiagnosis {
+    OperatorId op;
+    Diagnosis diagnosis;
+    double expected_input_eps = 0.0;
+    double upstream_output_eps = 0.0;
+    double observed_input_eps = 0.0;
+    double backpressure_frac = 0.0;
+    bool actionable = true;  // unpinned and splittable
+  };
+
+  [[nodiscard]] std::vector<OpDiagnosis> diagnose_all(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor) const;
+
+  [[nodiscard]] AdaptationAction handle_compute_bottleneck(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view, const OpDiagnosis& diag);
+
+  [[nodiscard]] AdaptationAction handle_network_bottleneck(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view, const OpDiagnosis& diag);
+
+  [[nodiscard]] AdaptationAction handle_overprovisioning(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view, const OpDiagnosis& diag);
+
+  [[nodiscard]] AdaptationAction try_replan(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view, const std::string& why);
+
+  // Builds the state-migration plan for moving `op` from its current
+  // placement to `to` (balanced shares at the destination).
+  [[nodiscard]] state::MigrationPlan migration_for(
+      const engine::Engine& engine, OperatorId op,
+      const physical::StagePlacement& to, const physical::NetworkView& view);
+
+  // Builds the traffic context of `op`'s stage from the estimated rates and
+  // the *current* neighbor placements.
+  [[nodiscard]] physical::StageContext stage_context(
+      const engine::Engine& engine,
+      const std::unordered_map<OperatorId, query::OperatorRates>& rates,
+      OperatorId op) const;
+
+  Config config_;
+  physical::Scheduler scheduler_;
+  query::QueryPlanner planner_;
+  state::MigrationPlanner migration_planner_;
+  Diagnoser diagnoser_;
+  double now_ = 0.0;
+  // Last time each operator was grown/re-placed (scale-down cooldown).
+  std::unordered_map<OperatorId, double> last_grown_;
+  // Source-backlog trend across decision rounds (query-level guard).
+  double prev_backlog_events_ = 0.0;
+  double prev_backlog_time_ = -1.0;
+};
+
+}  // namespace wasp::adapt

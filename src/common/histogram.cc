@@ -1,0 +1,70 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wasp {
+
+void WeightedHistogram::add(double value, double weight) {
+  if (weight <= 0.0) return;
+  samples_.emplace_back(value, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void WeightedHistogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double WeightedHistogram::percentile(double pct) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  const double target = std::clamp(pct, 0.0, 100.0) / 100.0 * total_weight_;
+  double cum = 0.0;
+  for (const auto& [value, weight] : samples_) {
+    cum += weight;
+    if (cum >= target) return value;
+  }
+  return samples_.back().first;
+}
+
+double WeightedHistogram::cdf_at(double x) const {
+  if (samples_.empty() || total_weight_ <= 0.0) return 0.0;
+  sort_if_needed();
+  double cum = 0.0;
+  for (const auto& [value, weight] : samples_) {
+    if (value > x) break;
+    cum += weight;
+  }
+  return cum / total_weight_;
+}
+
+std::vector<std::pair<double, double>> WeightedHistogram::cdf_points(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(percentile(q * 100.0), q);
+  }
+  return out;
+}
+
+double WeightedHistogram::weighted_mean() const {
+  if (total_weight_ <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const auto& [value, weight] : samples_) sum += value * weight;
+  return sum / total_weight_;
+}
+
+void WeightedHistogram::clear() {
+  samples_.clear();
+  total_weight_ = 0.0;
+  sorted_ = true;
+}
+
+}  // namespace wasp

@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+namespace wasp {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace internal {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace internal
+
+}  // namespace wasp

@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// The simulator's control plane (adaptation decisions, migrations, failures)
+// logs at Info so experiments can be traced; the default level is Warn so test
+// and bench output stays clean. The logger is intentionally tiny: a global
+// level and a stream-style macro-free API.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wasp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace internal {
+void emit(LogLevel level, const std::string& message);
+}  // namespace internal
+
+// Usage: wasp::log(LogLevel::kInfo, "scaled stage ", id, " to p=", p);
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  internal::emit(level, os.str());
+}
+
+}  // namespace wasp

@@ -1,0 +1,63 @@
+// Deterministic random number generation for the simulator.
+//
+// Every experiment in this repository is reproducible: all randomness flows
+// from a single seeded `Rng`. We use xoshiro256** (public domain, Blackman &
+// Vigna) seeded through splitmix64, which has excellent statistical quality
+// and is cheap enough to sit on the simulator's hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wasp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // value is cached).
+  double normal();
+
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  // Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  // Log-normal such that the underlying normal has the given parameters.
+  double lognormal(double mu, double sigma);
+
+  // Zipf-distributed integer in [0, n) with skew parameter `s`. Used for
+  // topic/campaign popularity. s = 0 degenerates to uniform.
+  std::int64_t zipf(std::int64_t n, double s);
+
+  // Picks an index in [0, weights.size()) proportionally to `weights`.
+  // Non-positive total weight falls back to uniform choice.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Derives an independent child generator; used so that sub-systems
+  // (workload, network, failures) draw from decoupled streams and adding a
+  // draw in one does not perturb the others.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace wasp

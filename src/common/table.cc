@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace wasp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::size_t cols = headers_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series(std::ostream& os, const std::string& x_label,
+                  const std::vector<TimeSeries>& series, int precision) {
+  // Merge all x values; map each series to its value at each x if present.
+  std::map<double, std::vector<double>> grid;  // x -> per-series value
+  const double nan = std::nan("");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const auto& [x, y] : series[i].points()) {
+      auto& row = grid[x];
+      row.resize(series.size(), nan);
+      row[i] = y;
+    }
+  }
+  TextTable table([&] {
+    std::vector<std::string> headers{x_label};
+    for (const auto& s : series) headers.push_back(s.name());
+    return headers;
+  }());
+  for (const auto& [x, values] : grid) {
+    std::vector<std::string> cells{TextTable::fmt(x, 1)};
+    for (double v : values) {
+      cells.push_back(std::isnan(v) ? "-" : TextTable::fmt(v, precision));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << '\n' << "== " << title << " ==" << '\n';
+}
+
+}  // namespace wasp

@@ -1,0 +1,45 @@
+// Plain-text table and series printers for bench output.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints it as aligned text: tables as rows/columns, figures as (x, series...)
+// blocks. Centralizing the formatting keeps the bench output uniform and easy
+// to diff across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/time_series.h"
+
+namespace wasp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Appends a row; missing cells are padded empty, extra cells are kept (the
+  // table widens).
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints several series sharing an x-axis as one aligned block:
+//   x  <name1>  <name2> ...
+// Series are sampled at each series' own recorded x values merged together;
+// missing values print as "-". `precision` applies to the y values.
+void print_series(std::ostream& os, const std::string& x_label,
+                  const std::vector<TimeSeries>& series, int precision = 3);
+
+// Prints a section header used to delimit figures/tables in bench output.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace wasp

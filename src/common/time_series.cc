@@ -1,0 +1,64 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wasp {
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t >= t0 && t < t1) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::max_over(double t0, double t1) const {
+  double best = 0.0;
+  bool found = false;
+  for (const auto& [t, v] : points_) {
+    if (t >= t0 && t < t1 && (!found || v > best)) {
+      best = v;
+      found = true;
+    }
+  }
+  return best;
+}
+
+double TimeSeries::value_at(double t, double fallback) const {
+  double result = fallback;
+  for (const auto& [pt, v] : points_) {
+    if (pt > t) break;
+    result = v;
+  }
+  return result;
+}
+
+std::vector<std::pair<double, double>> TimeSeries::downsample(double dt) const {
+  std::vector<std::pair<double, double>> out;
+  if (points_.empty() || dt <= 0.0) return out;
+  const double t_end = points_.back().first;
+  const auto buckets = static_cast<std::size_t>(std::floor(t_end / dt)) + 1;
+  std::vector<double> sums(buckets, 0.0);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (const auto& [t, v] : points_) {
+    const auto b = std::min(
+        buckets - 1, static_cast<std::size_t>(std::max(0.0, t) / dt));
+    sums[b] += v;
+    ++counts[b];
+  }
+  out.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (counts[b] > 0) {
+      out.emplace_back((static_cast<double>(b) + 0.5) * dt,
+                       sums[b] / static_cast<double>(counts[b]));
+    }
+  }
+  return out;
+}
+
+}  // namespace wasp

@@ -1,0 +1,49 @@
+// Time-series recorder for experiment outputs.
+//
+// Benches record one series per plotted line (delay over time, processing
+// ratio, parallelism, ...) and print them in the same shape the paper's
+// figures show. Sampling helpers (window averages, resampling) live here so
+// every bench reports series consistently.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wasp {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double t, double value) { points_.emplace_back(t, value); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  // Mean of values with t in [t0, t1).
+  [[nodiscard]] double mean_over(double t0, double t1) const;
+
+  // Maximum value with t in [t0, t1); 0 if the window is empty.
+  [[nodiscard]] double max_over(double t0, double t1) const;
+
+  // Last recorded value at or before time `t`; `fallback` if none.
+  [[nodiscard]] double value_at(double t, double fallback = 0.0) const;
+
+  // Averages points into buckets of width `dt` starting at t=0; returns
+  // (bucket center, mean) pairs for plotting coarse series.
+  [[nodiscard]] std::vector<std::pair<double, double>> downsample(
+      double dt) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace wasp

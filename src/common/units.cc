@@ -1,0 +1,14 @@
+#include "common/units.h"
+
+#include <limits>
+
+namespace wasp {
+
+double transfer_seconds(double size_mb, double mbps) {
+  if (mbps <= 0.0) {
+    return size_mb <= 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return size_mb / mbps_to_mb_per_sec(mbps);
+}
+
+}  // namespace wasp

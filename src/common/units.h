@@ -1,0 +1,48 @@
+// Unit helpers used throughout the simulator.
+//
+// The simulator works in a small set of base units:
+//   time       -- seconds (double)
+//   bandwidth  -- megabits per second (Mbps)
+//   data size  -- megabytes (MB)
+//   rates      -- events per second
+//
+// Conversions between bandwidth and data size are frequent (state migration
+// time, stream bandwidth demand), so they are centralized here instead of
+// being re-derived ad hoc with magic constants.
+#pragma once
+
+namespace wasp {
+
+// Bits per byte; a megabyte here is 10^6 bytes, matching how link capacities
+// are quoted (Mbps are decimal megabits).
+inline constexpr double kBitsPerByte = 8.0;
+
+// Converts a bandwidth in Mbps to a data rate in MB/s.
+[[nodiscard]] constexpr double mbps_to_mb_per_sec(double mbps) {
+  return mbps / kBitsPerByte;
+}
+
+// Converts a data rate in MB/s to a bandwidth in Mbps.
+[[nodiscard]] constexpr double mb_per_sec_to_mbps(double mb_per_sec) {
+  return mb_per_sec * kBitsPerByte;
+}
+
+// Time to transfer `size_mb` megabytes over a link of `mbps` megabit/s.
+// Returns +infinity for a dead link so callers can treat it as unusable.
+[[nodiscard]] double transfer_seconds(double size_mb, double mbps);
+
+// Bandwidth demand (Mbps) of an event stream of `events_per_sec` events of
+// `event_bytes` bytes each.
+[[nodiscard]] constexpr double stream_mbps(double events_per_sec,
+                                           double event_bytes) {
+  return events_per_sec * event_bytes * kBitsPerByte / 1e6;
+}
+
+// Event throughput (events/s) sustainable over `mbps` for events of
+// `event_bytes` bytes.
+[[nodiscard]] constexpr double events_per_sec_over(double mbps,
+                                                   double event_bytes) {
+  return event_bytes > 0.0 ? mbps * 1e6 / (kBitsPerByte * event_bytes) : 0.0;
+}
+
+}  // namespace wasp

@@ -1,0 +1,66 @@
+#include "engine/delay_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wasp::engine {
+
+void DelayTracker::record_generated(double t, double events) {
+  assert(events >= 0.0);
+  generated_ += events;
+  if (!history_.empty()) {
+    assert(t >= history_.back().first);
+  }
+  history_.emplace_back(t, generated_);
+  prune();
+}
+
+void DelayTracker::record_consumed(double events) {
+  assert(events >= -1e-9);
+  consumed_ = std::min(generated_, consumed_ + std::max(0.0, events));
+  prune();
+}
+
+double DelayTracker::generation_time(double cum, double t) const {
+  if (history_.empty()) return t;
+  // Find the first history point with G >= cum; interpolate from its
+  // predecessor. Events in a tick are spread uniformly over the tick.
+  const auto it = std::lower_bound(
+      history_.begin(), history_.end(), cum,
+      [](const std::pair<double, double>& p, double c) { return p.second < c; });
+  if (it == history_.end()) return t;  // cum beyond generated: "now"
+  if (it == history_.begin()) return it->first;
+  const auto& [t1, g1] = *std::prev(it);
+  const auto& [t2, g2] = *it;
+  if (g2 <= g1) return t2;
+  const double frac = (cum - g1) / (g2 - g1);
+  return t1 + frac * (t2 - t1);
+}
+
+double DelayTracker::generated_at(double t) const {
+  if (history_.empty()) return generated_;
+  if (t <= history_.front().first) return history_.front().second;
+  if (t >= history_.back().first) return generated_;
+  const auto it = std::lower_bound(
+      history_.begin(), history_.end(), t,
+      [](const std::pair<double, double>& p, double x) { return p.first < x; });
+  const auto& [t2, g2] = *it;
+  const auto& [t1, g1] = *std::prev(it);
+  if (t2 <= t1) return g2;
+  return g1 + (g2 - g1) * (t - t1) / (t2 - t1);
+}
+
+double DelayTracker::queueing_delay(double t) const {
+  if (consumed_ >= generated_) return 0.0;
+  return std::max(0.0, t - generation_time(consumed_, t));
+}
+
+void DelayTracker::prune() {
+  // Drop history entries fully below the consumed watermark, keeping one
+  // point at or below it so interpolation still works.
+  while (history_.size() > 1 && history_[1].second <= consumed_) {
+    history_.pop_front();
+  }
+}
+
+}  // namespace wasp::engine

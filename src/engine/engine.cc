@@ -1,0 +1,917 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "common/units.h"
+
+namespace wasp::engine {
+namespace {
+
+// Delay estimates are capped so a fully stalled pipeline reports "hours",
+// not infinity (keeps CDFs and log-scale plots well-behaved).
+constexpr double kMaxDelaySec = 1e5;
+
+}  // namespace
+
+Engine::Engine(query::LogicalPlan logical, physical::PhysicalPlan physical,
+               net::Network& network, EngineConfig config)
+    : logical_(std::move(logical)),
+      physical_(std::move(physical)),
+      network_(network),
+      config_(config) {
+  assert(logical_.validate().empty());
+  failed_sites_.assign(network_.topology().num_sites(), false);
+  straggler_factor_.assign(network_.topology().num_sites(), 1.0);
+  build_runtime();
+  // Source trackers are created lazily per source signature in tick().
+}
+
+Engine::~Engine() { teardown_channels(); }
+
+void Engine::build_runtime() {
+  const std::size_t num_sites = network_.topology().num_sites();
+  stages_.clear();
+  stages_.resize(logical_.num_operators());
+  for (const auto& op : logical_.operators()) {
+    StageRt& rt = stages_[static_cast<std::size_t>(op.id.value())];
+    rt.op = op.id;
+    rt.placement = physical_.stage_for(op.id).placement;
+    rt.groups.assign(num_sites, Group{});
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      rt.groups[s].tasks = rt.placement.per_site[s];
+    }
+  }
+  topo_order_.clear();
+  for (OperatorId id : logical_.topological_order()) {
+    topo_order_.push_back(static_cast<std::size_t>(id.value()));
+  }
+
+  teardown_channels();
+  for (const auto& op : logical_.operators()) {
+    const std::size_t from_idx = static_cast<std::size_t>(op.id.value());
+    for (OperatorId d : logical_.downstream(op.id)) {
+      const std::size_t to_idx = static_cast<std::size_t>(d.value());
+      for (SiteId su : stages_[from_idx].placement.sites()) {
+        for (SiteId sd : stages_[to_idx].placement.sites()) {
+          Channel c;
+          c.from_stage = from_idx;
+          c.to_stage = to_idx;
+          c.from = su;
+          c.to = sd;
+          c.event_bytes = op.output_event_bytes;
+          if (su != sd) c.flow = network_.add_stream_flow(su, sd);
+          channels_.push_back(c);
+        }
+      }
+    }
+  }
+
+  checkpointed_state_.assign(stages_.size(),
+                             std::vector<double>(num_sites, 0.0));
+}
+
+void Engine::teardown_channels() {
+  for (const Channel& c : channels_) {
+    if (c.flow.valid() && network_.has_flow(c.flow)) {
+      network_.remove_flow(c.flow);
+    }
+  }
+  channels_.clear();
+}
+
+std::size_t Engine::stage_index(OperatorId op) const {
+  const auto i = static_cast<std::size_t>(op.value());
+  assert(i < stages_.size());
+  return i;
+}
+
+Engine::StageRt& Engine::stage_rt(OperatorId op) {
+  return stages_[stage_index(op)];
+}
+
+const Engine::StageRt& Engine::stage_rt(OperatorId op) const {
+  return stages_[stage_index(op)];
+}
+
+double Engine::group_capacity_eps(const StageRt& stage,
+                                  std::size_t site) const {
+  if (failed_sites_[site]) return 0.0;
+  const auto& op = logical_.op(stage.op);
+  return stage.groups[site].tasks * op.events_per_sec_per_slot *
+         straggler_factor_[site];
+}
+
+void Engine::set_straggler(SiteId site, double factor) {
+  assert(factor >= 0.0);
+  straggler_factor_[static_cast<std::size_t>(site.value())] = factor;
+}
+
+double Engine::straggler_factor(SiteId site) const {
+  return straggler_factor_[static_cast<std::size_t>(site.value())];
+}
+
+void Engine::set_source_rate(OperatorId source, SiteId site, double eps) {
+  assert(logical_.op(source).is_source());
+  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
+  source_rates_[source.value() * n + site.value()] = std::max(0.0, eps);
+}
+
+double Engine::source_generation_eps(OperatorId source) const {
+  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
+  double total = 0.0;
+  for (const auto& [key, eps] : source_rates_) {
+    if (key / n == source.value()) total += eps;
+  }
+  return total;
+}
+
+double Engine::source_backlog_events() const {
+  double total = 0.0;
+  for (const std::size_t idx : topo_order_) {
+    const StageRt& stage = stages_[idx];
+    if (!logical_.op(stage.op).is_source()) continue;
+    for (const Group& g : stage.groups) total += g.input_queue;
+  }
+  return total;
+}
+
+void Engine::apply_degrade_drops(double t) {
+  const double dt = config_.tick_sec;
+  for (const std::size_t idx : topo_order_) {
+    StageRt& stage = stages_[idx];
+    const auto& op = logical_.op(stage.op);
+    if (!op.is_source()) continue;
+    auto it = source_trackers_.find(logical_.signature(stage.op));
+    if (it == source_trackers_.end()) continue;
+    DelayTracker& tracker = it->second;
+    // Shed the backlog prefix that cannot meet the SLO (paper §8.4: Degrade
+    // drops late events to hold the delay at the SLO). An event admitted
+    // now still incurs the pipeline's downstream queueing, so the admission
+    // age budget is the SLO minus the observed downstream delay.
+    const double source_age = tracker.queueing_delay(t);
+    const double downstream = std::max(0.0, prev_delay_sec_ - source_age);
+    const double age_budget =
+        std::max(0.5, config_.slo_sec - downstream);
+    if (source_age <= age_budget) continue;
+    double drop = std::max(0.0, tracker.generated_at(t - age_budget) -
+                                    tracker.consumed_cum());
+    double backlog = 0.0;
+    for (const Group& g : stage.groups) backlog += g.input_queue;
+    drop = std::min(drop, backlog);
+    if (drop <= 0.0) continue;
+    for (Group& g : stage.groups) {
+      if (backlog <= 0.0) break;
+      const double share = drop * (g.input_queue / backlog);
+      g.input_queue -= share;
+    }
+    tracker.record_consumed(drop);
+    last_.dropped_eps += drop / dt;
+  }
+}
+
+void Engine::deliver_into(std::size_t stage_idx, double dt) {
+  StageRt& stage = stages_[stage_idx];
+  if (stage.suspended) return;
+
+  // Group inbound channels by destination site, then ration the receiver's
+  // free input-buffer space proportionally to what each channel can ship.
+  const std::size_t num_sites = stage.groups.size();
+  std::vector<std::vector<Channel*>> by_site(num_sites);
+  for (Channel& c : channels_) {
+    if (c.to_stage == stage_idx) {
+      by_site[static_cast<std::size_t>(c.to.value())].push_back(&c);
+    }
+  }
+
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    if (by_site[s].empty()) continue;
+    Group& g = stage.groups[s];
+    const double capacity = group_capacity_eps(stage, s);
+    if (capacity <= 0.0) continue;        // failed or empty group
+    if (g.restore_until > now_) continue;  // replaying checkpoint
+    // The group accepts one tick's worth of processing capacity plus a
+    // small floor: deliveries never throttle a keeping-up stage (nor slow a
+    // post-adaptation catch-up burst), while an overloaded stage parks at
+    // most ~one second of capacity before backpressure walks upstream to
+    // the sources.
+    const double input_cap =
+        config_.input_buffer_floor_events + capacity * dt;
+    const double space = std::max(0.0, input_cap - g.input_queue);
+    if (space <= 0.0) continue;
+
+    double total_want = 0.0;
+    std::vector<double> want(by_site[s].size(), 0.0);
+    for (std::size_t k = 0; k < by_site[s].size(); ++k) {
+      Channel& c = *by_site[s][k];
+      double transferable = c.queue;
+      if (c.flow.valid()) {
+        const double mbps = network_.flow(c.flow).allocated_mbps;
+        transferable =
+            std::min(transferable,
+                     events_per_sec_over(mbps, c.event_bytes) * dt);
+      }
+      want[k] = transferable;
+      total_want += transferable;
+    }
+    if (total_want <= 0.0) continue;
+    const double factor = std::min(1.0, space / total_want);
+    for (std::size_t k = 0; k < by_site[s].size(); ++k) {
+      Channel& c = *by_site[s][k];
+      const double moved = want[k] * factor;
+      c.queue -= moved;
+      c.delivered += moved;
+      g.input_queue += moved;
+      stage.arrived += moved / dt;
+    }
+  }
+}
+
+void Engine::process_stage(std::size_t stage_idx, double t, double dt) {
+  StageRt& stage = stages_[stage_idx];
+  const auto& op = logical_.op(stage.op);
+  const std::size_t num_sites = stage.groups.size();
+  const auto n = static_cast<std::int64_t>(num_sites);
+
+  // Sources generate regardless of suspension: the external stream does not
+  // pause for us; events accumulate in the (replayable) source backlog.
+  if (op.is_source()) {
+    DelayTracker& tracker = source_trackers_[logical_.signature(stage.op)];
+    double generated = 0.0;
+    for (std::size_t s = 0; s < num_sites; ++s) {
+      const auto it = source_rates_.find(stage.op.value() * n +
+                                         static_cast<std::int64_t>(s));
+      if (it == source_rates_.end()) continue;
+      const double events = it->second * dt;
+      stage.groups[s].input_queue += events;
+      generated += events;
+    }
+    tracker.record_generated(t, generated);
+    last_.generated_eps += generated / dt;
+  }
+
+  if (stage.suspended) return;
+
+  // Outbound channels of this stage, grouped per source site.
+  std::vector<std::vector<Channel*>> out_by_site(num_sites);
+  for (Channel& c : channels_) {
+    if (c.from_stage == stage_idx) {
+      out_by_site[static_cast<std::size_t>(c.from.value())].push_back(&c);
+    }
+  }
+
+  // Share of this group's output routed through channel `c`: task-local for
+  // forward partitioning (when a co-located downstream group exists),
+  // hash partitioning otherwise -- balanced by task count, except that an
+  // injected key skew over-weights the receiver's first hosting site.
+  const auto channel_share = [&](std::size_t from_site,
+                                 const Channel& c) -> double {
+    const StageRt& down = stages_[c.to_stage];
+    const int p_down = down.placement.parallelism();
+    if (p_down == 0) return 0.0;
+    if (op.output_partitioning == query::Partitioning::kForward &&
+        down.placement.per_site[from_site] > 0) {
+      return static_cast<std::size_t>(c.to.value()) == from_site ? 1.0 : 0.0;
+    }
+    const auto weight_of = [&](std::size_t site, bool is_first) {
+      return static_cast<double>(down.placement.per_site[site]) *
+             (is_first ? down.partition_skew : 1.0);
+    };
+    double total = 0.0;
+    bool first = true;
+    double my_weight = 0.0;
+    for (std::size_t sd = 0; sd < down.placement.per_site.size(); ++sd) {
+      if (down.placement.per_site[sd] == 0) continue;
+      const double w = weight_of(sd, first);
+      if (sd == static_cast<std::size_t>(c.to.value())) my_weight = w;
+      total += w;
+      first = false;
+    }
+    return total > 0.0 ? my_weight / total : 0.0;
+  };
+
+  double total_processed = 0.0;
+  for (std::size_t s = 0; s < num_sites; ++s) {
+    Group& g = stage.groups[s];
+    if (g.tasks == 0) continue;
+    if (g.restore_until > t) continue;  // still replaying checkpoint
+    g.restore_until = -1.0;
+    const double capacity = group_capacity_eps(stage, s);
+    if (capacity <= 0.0) continue;
+
+    double proc = std::min(g.input_queue, capacity * dt);
+
+    // Backpressure: output must fit the free space of every outbound
+    // channel.
+    for (Channel* c : out_by_site[s]) {
+      const StageRt& down = stages_[c->to_stage];
+      const double share = channel_share(s, *c);
+      if (share <= 0.0 || op.selectivity <= 0.0) continue;
+      // A dead receiver (failed site) blocks its channels entirely. The
+      // buffer bound scales with what the channel can actually drain: the
+      // receiver's processing capacity for intra-site channels, the link's
+      // current fair-share allocation for WAN channels. Both are exogenous
+      // to the sender's own throttling, so backpressure releases as soon as
+      // the underlying constraint does (no stop-go limit cycle).
+      const double down_capacity =
+          group_capacity_eps(down, static_cast<std::size_t>(c->to.value()));
+      double chan_cap = 0.0;
+      if (down_capacity > 0.0) {
+        // The channel drains at the slower of the link's current allocation
+        // and the receiver's processing capacity; a suspended receiver
+        // drains nothing (execution halted -> only the floor buffers).
+        double drain_eps = down.suspended ? 0.0 : down_capacity;
+        if (!down.suspended && c->flow.valid()) {
+          // What the channel could drain next tick: its current allocation
+          // plus the link's unused headroom (demand-driven allocations
+          // under-report a lightly-loaded link's potential, which would
+          // otherwise self-limit backlog draining).
+          const double headroom =
+              std::max(0.0, network_.capacity(c->from, c->to, now_) -
+                                network_.link_allocated(c->from, c->to));
+          drain_eps = std::min(
+              drain_eps,
+              events_per_sec_over(
+                  network_.flow(c->flow).allocated_mbps + headroom,
+                  c->event_bytes));
+        }
+        chan_cap = config_.channel_buffer_floor_events +
+                   config_.channel_buffer_sec * drain_eps;
+      }
+      const double space = std::max(0.0, chan_cap - c->queue);
+      const double max_proc = space / (op.selectivity * share);
+      if (max_proc < proc) {
+        proc = max_proc;
+        stage.backpressured = true;
+      }
+    }
+    proc = std::max(0.0, proc);
+
+    g.input_queue -= proc;
+    g.processed_prev = proc;
+    total_processed += proc;
+
+    // Window bookkeeping: state resets at tumbling-window boundaries.
+    if (op.window.windowed()) {
+      const double w = op.window.length_sec;
+      if (std::fmod(t, w) < dt) g.window_events = 0.0;
+      g.window_events += proc;
+    } else if (op.stateful()) {
+      g.window_events += proc;  // running state driver (joins w/o window)
+    }
+
+    // Emit.
+    const double out = proc * op.selectivity;
+    for (Channel* c : out_by_site[s]) {
+      const double pushed = out * channel_share(s, *c);
+      if (pushed <= 0.0) continue;
+      c->queue += pushed;
+      c->offered += pushed;
+    }
+    stage.emitted += out / dt;
+  }
+
+  stage.processed += total_processed / dt;
+  if (op.is_source()) {
+    DelayTracker& tracker = source_trackers_[logical_.signature(stage.op)];
+    tracker.record_consumed(total_processed);
+    last_.admitted_eps += total_processed / dt;
+  }
+  if (op.is_sink()) {
+    last_.sink_eps += total_processed / dt;
+  }
+}
+
+void Engine::set_flow_demands(double dt) {
+  for (const Channel& c : channels_) {
+    if (!c.flow.valid()) continue;
+    network_.set_stream_demand(c.flow,
+                               stream_mbps(c.queue / dt, c.event_bytes));
+  }
+}
+
+void Engine::update_delay_metric(double t) {
+  // Sojourn-time DP over the DAG: the delay a marker event entering now
+  // would see, assuming current rates persist. Sources contribute the age
+  // of the backlog head (exact, from the cumulative curves); each hop adds
+  // channel-queue drain time plus link latency; each stage adds its input-
+  // queue drain time.
+  std::vector<double> lat(stages_.size(), 0.0);
+  double sink_delay = 0.0;
+  for (const std::size_t idx : topo_order_) {
+    const StageRt& stage = stages_[idx];
+    const auto& op = logical_.op(stage.op);
+    double d = 0.0;
+    if (op.is_source()) {
+      const auto it = source_trackers_.find(logical_.signature(stage.op));
+      d = it != source_trackers_.end() ? it->second.queueing_delay(t) : 0.0;
+    } else {
+      // Per upstream stage: aggregate its channels into this stage. One tick
+      // of offered traffic is in transit by construction; only the excess
+      // counts as queueing backlog.
+      for (OperatorId u : logical_.upstream(stage.op)) {
+        const std::size_t from_idx = stage_index(u);
+        double queue = 0.0, delivered = 0.0, latency_weight = 0.0,
+               weighted_latency_ms = 0.0;
+        for (const Channel& c : channels_) {
+          if (c.from_stage != from_idx || c.to_stage != idx) continue;
+          queue += std::max(0.0, c.queue - c.offered);
+          delivered += c.delivered;
+          const double w = c.delivered + c.offered + 1e-9;
+          weighted_latency_ms += w * network_.latency_ms(c.from, c.to);
+          latency_weight += w;
+        }
+        const double hop_latency_sec =
+            latency_weight > 0.0 ? weighted_latency_ms / latency_weight / 1e3
+                                 : 0.0;
+        // Drain estimate: the observed delivery rate. With no deliveries
+        // this tick (suspension, rewiring, or a dead link) estimate what the
+        // links and the receiver could sustain -- a dead link keeps the
+        // estimate near zero and the delay correctly explodes, while a
+        // suspended-but-healthy path reports the post-resume drain rate.
+        double drain_rate = delivered / config_.tick_sec;
+        if (drain_rate < 1.0) {
+          double link_eps = 0.0;
+          for (const Channel& c : channels_) {
+            if (c.from_stage != from_idx || c.to_stage != idx) continue;
+            link_eps += events_per_sec_over(
+                network_.capacity(c.from, c.to, now_), c.event_bytes);
+          }
+          double capacity = 0.0;
+          for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+            capacity += group_capacity_eps(stage, s);
+          }
+          drain_rate = std::min(link_eps, std::max(capacity, 1.0));
+        }
+        drain_rate = std::max(drain_rate, 1e-3);
+        const double queue_delay =
+            queue > 0.0 ? std::min(kMaxDelaySec, queue / drain_rate) : 0.0;
+        d = std::max(d, lat[from_idx] + queue_delay + hop_latency_sec);
+      }
+      // Own input queue drain time.
+      double input_queue = 0.0, capacity = 0.0;
+      for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+        input_queue += stage.groups[s].input_queue;
+        capacity += group_capacity_eps(stage, s);
+      }
+      // Queued input drains at the stage's capacity once it runs (even if
+      // currently suspended for a transition).
+      const double service = std::max({stage.processed, capacity, 1.0});
+      if (input_queue > 0.0) {
+        d += std::min(kMaxDelaySec, input_queue / service);
+      }
+    }
+    lat[idx] = std::min(kMaxDelaySec, d);
+    if (op.is_sink()) sink_delay = std::max(sink_delay, lat[idx]);
+  }
+  last_.delay_sec = sink_delay;
+}
+
+void Engine::tick(double t) {
+  const double dt = config_.tick_sec;
+  now_ = t;
+
+  for (StageRt& stage : stages_) {
+    stage.processed = stage.emitted = stage.arrived = 0.0;
+    stage.backpressured = false;
+  }
+  for (Channel& c : channels_) {
+    c.delivered_prev = c.delivered;
+    c.offered = c.delivered = 0.0;
+  }
+  prev_delay_sec_ = last_.delay_sec;
+  last_ = QueryTickMetrics{};
+
+  if (config_.degrade) apply_degrade_drops(t);
+
+  for (const std::size_t idx : topo_order_) {
+    deliver_into(idx, dt);
+    process_stage(idx, t, dt);
+  }
+  set_flow_demands(dt);
+
+  // Periodic localized checkpoint (§5): record state sizes per group.
+  if (t - last_checkpoint_ >= config_.checkpoint_interval_sec) {
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      for (std::size_t s = 0; s < stages_[i].groups.size(); ++s) {
+        checkpointed_state_[i][s] = group_state_mb(stages_[i], s);
+      }
+    }
+    last_checkpoint_ = t;
+  }
+
+  update_delay_metric(t);
+  if (replay_pending_events_ > 0.0) {
+    last_.generated_eps += replay_pending_events_ / dt;
+    replay_pending_events_ = 0.0;
+  }
+  last_.processing_ratio =
+      last_.generated_eps > 0.0 ? last_.admitted_eps / last_.generated_eps
+                                : 1.0;
+}
+
+void Engine::suspend_stage(OperatorId op) { stage_rt(op).suspended = true; }
+void Engine::resume_stage(OperatorId op) { stage_rt(op).suspended = false; }
+
+void Engine::suspend_all() {
+  for (StageRt& s : stages_) s.suspended = true;
+}
+
+void Engine::resume_all() {
+  for (StageRt& s : stages_) s.suspended = false;
+}
+
+bool Engine::stage_suspended(OperatorId op) const {
+  return stage_rt(op).suspended;
+}
+
+const physical::StagePlacement& Engine::placement(OperatorId op) const {
+  return stage_rt(op).placement;
+}
+
+void Engine::apply_placement(OperatorId op,
+                             const physical::StagePlacement& placement) {
+  StageRt& stage = stage_rt(op);
+  const int new_p = placement.parallelism();
+  assert(new_p > 0);
+
+  double total_queue = 0.0, total_window = 0.0;
+  for (const Group& g : stage.groups) {
+    total_queue += g.input_queue;
+    total_window += g.window_events;
+  }
+
+  stage.placement = placement;
+  physical_.mutable_stage_for(op).placement = placement;
+  for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+    Group& g = stage.groups[s];
+    const double share =
+        static_cast<double>(placement.per_site[s]) / static_cast<double>(new_p);
+    g.tasks = placement.per_site[s];
+    g.input_queue = total_queue * share;
+    g.window_events = total_window * share;
+    g.restore_until = -1.0;
+  }
+  rebuild_adjacent_channels(stage_index(op));
+}
+
+void Engine::rebuild_adjacent_channels(std::size_t stage_idx) {
+  // Collect queued events per logical edge touching this stage, drop those
+  // channels, then recreate them against the new placement and redistribute
+  // the queue by traffic share.
+  struct EdgeKey {
+    std::size_t from, to;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  std::vector<std::pair<EdgeKey, double>> edge_queues;
+  auto queue_of = [&](EdgeKey key) -> double& {
+    for (auto& [k, q] : edge_queues) {
+      if (k == key) return q;
+    }
+    edge_queues.emplace_back(key, 0.0);
+    return edge_queues.back().second;
+  };
+
+  std::vector<Channel> kept;
+  kept.reserve(channels_.size());
+  for (Channel& c : channels_) {
+    if (c.from_stage == stage_idx || c.to_stage == stage_idx) {
+      queue_of({c.from_stage, c.to_stage}) += c.queue;
+      if (c.flow.valid() && network_.has_flow(c.flow)) {
+        network_.remove_flow(c.flow);
+      }
+    } else {
+      kept.push_back(c);
+    }
+  }
+  channels_ = std::move(kept);
+
+  auto make_edge = [&](std::size_t from_idx, std::size_t to_idx) {
+    const StageRt& from = stages_[from_idx];
+    const StageRt& to = stages_[to_idx];
+    const double queued = queue_of({from_idx, to_idx});
+    const int p_from = from.placement.parallelism();
+    const int p_to = to.placement.parallelism();
+    if (p_from == 0 || p_to == 0) return;
+    for (SiteId su : from.placement.sites()) {
+      for (SiteId sd : to.placement.sites()) {
+        Channel c;
+        c.from_stage = from_idx;
+        c.to_stage = to_idx;
+        c.from = su;
+        c.to = sd;
+        c.event_bytes = logical_.op(from.op).output_event_bytes;
+        const double share =
+            (static_cast<double>(from.placement.at(su)) / p_from) *
+            (static_cast<double>(to.placement.at(sd)) / p_to);
+        c.queue = queued * share;
+        if (su != sd) c.flow = network_.add_stream_flow(su, sd);
+        channels_.push_back(c);
+      }
+    }
+  };
+
+  const OperatorId op = stages_[stage_idx].op;
+  for (OperatorId u : logical_.upstream(op)) {
+    make_edge(stage_index(u), stage_idx);
+  }
+  for (OperatorId d : logical_.downstream(op)) {
+    make_edge(stage_idx, stage_index(d));
+  }
+}
+
+void Engine::apply_replan(query::LogicalPlan logical,
+                          physical::PhysicalPlan physical) {
+  // 1. Carry-over inventory from the old execution.
+  struct Carried {
+    double window_events = 0.0;
+    double state_override = -1.0;
+  };
+  std::unordered_map<std::string, Carried> carried;          // stateful ops
+  std::unordered_map<std::string, double> source_backlogs;   // source units
+  double inflight_source_units = 0.0;
+
+  // Rates to convert mid-pipeline events back into source units.
+  std::unordered_map<OperatorId, double> src_rates;
+  double total_src_eps = 0.0;
+  for (OperatorId src : logical_.sources()) {
+    const double eps = source_generation_eps(src);
+    src_rates.emplace(src, eps);
+    total_src_eps += eps;
+  }
+  const auto rates = logical_.estimate_rates(src_rates);
+
+  for (const StageRt& stage : stages_) {
+    const auto& op = logical_.op(stage.op);
+    double queue = 0.0, window = 0.0;
+    for (const Group& g : stage.groups) {
+      queue += g.input_queue;
+      window += g.window_events;
+    }
+    if (op.is_source()) {
+      source_backlogs[logical_.signature(stage.op)] = queue;
+      continue;
+    }
+    if (op.stateful()) {
+      Carried c;
+      c.window_events = window;
+      c.state_override = stage.state_override_mb;
+      carried[logical_.signature(stage.op)] = c;
+    }
+    // In-flight events at non-source operators are replayed from the source
+    // checkpoints: convert to source units via the expected-rate ratio.
+    double inbound_channels = 0.0;
+    for (const Channel& c : channels_) {
+      if (stages_[c.to_stage].op == stage.op) inbound_channels += c.queue;
+    }
+    const double op_eps = rates.at(stage.op).input_eps;
+    if (op_eps > 0.0 && total_src_eps > 0.0) {
+      inflight_source_units +=
+          (queue + inbound_channels) * (total_src_eps / op_eps);
+    }
+  }
+
+  // 2. Capture per-site source rates keyed by source *name* (names identify
+  // the external stream and are stable across plan candidates).
+  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
+  std::unordered_map<std::string, std::vector<double>> rates_by_name;
+  for (OperatorId src : logical_.sources()) {
+    std::vector<double> per_site(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t s = 0; s < n; ++s) {
+      const auto it = source_rates_.find(src.value() * n + s);
+      if (it != source_rates_.end()) {
+        per_site[static_cast<std::size_t>(s)] = it->second;
+      }
+    }
+    rates_by_name[logical_.op(src).name] = std::move(per_site);
+  }
+
+  // 3. Swap in the new plan and rebuild the runtime.
+  logical_ = std::move(logical);
+  physical_ = std::move(physical);
+  assert(logical_.validate().empty());
+  build_runtime();
+
+  // 4a. Re-key source rates to the new operator ids and restore backlogs.
+  source_rates_.clear();
+  for (OperatorId new_src : logical_.sources()) {
+    const auto rit = rates_by_name.find(logical_.op(new_src).name);
+    if (rit != rates_by_name.end()) {
+      for (std::int64_t s = 0; s < n; ++s) {
+        const double eps = rit->second[static_cast<std::size_t>(s)];
+        if (eps > 0.0) source_rates_[new_src.value() * n + s] = eps;
+      }
+    }
+    const auto bl = source_backlogs.find(logical_.signature(new_src));
+    StageRt& stage = stage_rt(new_src);
+    if (bl != source_backlogs.end() && bl->second > 0.0) {
+      int active_sites = 0;
+      for (const Group& g : stage.groups) {
+        if (g.tasks > 0) ++active_sites;
+      }
+      if (active_sites > 0) {
+        for (Group& g : stage.groups) {
+          if (g.tasks > 0) g.input_queue = bl->second / active_sites;
+        }
+      }
+    }
+  }
+
+  // 4b. Restore carried state into matching stateful operators.
+  for (const auto& op : logical_.operators()) {
+    if (!op.stateful()) continue;
+    const auto it = carried.find(logical_.signature(op.id));
+    if (it == carried.end()) continue;
+    StageRt& stage = stage_rt(op.id);
+    stage.state_override_mb = it->second.state_override;
+    const int p = stage.placement.parallelism();
+    if (p == 0) continue;
+    for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+      const double share = static_cast<double>(stage.placement.per_site[s]) /
+                           static_cast<double>(p);
+      stage.groups[s].window_events = it->second.window_events * share;
+    }
+  }
+
+  // 5. Re-inject in-flight events as replayed source work.
+  if (inflight_source_units > 0.0) {
+    double total_rate = 0.0;
+    for (OperatorId src : logical_.sources()) {
+      total_rate += source_generation_eps(src);
+    }
+    for (OperatorId src : logical_.sources()) {
+      StageRt& stage = stage_rt(src);
+      const double rate = source_generation_eps(src);
+      const double share =
+          total_rate > 0.0
+              ? rate / total_rate
+              : 1.0 / static_cast<double>(logical_.sources().size());
+      const double units = inflight_source_units * share;
+      int active_sites = 0;
+      for (const Group& g : stage.groups) {
+        if (g.tasks > 0) ++active_sites;
+      }
+      if (active_sites == 0) continue;
+      for (Group& g : stage.groups) {
+        if (g.tasks > 0) g.input_queue += units / active_sites;
+      }
+      // Replayed events re-enter the generation curve "now"; their original
+      // generation times are unknown to the new execution (documented
+      // approximation -- slightly undercounts delay during the transition).
+      source_trackers_[logical_.signature(src)].record_generated(now_, units);
+      // The replayed events will be admitted a second time; surface them as
+      // generated work too so cumulative processed/generated accounting
+      // stays balanced.
+      replay_pending_events_ += units;
+    }
+  }
+}
+
+void Engine::fail_site(SiteId site) {
+  failed_sites_[static_cast<std::size_t>(site.value())] = true;
+}
+
+void Engine::restore_site(SiteId site) {
+  const auto s = static_cast<std::size_t>(site.value());
+  failed_sites_[s] = false;
+  // Groups at the site replay their local checkpoint before processing
+  // resumes; the pause is proportional to the checkpointed state size (§5).
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    Group& g = stages_[i].groups[s];
+    if (g.tasks == 0) continue;
+    const double restore_sec =
+        checkpointed_state_[i][s] / config_.local_restore_mb_per_sec;
+    g.restore_until = now_ + restore_sec;
+  }
+}
+
+bool Engine::site_failed(SiteId site) const {
+  return failed_sites_[static_cast<std::size_t>(site.value())];
+}
+
+void Engine::set_state_override_mb(OperatorId op, double mb) {
+  stage_rt(op).state_override_mb = mb;
+}
+
+void Engine::set_partition_skew(OperatorId op, double hot_factor) {
+  assert(hot_factor > 0.0);
+  stage_rt(op).partition_skew = hot_factor;
+}
+
+double Engine::group_state_mb(const StageRt& stage, std::size_t site) const {
+  const auto& op = logical_.op(stage.op);
+  const int p = stage.placement.parallelism();
+  if (p == 0 || stage.groups[site].tasks == 0) return 0.0;
+  const double share = static_cast<double>(stage.groups[site].tasks) /
+                       static_cast<double>(p);
+  if (stage.state_override_mb >= 0.0) return stage.state_override_mb * share;
+  if (!op.stateful()) return 0.0;
+  if (op.state.fixed_mb >= 0.0) return op.state.fixed_mb * share;
+  return op.state.base_mb * share +
+         op.state.mb_per_kevent * stage.groups[site].window_events / 1e3;
+}
+
+double Engine::stage_total_state_mb(const StageRt& stage) const {
+  double total = 0.0;
+  for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+    total += group_state_mb(stage, s);
+  }
+  return total;
+}
+
+double Engine::state_mb(OperatorId op, SiteId site) const {
+  return group_state_mb(stage_rt(op), static_cast<std::size_t>(site.value()));
+}
+
+double Engine::total_state_mb(OperatorId op) const {
+  return stage_total_state_mb(stage_rt(op));
+}
+
+OperatorMetrics Engine::op_metrics(OperatorId op) const {
+  const StageRt& stage = stage_rt(op);
+  OperatorMetrics m;
+  m.op = op;
+  m.processed_eps = stage.processed;
+  m.emitted_eps = stage.emitted;
+  m.arrived_eps = stage.arrived;
+  m.selectivity =
+      stage.processed > 0.0 ? stage.emitted / stage.processed : 1.0;
+  m.backpressured = stage.backpressured;
+  m.placement = stage.placement;
+  for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+    m.input_queue_events += stage.groups[s].input_queue;
+    m.state_mb_per_site.push_back(group_state_mb(stage, s));
+  }
+  const std::size_t idx = stage_index(op);
+  for (const Channel& c : channels_) {
+    // One tick of offered traffic is always in transit in this pipeline
+    // model; only the excess is genuine backlog.
+    if (c.to_stage == idx) {
+      m.channel_backlog_events += std::max(0.0, c.queue - c.offered);
+    }
+  }
+  return m;
+}
+
+std::vector<ChannelMetrics> Engine::channels_into(OperatorId op) const {
+  std::vector<ChannelMetrics> out;
+  const std::size_t idx = stage_index(op);
+  const double dt = config_.tick_sec;
+  for (const Channel& c : channels_) {
+    if (c.to_stage != idx) continue;
+    ChannelMetrics m;
+    m.from_op = stages_[c.from_stage].op;
+    m.to_op = op;
+    m.from = c.from;
+    m.to = c.to;
+    m.offered_eps = c.offered / dt;
+    m.delivered_eps = c.delivered / dt;
+    m.queue_events = c.queue;
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::unordered_map<std::int64_t, double> Engine::adjacent_link_mbps(
+    OperatorId op) const {
+  std::unordered_map<std::int64_t, double> out;
+  const std::size_t idx = stage_index(op);
+  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
+  for (const Channel& c : channels_) {
+    if (c.from_stage != idx && c.to_stage != idx) continue;
+    if (!c.flow.valid() || !network_.has_flow(c.flow)) continue;
+    out[c.from.value() * n + c.to.value()] +=
+        network_.flow(c.flow).allocated_mbps;
+  }
+  return out;
+}
+
+std::unordered_map<std::int64_t, double> Engine::all_link_mbps() const {
+  std::unordered_map<std::int64_t, double> out;
+  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
+  for (const Channel& c : channels_) {
+    if (!c.flow.valid() || !network_.has_flow(c.flow)) continue;
+    out[c.from.value() * n + c.to.value()] +=
+        network_.flow(c.flow).allocated_mbps;
+  }
+  return out;
+}
+
+std::vector<int> Engine::slots_in_use() const {
+  // Sources are adapters onto the external streams (Kafka-style readers at
+  // the data's site) and do not occupy computing slots; every other task
+  // takes one.
+  std::vector<int> used(network_.topology().num_sites(), 0);
+  for (const StageRt& stage : stages_) {
+    if (logical_.op(stage.op).is_source()) continue;
+    for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+      used[s] += stage.groups[s].tasks;
+    }
+  }
+  return used;
+}
+
+}  // namespace wasp::engine

@@ -1,0 +1,253 @@
+// Fluid-level stream-engine simulator (the Flink substitute).
+//
+// The engine executes one deployed query -- a logical plan plus a physical
+// placement -- over the WAN substrate, at a fixed tick (default 1 s of
+// simulated time). It is a *fluid* model: event populations are real-valued
+// rates and queue levels, not individual records. That is exactly the
+// granularity WASP's adaptation layer observes (per-operator rates, queues,
+// backpressure flags, state sizes; §3.2), so every control-plane code path
+// of the paper is exercised faithfully while whole experiments run in
+// milliseconds.
+//
+// Faithfulness notes (see DESIGN.md for the full substitution table):
+//  - Tasks of a stage co-located at a site are aggregated into one "group"
+//    (they are symmetric under balanced partitioning, §7).
+//  - Channels connect (stage, site) groups along logical edges. Cross-site
+//    channels ride Network stream flows and share link capacity with other
+//    traffic (including state-migration bulk flows). Intra-site channels are
+//    unconstrained.
+//  - Buffers are bounded (per-channel and per-input-queue), so sustained
+//    bottlenecks propagate backpressure up to the sources, where backlog
+//    accumulates -- mirroring Flink's credit-based flow control feeding
+//    from a replayable source.
+//  - Event-time latency is recovered from cumulative curves at the sources
+//    (head-of-backlog age) plus per-hop sojourn times downstream.
+//  - Degrade mode implements the paper's baseline: events whose latency
+//    would exceed the SLO are shed at the sources (§8.4's "drop late
+//    events"), trading processing ratio for delay.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "engine/delay_tracker.h"
+#include "engine/metrics.h"
+#include "net/network.h"
+#include "physical/physical_plan.h"
+#include "query/logical_plan.h"
+
+namespace wasp::engine {
+
+struct EngineConfig {
+  double tick_sec = 1.0;
+  // Bounded buffers. A channel accepts new output only while its queue is
+  // below `channel_buffer_sec` seconds of its observed drain rate plus a
+  // floor -- like Flink's byte-bounded network buffers, scaled to what the
+  // link actually sustains. An input queue absorbs up to one tick of the
+  // group's processing capacity plus a floor. Sustained bottlenecks
+  // therefore propagate backpressure to the sources within seconds, and the
+  // overload backlog accumulates in the replayable source, where its age
+  // drives the event-time delay -- exactly as in the paper's prototype.
+  double channel_buffer_sec = 2.0;
+  double channel_buffer_floor_events = 5'000.0;
+  double input_buffer_floor_events = 10'000.0;
+  // Degrade baseline: shed source events older than the SLO.
+  bool degrade = false;
+  double slo_sec = 10.0;
+  // Local checkpoint restore throughput (MB/s) after a failure (§5:
+  // localized checkpointing makes restore a local, fast operation).
+  double local_restore_mb_per_sec = 200.0;
+  double checkpoint_interval_sec = 30.0;
+};
+
+class Engine {
+ public:
+  Engine(query::LogicalPlan logical, physical::PhysicalPlan physical,
+         net::Network& network, EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- workload ------------------------------------------------------------
+
+  // Sets the generation rate (events/s) of `source` at `site`. Persists
+  // until changed. The site must be one of the source's pinned sites.
+  void set_source_rate(OperatorId source, SiteId site, double eps);
+
+  // --- simulation ----------------------------------------------------------
+
+  // Advances one tick ending at time `t`. The caller must have advanced the
+  // Network to `t` first (flow allocations are read, new demands written).
+  void tick(double t);
+
+  // --- adaptation control (used by the WASP runtime) ------------------------
+
+  void suspend_stage(OperatorId op);
+  void resume_stage(OperatorId op);
+  void suspend_all();
+  void resume_all();
+  [[nodiscard]] bool stage_suspended(OperatorId op) const;
+
+  // Replaces the placement of one stage. Queued events and window state are
+  // redistributed to the new task groups (the physical state transfer is
+  // priced and sequenced by the migration planner, not here).
+  void apply_placement(OperatorId op, const physical::StagePlacement& placement);
+
+  // Replaces the whole plan (query re-planning, §4.3). Stateful operators
+  // and sources whose signatures match carry their state/backlog over;
+  // everything else starts fresh.
+  void apply_replan(query::LogicalPlan logical,
+                    physical::PhysicalPlan physical);
+
+  // Failure injection: a failed site contributes no processing capacity and
+  // accepts no deliveries until restored. Restoration replays the local
+  // checkpoint (a restore pause proportional to state size).
+  void fail_site(SiteId site);
+  void restore_site(SiteId site);
+  [[nodiscard]] bool site_failed(SiteId site) const;
+
+  // Pins the total state of `op` to a fixed size (controlled-state
+  // experiments, §8.7); negative clears the override.
+  void set_state_override_mb(OperatorId op, double mb);
+
+  // Straggler injection (§1: "stragglers and failures are inevitable"):
+  // scales the processing capacity of every task at `site` by `factor`
+  // (e.g. 0.1 = a 10x slowdown). 1.0 restores full speed.
+  void set_straggler(SiteId site, double factor);
+  [[nodiscard]] double straggler_factor(SiteId site) const;
+
+  // Key-skew injection (probing §7's balanced-partitioning assumption):
+  // hash routing into `op` weights its lowest-indexed hosting site's tasks
+  // by `hot_factor` (>1 = hot keys concentrate there). 1.0 restores
+  // balance. Ignored on forward-partitioned edges.
+  void set_partition_skew(OperatorId op, double hot_factor);
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] const query::LogicalPlan& logical() const { return logical_; }
+  [[nodiscard]] const physical::PhysicalPlan& physical_plan() const {
+    return physical_;
+  }
+  [[nodiscard]] const physical::StagePlacement& placement(OperatorId op) const;
+
+  // Last tick's per-operator metrics.
+  [[nodiscard]] OperatorMetrics op_metrics(OperatorId op) const;
+  // Last tick's inbound channels of `op`.
+  [[nodiscard]] std::vector<ChannelMetrics> channels_into(OperatorId op) const;
+  // Last tick's whole-query metrics.
+  [[nodiscard]] const QueryTickMetrics& last_tick() const { return last_; }
+
+  // Current state size of `op` at `site` / across all sites (MB).
+  [[nodiscard]] double state_mb(OperatorId op, SiteId site) const;
+  [[nodiscard]] double total_state_mb(OperatorId op) const;
+
+  // The *actual* workload: current generation rate of `source` (events/s),
+  // independent of backpressure (§3.3's λ_O[src]).
+  [[nodiscard]] double source_generation_eps(OperatorId source) const;
+
+  // Total events waiting in source backlogs (source-time units).
+  [[nodiscard]] double source_backlog_events() const;
+
+  // Slots in use per site (for slot accounting by the scheduler view).
+  [[nodiscard]] std::vector<int> slots_in_use() const;
+
+  // Allocated stream bandwidth (Mbps) per directed link, keyed
+  // from*num_sites+to, for channels adjacent to `op`'s stage. The adaptation
+  // layer adds this back onto the monitor's availability estimates when
+  // re-placing that stage (its own traffic moves with it).
+  [[nodiscard]] std::unordered_map<std::int64_t, double> adjacent_link_mbps(
+      OperatorId op) const;
+
+  // Same, over every channel of the query (used when re-planning: the whole
+  // execution vacates its links).
+  [[nodiscard]] std::unordered_map<std::int64_t, double> all_link_mbps() const;
+
+ private:
+  struct Group {
+    int tasks = 0;
+    double input_queue = 0.0;    // events awaiting processing
+    double window_events = 0.0;  // events in the open window (state driver)
+    double restore_until = -1.0; // checkpoint replay deadline after failure
+    double processed_prev = 0.0; // events processed last tick (buffer sizing)
+  };
+
+  struct StageRt {
+    OperatorId op;
+    physical::StagePlacement placement;
+    std::vector<Group> groups;  // indexed by site
+    bool suspended = false;
+    double state_override_mb = -1.0;
+    double partition_skew = 1.0;  // hot-key weight on the first hosting site
+    // Tick observations.
+    double processed = 0.0;
+    double emitted = 0.0;
+    double arrived = 0.0;
+    bool backpressured = false;
+  };
+
+  struct Channel {
+    std::size_t from_stage;  // index into stages_
+    std::size_t to_stage;
+    SiteId from;
+    SiteId to;
+    double queue = 0.0;  // events on the sender side awaiting transfer
+    FlowId flow;         // network flow; invalid for intra-site channels
+    double event_bytes = 100.0;
+    // Tick observations.
+    double offered = 0.0;
+    double delivered = 0.0;
+    // Previous tick's delivery (events): the drain rate that sizes the
+    // channel's buffer for backpressure purposes.
+    double delivered_prev = 0.0;
+  };
+
+  [[nodiscard]] std::size_t stage_index(OperatorId op) const;
+  [[nodiscard]] StageRt& stage_rt(OperatorId op);
+  [[nodiscard]] const StageRt& stage_rt(OperatorId op) const;
+  [[nodiscard]] double group_capacity_eps(const StageRt& stage,
+                                          std::size_t site) const;
+
+  void build_runtime();
+  void teardown_channels();
+  // Rebuilds all channels adjacent to `stage_idx`, preserving aggregate
+  // queued events per logical edge.
+  void rebuild_adjacent_channels(std::size_t stage_idx);
+  void apply_degrade_drops(double t);
+  void deliver_into(std::size_t stage_idx, double dt);
+  void process_stage(std::size_t stage_idx, double t, double dt);
+  void set_flow_demands(double dt);
+  void update_delay_metric(double t);
+  [[nodiscard]] double stage_total_state_mb(const StageRt& stage) const;
+  [[nodiscard]] double group_state_mb(const StageRt& stage,
+                                      std::size_t site) const;
+
+  query::LogicalPlan logical_;
+  physical::PhysicalPlan physical_;
+  net::Network& network_;
+  EngineConfig config_;
+
+  std::vector<StageRt> stages_;                   // aligned with logical op ids
+  std::vector<std::size_t> topo_order_;           // stage indices, sources first
+  std::vector<Channel> channels_;
+  std::unordered_map<std::int64_t, double> source_rates_;  // (op,site) -> eps
+  std::vector<bool> failed_sites_;
+  std::vector<double> straggler_factor_;  // per-site capacity multiplier
+
+  // Per-source delay tracking; key is the source's signature so trackers
+  // survive re-planning.
+  std::unordered_map<std::string, DelayTracker> source_trackers_;
+
+  QueryTickMetrics last_;
+  double prev_delay_sec_ = 0.0;  // previous tick's delay (degrade budget)
+  double replay_pending_events_ = 0.0;  // re-injected by the last re-plan
+  double now_ = 0.0;  // end time of the latest tick
+  double last_checkpoint_ = 0.0;
+  // Per-stage, per-site state size at the last checkpoint (MB).
+  std::vector<std::vector<double>> checkpointed_state_;
+};
+
+}  // namespace wasp::engine

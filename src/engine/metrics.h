@@ -1,0 +1,52 @@
+// Runtime metric records exposed by the engine.
+//
+// These are the quantities WASP's monitoring layer consumes (§3.2): per-
+// operator processing/output/arrival rates, selectivity, backpressure, queue
+// depths, state sizes, and per-channel network telemetry. The engine fills
+// them every tick; the Local/Global Metric Monitors aggregate them over the
+// monitoring interval.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "physical/placement.h"
+
+namespace wasp::engine {
+
+// One cross- or intra-site channel of a logical edge, as observed this tick.
+struct ChannelMetrics {
+  OperatorId from_op;
+  OperatorId to_op;
+  SiteId from;
+  SiteId to;
+  double offered_eps = 0.0;    // events/s the sender pushed at the channel
+  double delivered_eps = 0.0;  // events/s that crossed this tick
+  double queue_events = 0.0;   // backlog waiting on the sender side
+};
+
+// Per-operator aggregate over all its tasks, for one tick.
+struct OperatorMetrics {
+  OperatorId op;
+  double processed_eps = 0.0;  // λ_P: events/s processed
+  double emitted_eps = 0.0;    // λ_O: events/s emitted downstream
+  double arrived_eps = 0.0;    // λ_I: events/s arriving at input queues
+  double selectivity = 1.0;    // σ = λ_O / λ_P (1 when idle)
+  bool backpressured = false;  // output throttled by full channels
+  double input_queue_events = 0.0;
+  double channel_backlog_events = 0.0;  // events queued in inbound channels
+  std::vector<double> state_mb_per_site;
+  physical::StagePlacement placement;
+};
+
+// Whole-query metrics for one tick.
+struct QueryTickMetrics {
+  double generated_eps = 0.0;  // actual source workload λ_O[src]
+  double admitted_eps = 0.0;   // events sources pushed into the pipeline
+  double dropped_eps = 0.0;    // events shed (degrade mode)
+  double sink_eps = 0.0;       // events emitted at sinks
+  double delay_sec = 0.0;      // avg end-to-end event latency estimate
+  double processing_ratio = 0.0;
+};
+
+}  // namespace wasp::engine

@@ -1,0 +1,49 @@
+// Integer linear programming via branch & bound over the simplex relaxation.
+//
+// This is the solver behind WASP's WAN-aware task placement ILP (paper
+// Eq. 1-5), standing in for the Gurobi dependency of the original prototype.
+// Placement instances are small (one variable per site, m <= 16), so plain
+// depth-first branch & bound with best-incumbent pruning solves them exactly
+// in microseconds. The solver is nonetheless general: any subset of variables
+// may be marked integer, and node/iteration limits make it safe to embed in
+// the simulation control loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace wasp::ilp {
+
+struct IlpOptions {
+  // Tolerance for treating a relaxation value as integral.
+  double integrality_eps = 1e-6;
+  // Hard cap on explored branch-and-bound nodes (0 = solver default).
+  std::size_t max_nodes = 0;
+  // Objective gap below which an incumbent is accepted as optimal.
+  double absolute_gap = 1e-9;
+};
+
+struct IlpResult {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;  // integral entries for integer variables
+  std::size_t nodes_explored = 0;
+
+  [[nodiscard]] bool optimal() const {
+    return status == lp::SolveStatus::kOptimal;
+  }
+};
+
+// Solves `problem` with the variables listed in `integer_vars` restricted to
+// integers. Variables not listed stay continuous (mixed-integer solve).
+[[nodiscard]] IlpResult solve(const lp::Problem& problem,
+                              const std::vector<std::size_t>& integer_vars,
+                              const IlpOptions& options = {});
+
+// Convenience: all variables integer.
+[[nodiscard]] IlpResult solve_all_integer(const lp::Problem& problem,
+                                          const IlpOptions& options = {});
+
+}  // namespace wasp::ilp

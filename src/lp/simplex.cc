@@ -1,0 +1,328 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace wasp::lp {
+namespace {
+
+// Internal standard-form program:
+//   minimize c'y  s.t.  T y = b, y >= 0, b >= 0
+// built from the user's problem by variable substitution. `Mapping` records
+// how to recover the original variable values from y.
+struct VarMap {
+  // x = offset + sign_pos * y[pos] - y[neg] (neg == npos unless free split).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t pos = npos;
+  std::size_t neg = npos;
+  double offset = 0.0;
+  double sign = 1.0;  // applied to y[pos]
+};
+
+struct StandardForm {
+  std::vector<std::vector<double>> rows;  // coefficients over structural vars
+  std::vector<double> rhs;
+  std::vector<RowType> types;
+  std::vector<double> cost;  // minimization costs over structural vars
+  double objective_offset = 0.0;
+  bool maximize = false;
+  std::vector<VarMap> mapping;  // original var -> structural var(s)
+  std::size_t num_structural = 0;
+};
+
+StandardForm build_standard_form(const Problem& p) {
+  StandardForm sf;
+  sf.maximize = p.sense() == Sense::kMaximize;
+  const std::size_t n = p.num_variables();
+  sf.mapping.resize(n);
+
+  // Assign structural columns per variable based on its bounds.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = p.lower_bounds()[i];
+    const double hi = p.upper_bounds()[i];
+    VarMap& m = sf.mapping[i];
+    if (lo == -kInfinity && hi == kInfinity) {
+      m.pos = sf.num_structural++;
+      m.neg = sf.num_structural++;
+    } else if (lo == -kInfinity) {
+      // x = hi - y, y >= 0.
+      m.pos = sf.num_structural++;
+      m.sign = -1.0;
+      m.offset = hi;
+    } else {
+      // x = lo + y, y >= 0; finite hi becomes a row later.
+      m.pos = sf.num_structural++;
+      m.offset = lo;
+    }
+  }
+
+  // Objective over structural vars (as a minimization).
+  sf.cost.assign(sf.num_structural, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double c = p.objective()[i];
+    if (sf.maximize) c = -c;
+    const VarMap& m = sf.mapping[i];
+    sf.cost[m.pos] += c * m.sign;
+    if (m.neg != VarMap::npos) sf.cost[m.neg] -= c;
+    sf.objective_offset += c * m.offset;
+  }
+
+  auto add_row = [&](const std::vector<std::pair<std::size_t, double>>& terms,
+                     RowType type, double rhs) {
+    std::vector<double> row(sf.num_structural, 0.0);
+    for (const auto& [var, coeff] : terms) row[var] += coeff;
+    sf.rows.push_back(std::move(row));
+    sf.rhs.push_back(rhs);
+    sf.types.push_back(type);
+  };
+
+  // User constraints, rewritten over structural variables.
+  for (const Constraint& c : p.constraints()) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = c.rhs;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      const VarMap& m = sf.mapping[c.vars[k]];
+      const double a = c.coeffs[k];
+      terms.emplace_back(m.pos, a * m.sign);
+      if (m.neg != VarMap::npos) terms.emplace_back(m.neg, -a);
+      rhs -= a * m.offset;
+    }
+    add_row(terms, c.type, rhs);
+  }
+
+  // Finite upper bounds become explicit rows: y <= hi - lo.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = p.lower_bounds()[i];
+    const double hi = p.upper_bounds()[i];
+    if (lo != -kInfinity && hi != kInfinity) {
+      add_row({{sf.mapping[i].pos, 1.0}}, RowType::kLe, hi - lo);
+    }
+  }
+  return sf;
+}
+
+// Dense tableau with an explicit basis. Columns: structural vars, then slack/
+// surplus, then artificials, then rhs.
+class Tableau {
+ public:
+  Tableau(StandardForm sf, const SimplexOptions& options)
+      : sf_(std::move(sf)), eps_(options.eps) {
+    const std::size_t m = sf_.rows.size();
+    // Count auxiliary columns.
+    std::size_t slack = 0;
+    for (RowType t : sf_.types) {
+      if (t != RowType::kEq) ++slack;
+    }
+    slack_begin_ = sf_.num_structural;
+    art_begin_ = slack_begin_ + slack;
+    num_cols_ = art_begin_ + m;  // one artificial slot per row (may be unused)
+    max_iters_ = options.max_iterations != 0
+                     ? options.max_iterations
+                     : 50 * (m + num_cols_) + 1000;
+
+    a_.assign(m, std::vector<double>(num_cols_ + 1, 0.0));
+    basis_.assign(m, 0);
+    is_artificial_.assign(num_cols_, false);
+    blocked_.assign(num_cols_, false);
+
+    std::size_t next_slack = slack_begin_;
+    for (std::size_t r = 0; r < m; ++r) {
+      double sign = 1.0;
+      RowType type = sf_.types[r];
+      double rhs = sf_.rhs[r];
+      if (rhs < 0.0) {
+        sign = -1.0;
+        rhs = -rhs;
+        type = type == RowType::kLe
+                   ? RowType::kGe
+                   : (type == RowType::kGe ? RowType::kLe : RowType::kEq);
+      }
+      for (std::size_t c = 0; c < sf_.num_structural; ++c) {
+        a_[r][c] = sign * sf_.rows[r][c];
+      }
+      a_[r][num_cols_] = rhs;
+
+      switch (type) {
+        case RowType::kLe:
+          a_[r][next_slack] = 1.0;
+          basis_[r] = next_slack++;
+          break;
+        case RowType::kGe:
+          a_[r][next_slack] = -1.0;
+          ++next_slack;
+          a_[r][art_begin_ + r] = 1.0;
+          is_artificial_[art_begin_ + r] = true;
+          basis_[r] = art_begin_ + r;
+          break;
+        case RowType::kEq:
+          a_[r][art_begin_ + r] = 1.0;
+          is_artificial_[art_begin_ + r] = true;
+          basis_[r] = art_begin_ + r;
+          break;
+      }
+    }
+  }
+
+  Solution run() {
+    // Phase 1: minimize the sum of artificial variables.
+    std::vector<double> phase1_cost(num_cols_, 0.0);
+    bool any_artificial = false;
+    for (std::size_t c = art_begin_; c < num_cols_; ++c) {
+      if (is_artificial_[c]) {
+        phase1_cost[c] = 1.0;
+        any_artificial = true;
+      }
+    }
+    if (any_artificial) {
+      const SolveStatus s1 = optimize(phase1_cost);
+      if (s1 == SolveStatus::kIterationLimit) return Solution{.status = s1, .objective = 0.0, .values = {}};
+      if (phase_objective(phase1_cost) > 1e-7) {
+        return Solution{.status = SolveStatus::kInfeasible, .objective = 0.0, .values = {}};
+      }
+      drop_artificials();
+    }
+
+    // Phase 2: the real objective.
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t c = 0; c < sf_.num_structural; ++c) cost[c] = sf_.cost[c];
+    const SolveStatus s2 = optimize(cost);
+    if (s2 != SolveStatus::kOptimal) return Solution{.status = s2, .objective = 0.0, .values = {}};
+
+    // Recover original variable values.
+    std::vector<double> y(num_cols_, 0.0);
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      y[basis_[r]] = a_[r][num_cols_];
+    }
+    Solution sol;
+    sol.status = SolveStatus::kOptimal;
+    sol.values.resize(sf_.mapping.size(), 0.0);
+    for (std::size_t i = 0; i < sf_.mapping.size(); ++i) {
+      const VarMap& m = sf_.mapping[i];
+      double v = m.offset + m.sign * y[m.pos];
+      if (m.neg != VarMap::npos) v -= y[m.neg];
+      sol.values[i] = v;
+    }
+    double obj = sf_.objective_offset;
+    for (std::size_t c = 0; c < sf_.num_structural; ++c) obj += sf_.cost[c] * y[c];
+    sol.objective = sf_.maximize ? -obj : obj;
+    return sol;
+  }
+
+ private:
+  double phase_objective(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      obj += cost[basis_[r]] * a_[r][num_cols_];
+    }
+    return obj;
+  }
+
+  // Reduced cost of column c under `cost` with the current basis, computed
+  // directly from the tableau (the tableau rows are already B^-1 A).
+  double reduced_cost(const std::vector<double>& cost, std::size_t c) const {
+    double z = 0.0;
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      z += cost[basis_[r]] * a_[r][c];
+    }
+    return cost[c] - z;
+  }
+
+  SolveStatus optimize(const std::vector<double>& cost) {
+    for (std::size_t iter = 0; iter < max_iters_; ++iter) {
+      // Bland's rule: the lowest-index column with negative reduced cost.
+      std::size_t entering = num_cols_;
+      for (std::size_t c = 0; c < num_cols_; ++c) {
+        if (blocked_[c]) continue;
+        if (reduced_cost(cost, c) < -eps_) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering == num_cols_) return SolveStatus::kOptimal;
+
+      // Ratio test; Bland tie-break on the leaving basic variable index.
+      std::size_t leaving_row = a_.size();
+      double best_ratio = 0.0;
+      for (std::size_t r = 0; r < a_.size(); ++r) {
+        const double pivot = a_[r][entering];
+        if (pivot > eps_) {
+          const double ratio = a_[r][num_cols_] / pivot;
+          if (leaving_row == a_.size() || ratio < best_ratio - eps_ ||
+              (std::abs(ratio - best_ratio) <= eps_ &&
+               basis_[r] < basis_[leaving_row])) {
+            leaving_row = r;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leaving_row == a_.size()) return SolveStatus::kUnbounded;
+      pivot(leaving_row, entering);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    assert(std::abs(p) > 0.0);
+    for (double& v : a_[row]) v /= p;
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      if (r == row) continue;
+      const double factor = a_[r][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c <= num_cols_; ++c) {
+        a_[r][c] -= factor * a_[row][c];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  // After phase 1: pivot artificials out of the basis where possible and
+  // block every artificial column from re-entering.
+  void drop_artificials() {
+    for (std::size_t r = 0; r < a_.size(); ++r) {
+      if (!is_artificial_[basis_[r]]) continue;
+      // The artificial is basic at value ~0 (phase 1 succeeded). Pivot in any
+      // non-artificial column with a nonzero entry; if none exists the row is
+      // redundant and harmlessly keeps its zero-valued artificial.
+      for (std::size_t c = 0; c < art_begin_; ++c) {
+        if (std::abs(a_[r][c]) > eps_) {
+          pivot(r, c);
+          break;
+        }
+      }
+    }
+    blocked_.assign(num_cols_, false);
+    for (std::size_t c = art_begin_; c < num_cols_; ++c) {
+      if (is_artificial_[c]) blocked_[c] = true;
+    }
+  }
+
+  StandardForm sf_;
+  double eps_;
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t max_iters_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> is_artificial_;
+  std::vector<bool> blocked_;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const SimplexOptions& options) {
+  // Degenerate case: no variables.
+  if (problem.num_variables() == 0) {
+    Solution sol;
+    sol.status = SolveStatus::kOptimal;
+    sol.objective = 0.0;
+    return sol;
+  }
+  Tableau tableau(build_standard_form(problem), options);
+  return tableau.run();
+}
+
+}  // namespace wasp::lp

@@ -1,0 +1,251 @@
+#include "microengine/micro_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace wasp::micro {
+namespace {
+
+// A survival draw that matches an arbitrary selectivity sigma >= 0: each
+// record yields floor(sigma) copies plus one more with probability
+// frac(sigma).
+std::uint64_t copies_for(double sigma, Rng& rng) {
+  const double whole = std::floor(sigma);
+  const double frac = sigma - whole;
+  std::uint64_t copies = static_cast<std::uint64_t>(whole);
+  if (rng.uniform() < frac) ++copies;
+  return copies;
+}
+
+}  // namespace
+
+MicroEngine::MicroEngine(const query::LogicalPlan& logical,
+                         const physical::PhysicalPlan& physical,
+                         const net::Topology& topology, MicroConfig config)
+    : logical_(logical),
+      topology_(topology),
+      config_(config),
+      rng_(config.seed) {
+  assert(logical_.validate().empty());
+  groups_of_op_.resize(logical_.num_operators());
+  for (const auto& op : logical_.operators()) {
+    const auto op_index = static_cast<std::size_t>(op.id.value());
+    const physical::Stage& stage = physical.stage_for(op.id);
+    for (SiteId site : stage.placement.sites()) {
+      TaskGroup group;
+      group.op_index = op_index;
+      group.site = site;
+      group.servers = stage.placement.at(site);
+      const std::size_t index = groups_.size();
+      groups_.push_back(group);
+      groups_of_op_[op_index].push_back(index);
+      group_by_key_.emplace(
+          static_cast<std::int64_t>(op_index) * 4096 + site.value(), index);
+    }
+    if (op.is_source()) {
+      for (SiteId site : stage.placement.sites()) {
+        sources_.push_back(SourceGen{op_index, site, 0.0});
+      }
+    }
+  }
+}
+
+void MicroEngine::set_source_rate(OperatorId source, SiteId site, double eps) {
+  for (auto& gen : sources_) {
+    if (gen.op_index == static_cast<std::size_t>(source.value()) &&
+        gen.site == site) {
+      gen.rate = eps;
+      return;
+    }
+  }
+  assert(false && "source/site pair not deployed");
+}
+
+std::size_t MicroEngine::group_index(std::size_t op_index, SiteId site) const {
+  const auto it = group_by_key_.find(
+      static_cast<std::int64_t>(op_index) * 4096 + site.value());
+  assert(it != group_by_key_.end());
+  return it->second;
+}
+
+void MicroEngine::schedule(double time, EventKind kind, std::size_t a,
+                           Record record) {
+  events_.push(Event{time, next_seq_++, kind, a, record});
+}
+
+void MicroEngine::enqueue_record(std::size_t group, double now,
+                                 Record record) {
+  TaskGroup& g = groups_[group];
+  g.queue.push(record);
+  if (g.busy < g.servers) start_service(group, now);
+}
+
+void MicroEngine::start_service(std::size_t group, double now) {
+  TaskGroup& g = groups_[group];
+  if (g.queue.empty() || g.busy >= g.servers) return;
+  const Record record = g.queue.front();
+  g.queue.pop();
+  ++g.busy;
+  const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
+      g.op_index)));
+  const double mean_service = 1.0 / op.events_per_sec_per_slot;
+  const double service = config_.exponential_service
+                             ? rng_.exponential(1.0 / mean_service)
+                             : mean_service;
+  schedule(now + service, EventKind::kServiceDone, group, record);
+}
+
+void MicroEngine::emit_downstream(std::size_t group, double now, Record record,
+                                  std::uint64_t copies) {
+  const TaskGroup& g = groups_[group];
+  const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
+      g.op_index)));
+  for (OperatorId d : logical_.downstream(op.id)) {
+    const auto d_index = static_cast<std::size_t>(d.value());
+    const auto& d_groups = groups_of_op_[d_index];
+    if (d_groups.empty()) continue;
+    for (std::uint64_t c = 0; c < copies; ++c) {
+      // Routing: forward keeps the record local when a co-located receiver
+      // exists; otherwise hash-partition across the receiver's tasks.
+      std::size_t target = d_groups.front();
+      bool routed = false;
+      if (op.output_partitioning == query::Partitioning::kForward) {
+        for (std::size_t dg : d_groups) {
+          if (groups_[dg].site == g.site) {
+            target = dg;
+            routed = true;
+            break;
+          }
+        }
+      }
+      if (!routed) {
+        std::vector<double> weights;
+        weights.reserve(d_groups.size());
+        for (std::size_t dg : d_groups) {
+          weights.push_back(static_cast<double>(groups_[dg].servers));
+        }
+        target = d_groups[rng_.weighted_index(weights)];
+      }
+      deliver(group, target, now, record);
+    }
+  }
+}
+
+void MicroEngine::deliver(std::size_t from_group, std::size_t to_group,
+                          double now, Record record) {
+  const TaskGroup& from = groups_[from_group];
+  const TaskGroup& to = groups_[to_group];
+  if (from.site == to.site) {
+    enqueue_record(to_group, now, record);
+    return;
+  }
+  // FIFO serialization on the directed link, then propagation.
+  const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
+      from.op_index)));
+  const double bw = topology_.base_bandwidth(from.site, to.site);
+  const double tx_sec = op.output_event_bytes * kBitsPerByte / (bw * 1e6);
+  const std::int64_t key =
+      from.site.value() * static_cast<std::int64_t>(topology_.num_sites()) +
+      to.site.value();
+  Link& link = links_[key];
+  const double tx_start = std::max(now, link.busy_until);
+  link.busy_until = tx_start + tx_sec;
+  const double arrival =
+      link.busy_until + topology_.latency_ms(from.site, to.site) / 1e3;
+  schedule(arrival, EventKind::kLinkDelivered, to_group, record);
+}
+
+MicroResults MicroEngine::run() {
+  results_ = MicroResults{};
+  const double measure_from = config_.horizon_sec / 2.0;
+  std::uint64_t delivered_in_window = 0;
+
+  // Prime source generation and window boundaries.
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    if (sources_[s].rate > 0.0) {
+      schedule(0.0, EventKind::kGenerate, s, Record{});
+    }
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
+        groups_[g].op_index)));
+    if (op.window.windowed()) {
+      schedule(op.window.length_sec, EventKind::kWindowBoundary, g, Record{});
+    }
+  }
+
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    if (event.time > config_.horizon_sec) break;
+    const double now = event.time;
+
+    switch (event.kind) {
+      case EventKind::kGenerate: {
+        SourceGen& gen = sources_[event.a];
+        ++results_.generated;
+        Record record{now};
+        enqueue_record(group_index(gen.op_index, gen.site), now, record);
+        const double gap = config_.poisson_arrivals
+                               ? rng_.exponential(gen.rate)
+                               : 1.0 / gen.rate;
+        schedule(now + gap, EventKind::kGenerate, event.a, Record{});
+        break;
+      }
+      case EventKind::kServiceDone: {
+        TaskGroup& g = groups_[event.a];
+        --g.busy;
+        const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
+            g.op_index)));
+        if (op.is_sink()) {
+          ++results_.delivered;
+          if (now >= measure_from) {
+            ++delivered_in_window;
+            results_.latency.add(now - event.record.gen_time);
+          }
+        } else if (op.window.windowed()) {
+          // Buffer into the open window; emission happens at the boundary.
+          ++g.window_count;
+          g.window_latest_gen =
+              std::max(g.window_latest_gen, event.record.gen_time);
+        } else {
+          emit_downstream(event.a, now, event.record,
+                          copies_for(op.selectivity, rng_));
+        }
+        start_service(event.a, now);
+        break;
+      }
+      case EventKind::kLinkDelivered:
+        enqueue_record(event.a, now, event.record);
+        break;
+      case EventKind::kWindowBoundary: {
+        TaskGroup& g = groups_[event.a];
+        const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
+            g.op_index)));
+        if (g.window_count > 0) {
+          // §8.3 semantics: aggregates carry the latest contained event
+          // time; output volume follows the selectivity.
+          const auto outputs = static_cast<std::uint64_t>(std::ceil(
+              op.selectivity * static_cast<double>(g.window_count)));
+          Record aggregate{g.window_latest_gen};
+          emit_downstream(event.a, now, aggregate, outputs);
+          g.window_count = 0;
+          g.window_latest_gen = 0.0;
+        }
+        schedule(now + op.window.length_sec, EventKind::kWindowBoundary,
+                 event.a, Record{});
+        break;
+      }
+    }
+  }
+
+  const double window = config_.horizon_sec - measure_from;
+  results_.sink_eps =
+      window > 0.0 ? static_cast<double>(delivered_in_window) / window : 0.0;
+  return results_;
+}
+
+}  // namespace wasp::micro

@@ -1,0 +1,67 @@
+#include "net/bandwidth_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wasp::net {
+
+SteppedBandwidth::SteppedBandwidth(
+    std::vector<std::pair<double, double>> steps)
+    : steps_(std::move(steps)) {
+  std::sort(steps_.begin(), steps_.end());
+}
+
+double SteppedBandwidth::factor(SiteId, SiteId, double t) const {
+  double f = 1.0;
+  for (const auto& [time, factor] : steps_) {
+    if (time > t) break;
+    f = factor;
+  }
+  return f;
+}
+
+RandomWalkBandwidth::RandomWalkBandwidth(std::size_t num_sites,
+                                         const Config& config, Rng& rng)
+    : num_sites_(num_sites), config_(config) {
+  assert(config.period_sec > 0.0);
+  assert(config.min_factor > 0.0 && config.min_factor <= config.max_factor);
+  const auto intervals = static_cast<std::size_t>(
+                             std::ceil(config.horizon_sec / config.period_sec)) +
+                         1;
+  factors_.resize(num_sites * num_sites);
+  for (auto& series : factors_) {
+    series.resize(intervals);
+    // Start each walk at a random point of the range so links are
+    // heterogeneous from t=0, then walk multiplicatively with clamping.
+    double f = rng.uniform(config.min_factor, config.max_factor);
+    for (auto& value : series) {
+      value = f;
+      f = std::clamp(f * std::exp(rng.normal(0.0, config.sigma)),
+                     config.min_factor, config.max_factor);
+    }
+  }
+}
+
+double RandomWalkBandwidth::factor(SiteId from, SiteId to, double t) const {
+  if (from == to) return 1.0;
+  const auto& series = factors_[link_index(from, to)];
+  const auto k = std::min(
+      series.size() - 1,
+      static_cast<std::size_t>(std::max(0.0, t) / config_.period_sec));
+  return series[k];
+}
+
+const std::vector<double>& RandomWalkBandwidth::link_series(SiteId from,
+                                                            SiteId to) const {
+  return factors_[link_index(from, to)];
+}
+
+std::size_t RandomWalkBandwidth::link_index(SiteId from, SiteId to) const {
+  const auto f = static_cast<std::size_t>(from.value());
+  const auto d = static_cast<std::size_t>(to.value());
+  assert(f < num_sites_ && d < num_sites_);
+  return f * num_sites_ + d;
+}
+
+}  // namespace wasp::net

@@ -1,0 +1,101 @@
+// Time-varying WAN bandwidth models.
+//
+// §2.2 / Fig. 2 of the paper measured pair-wise EC2 bandwidth for a day and
+// found 25-93% deviation from the mean at 5-minute granularity; §8.6 drives a
+// live experiment from a variation trace with factors in [0.51, 2.36]. These
+// models multiply the topology's base bandwidth by a time-dependent factor:
+//
+//   capacity(from, to, t) = base_bandwidth(from, to) * factor(from, to, t)
+//
+// All models are deterministic; random ones precompute their factor tables
+// from a seed at construction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace wasp::net {
+
+class BandwidthModel {
+ public:
+  virtual ~BandwidthModel() = default;
+  // Multiplier applied to the base bandwidth of the directed link
+  // from -> to at simulated time `t` (seconds).
+  [[nodiscard]] virtual double factor(SiteId from, SiteId to,
+                                      double t) const = 0;
+};
+
+// Always 1.0 -- static network.
+class ConstantBandwidth final : public BandwidthModel {
+ public:
+  [[nodiscard]] double factor(SiteId, SiteId, double) const override {
+    return 1.0;
+  }
+};
+
+// A global step schedule applied to every link: (time, factor) pairs; the
+// factor of the last step at or before `t` applies. Used by the controlled
+// experiments (§8.4: halve all links at t=900, restore at t=1200).
+class SteppedBandwidth final : public BandwidthModel {
+ public:
+  explicit SteppedBandwidth(std::vector<std::pair<double, double>> steps);
+  [[nodiscard]] double factor(SiteId, SiteId, double t) const override;
+
+ private:
+  std::vector<std::pair<double, double>> steps_;  // sorted by time
+};
+
+// Per-link bounded geometric random walk, regenerated every `period` seconds
+// up to `horizon`; reproduces the Fig. 2-style variability and the §8.6 live
+// trace when configured with the paper's factor range.
+class RandomWalkBandwidth final : public BandwidthModel {
+ public:
+  struct Config {
+    double horizon_sec = 3600.0;
+    double period_sec = 300.0;  // links re-shuffle every ~5 min (Fig. 2)
+    double min_factor = 0.51;
+    double max_factor = 2.36;
+    double sigma = 0.25;  // per-step log-scale step size
+  };
+
+  // `num_sites` fixes the link index space; walks are independent per
+  // directed link and derived deterministically from `rng`.
+  RandomWalkBandwidth(std::size_t num_sites, const Config& config, Rng& rng);
+
+  [[nodiscard]] double factor(SiteId from, SiteId to, double t) const override;
+
+  // The full factor series of one link (used by the Fig. 2 bench).
+  [[nodiscard]] const std::vector<double>& link_series(SiteId from,
+                                                       SiteId to) const;
+
+ private:
+  [[nodiscard]] std::size_t link_index(SiteId from, SiteId to) const;
+
+  std::size_t num_sites_;
+  Config config_;
+  std::vector<std::vector<double>> factors_;  // [link][interval]
+};
+
+// Combines two models multiplicatively (e.g. a step schedule on top of
+// background variability).
+class ComposedBandwidth final : public BandwidthModel {
+ public:
+  ComposedBandwidth(std::shared_ptr<const BandwidthModel> a,
+                    std::shared_ptr<const BandwidthModel> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  [[nodiscard]] double factor(SiteId from, SiteId to, double t) const override {
+    return a_->factor(from, to, t) * b_->factor(from, to, t);
+  }
+
+ private:
+  std::shared_ptr<const BandwidthModel> a_;
+  std::shared_ptr<const BandwidthModel> b_;
+};
+
+}  // namespace wasp::net

@@ -1,0 +1,128 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/units.h"
+
+namespace wasp::net {
+
+Network::Network(Topology topology, std::shared_ptr<const BandwidthModel> model)
+    : topology_(std::move(topology)), model_(std::move(model)) {
+  assert(model_ != nullptr);
+}
+
+double Network::capacity(SiteId from, SiteId to, double t) const {
+  return topology_.base_bandwidth(from, to) * model_->factor(from, to, t);
+}
+
+FlowId Network::add_stream_flow(SiteId from, SiteId to) {
+  const FlowId id(next_flow_id_++);
+  flows_.emplace(id, Flow{id, from, to, FlowKind::kStream, 0.0, 0.0, 0.0,
+                          false});
+  return id;
+}
+
+FlowId Network::add_bulk_flow(SiteId from, SiteId to, double size_mb) {
+  const FlowId id(next_flow_id_++);
+  Flow f{id, from, to, FlowKind::kBulk, 0.0, 0.0, size_mb, size_mb <= 0.0};
+  flows_.emplace(id, f);
+  return id;
+}
+
+void Network::remove_flow(FlowId id) { flows_.erase(id); }
+
+void Network::set_stream_demand(FlowId id, double mbps) {
+  auto it = flows_.find(id);
+  assert(it != flows_.end());
+  assert(it->second.kind == FlowKind::kStream);
+  it->second.demand_mbps = std::max(0.0, mbps);
+}
+
+const Flow& Network::flow(FlowId id) const {
+  auto it = flows_.find(id);
+  assert(it != flows_.end());
+  return it->second;
+}
+
+bool Network::has_flow(FlowId id) const { return flows_.contains(id); }
+
+void Network::waterfill(std::vector<Flow*>& flows, double capacity) {
+  // Classic progressive filling. Bulk flows have unbounded demand and end up
+  // with an equal split of whatever streams leave unused.
+  double remaining = capacity;
+  std::vector<Flow*> active = flows;
+  for (Flow* f : active) f->allocated_mbps = 0.0;
+
+  while (!active.empty() && remaining > 1e-12) {
+    const double share = remaining / static_cast<double>(active.size());
+    bool anyone_satisfied = false;
+    std::vector<Flow*> still_active;
+    still_active.reserve(active.size());
+    for (Flow* f : active) {
+      const bool bounded = f->kind == FlowKind::kStream;
+      const double want = bounded ? f->demand_mbps - f->allocated_mbps
+                                  : std::numeric_limits<double>::infinity();
+      if (bounded && want <= share) {
+        f->allocated_mbps += want;
+        remaining -= want;
+        anyone_satisfied = true;
+      } else {
+        still_active.push_back(f);
+      }
+    }
+    if (!anyone_satisfied) {
+      // Everyone wants at least the equal share: split evenly and stop.
+      const double each =
+          remaining / static_cast<double>(still_active.size());
+      for (Flow* f : still_active) f->allocated_mbps += each;
+      remaining = 0.0;
+      break;
+    }
+    active = std::move(still_active);
+  }
+}
+
+void Network::step(double t, double dt) {
+  // Group flows by directed link; same-site flows get their full demand.
+  std::unordered_map<std::int64_t, std::vector<Flow*>> per_link;
+  const auto n = static_cast<std::int64_t>(topology_.num_sites());
+  for (auto& [id, f] : flows_) {
+    if (f.kind == FlowKind::kBulk && f.done) {
+      f.allocated_mbps = 0.0;
+      continue;
+    }
+    if (f.from == f.to) {
+      f.allocated_mbps = f.kind == FlowKind::kStream ? f.demand_mbps
+                                                     : kLocalBandwidthMbps;
+      continue;
+    }
+    per_link[f.from.value() * n + f.to.value()].push_back(&f);
+  }
+  for (auto& [key, flows] : per_link) {
+    const SiteId from(key / n);
+    const SiteId to(key % n);
+    waterfill(flows, capacity(from, to, t));
+  }
+
+  // Advance bulk transfers.
+  for (auto& [id, f] : flows_) {
+    if (f.kind != FlowKind::kBulk || f.done) continue;
+    f.remaining_mb -= mbps_to_mb_per_sec(f.allocated_mbps) * dt;
+    if (f.remaining_mb <= 1e-9) {
+      f.remaining_mb = 0.0;
+      f.done = true;
+    }
+  }
+}
+
+double Network::link_allocated(SiteId from, SiteId to) const {
+  double total = 0.0;
+  for (const auto& [id, f] : flows_) {
+    if (f.from == from && f.to == to) total += f.allocated_mbps;
+  }
+  return total;
+}
+
+}  // namespace wasp::net

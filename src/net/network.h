@@ -1,0 +1,84 @@
+// Network: topology + time-varying capacity + active flows.
+//
+// This is the simulator's data plane. Stream flows carry event streams
+// between stages; bulk flows carry checkpoint state during migration (§5).
+// Flows sharing a directed site-pair link split its current capacity by
+// max-min fairness, so a state migration naturally competes with (and slows)
+// the data streams crossing the same link -- a dynamic the paper's overhead
+// experiments (§8.7) depend on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/bandwidth_model.h"
+#include "net/topology.h"
+
+namespace wasp::net {
+
+enum class FlowKind {
+  kStream,  // continuous event stream; demand set each tick
+  kBulk,    // finite transfer (state migration); consumes all spare share
+};
+
+struct Flow {
+  FlowId id;
+  SiteId from;
+  SiteId to;
+  FlowKind kind = FlowKind::kStream;
+  double demand_mbps = 0.0;     // streams: offered load this tick
+  double allocated_mbps = 0.0;  // filled in by allocate()
+  double remaining_mb = 0.0;    // bulk only
+  bool done = false;            // bulk only
+};
+
+class Network {
+ public:
+  Network(Topology topology, std::shared_ptr<const BandwidthModel> model);
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  // Current capacity of the directed link from -> to (Mbps).
+  [[nodiscard]] double capacity(SiteId from, SiteId to, double t) const;
+
+  [[nodiscard]] double latency_ms(SiteId from, SiteId to) const {
+    return topology_.latency_ms(from, to);
+  }
+
+  // --- flow management -----------------------------------------------------
+
+  FlowId add_stream_flow(SiteId from, SiteId to);
+  FlowId add_bulk_flow(SiteId from, SiteId to, double size_mb);
+  void remove_flow(FlowId id);
+  void set_stream_demand(FlowId id, double mbps);
+
+  [[nodiscard]] const Flow& flow(FlowId id) const;
+  [[nodiscard]] bool has_flow(FlowId id) const;
+
+  // Computes the max-min fair allocation of every link's capacity at time
+  // `t` among its flows, then advances bulk transfers by `dt` seconds.
+  // Stream allocations are readable via flow().allocated_mbps until the next
+  // call.
+  void step(double t, double dt);
+
+  // Sum of allocated bandwidth on the directed link from -> to (Mbps) as of
+  // the last step(); used by monitors and tests.
+  [[nodiscard]] double link_allocated(SiteId from, SiteId to) const;
+
+  [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
+
+ private:
+  // Max-min fair share for the flows of one link given its capacity. Bulk
+  // flows are treated as having unbounded demand.
+  static void waterfill(std::vector<Flow*>& flows, double capacity);
+
+  Topology topology_;
+  std::shared_ptr<const BandwidthModel> model_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::int64_t next_flow_id_ = 0;
+};
+
+}  // namespace wasp::net

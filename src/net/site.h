@@ -1,0 +1,29 @@
+// Sites: the compute locations of the wide-area deployment.
+//
+// Matches the paper's testbed model (§8.2): a site is an edge cluster or a
+// data center offering a number of computing slots; each slot runs exactly
+// one task (§3.1). Compute heterogeneity across slots is abstracted away
+// (§7, "homogeneous compute power across slots") -- sites differ only in the
+// number of slots and their network connectivity.
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+
+namespace wasp::net {
+
+enum class SiteType { kEdge, kDataCenter };
+
+struct Site {
+  SiteId id;
+  std::string name;
+  SiteType type = SiteType::kDataCenter;
+  int slots = 0;
+};
+
+[[nodiscard]] inline const char* to_string(SiteType type) {
+  return type == SiteType::kEdge ? "edge" : "datacenter";
+}
+
+}  // namespace wasp::net

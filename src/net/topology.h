@@ -1,0 +1,69 @@
+// WAN topology: sites plus directed pair-wise base bandwidth and latency.
+//
+// The paper's testbed (§8.2, Fig. 7) is an overlay of 16 nodes -- 8 edge
+// (2-4 slots) and 8 data-center (8 slots) -- whose inter-site links were
+// configured from a 1-day EC2 measurement (data centers) and Akamai's public
+// Internet statistics (edges). `make_paper_testbed` regenerates a topology
+// with those distributions from a seed; `make_custom` supports arbitrary
+// setups for tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/site.h"
+
+namespace wasp::net {
+
+// Intra-site links are modeled as effectively unconstrained: co-located tasks
+// exchange data over the cluster fabric, which is never the bottleneck in
+// wide-area analytics (§2.2).
+inline constexpr double kLocalBandwidthMbps = 1e6;
+inline constexpr double kLocalLatencyMs = 0.1;
+
+class Topology {
+ public:
+  Topology() = default;
+
+  // Adds a site and returns its id (ids are dense, starting at 0).
+  SiteId add_site(std::string name, SiteType type, int slots);
+
+  // Sets the directed link properties from -> to.
+  void set_link(SiteId from, SiteId to, double bandwidth_mbps,
+                double latency_ms);
+
+  [[nodiscard]] std::size_t num_sites() const { return sites_.size(); }
+  [[nodiscard]] const Site& site(SiteId id) const;
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+
+  // Base (unvaried) bandwidth in Mbps from -> to. Same-site returns the
+  // local fabric constant.
+  [[nodiscard]] double base_bandwidth(SiteId from, SiteId to) const;
+
+  // One-way latency in milliseconds from -> to.
+  [[nodiscard]] double latency_ms(SiteId from, SiteId to) const;
+
+  [[nodiscard]] int total_slots() const;
+
+  // The 16-node testbed of §8.2: 8 edge sites (2-4 slots) with public-
+  // Internet-like links, 8 data centers (8 slots) with EC2-like links
+  // (Fig. 7 distributions). Deterministic given `rng`.
+  static Topology make_paper_testbed(Rng& rng);
+
+  // A small symmetric clique for unit tests: `n` sites with `slots` slots
+  // each, all links `bandwidth_mbps` / `latency_ms`.
+  static Topology make_uniform(int n, int slots, double bandwidth_mbps,
+                               double latency_ms);
+
+ private:
+  [[nodiscard]] std::size_t index(SiteId id) const;
+
+  std::vector<Site> sites_;
+  // Dense row-major matrices indexed [from * n + to]; resized on add_site.
+  std::vector<double> bandwidth_;
+  std::vector<double> latency_;
+};
+
+}  // namespace wasp::net

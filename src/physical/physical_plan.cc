@@ -1,0 +1,228 @@
+#include "physical/physical_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.h"
+
+namespace wasp::physical {
+
+StageId PhysicalPlan::add_stage(OperatorId op, StagePlacement placement) {
+  const StageId id(static_cast<std::int64_t>(stages_.size()));
+  stages_.push_back(Stage{id, op, std::move(placement)});
+  by_op_.emplace(op, id);
+  return id;
+}
+
+const Stage& PhysicalPlan::stage(StageId id) const {
+  return stages_[static_cast<std::size_t>(id.value())];
+}
+
+Stage& PhysicalPlan::mutable_stage(StageId id) {
+  return stages_[static_cast<std::size_t>(id.value())];
+}
+
+const Stage& PhysicalPlan::stage_for(OperatorId op) const {
+  const auto it = by_op_.find(op);
+  assert(it != by_op_.end());
+  return stage(it->second);
+}
+
+Stage& PhysicalPlan::mutable_stage_for(OperatorId op) {
+  const auto it = by_op_.find(op);
+  assert(it != by_op_.end());
+  return mutable_stage(it->second);
+}
+
+bool PhysicalPlan::has_stage_for(OperatorId op) const {
+  return by_op_.contains(op);
+}
+
+int PhysicalPlan::total_tasks() const {
+  int total = 0;
+  for (const Stage& s : stages_) total += s.parallelism();
+  return total;
+}
+
+namespace {
+
+// NetworkView decorator that deducts slots AND link bandwidth as stages are
+// placed: stage k+1 must not count on capacity stage k's streams already
+// claimed (stages of one plan share links).
+class DeductingView final : public NetworkView {
+ public:
+  explicit DeductingView(const NetworkView& base)
+      : base_(base), used_(base.num_sites(), 0) {}
+
+  [[nodiscard]] std::size_t num_sites() const override {
+    return base_.num_sites();
+  }
+  [[nodiscard]] double available_mbps(SiteId from, SiteId to) const override {
+    const auto it = used_mbps_.find(
+        from.value() * static_cast<std::int64_t>(base_.num_sites()) +
+        to.value());
+    const double used = it != used_mbps_.end() ? it->second : 0.0;
+    return std::max(0.0, base_.available_mbps(from, to) - used);
+  }
+  [[nodiscard]] double latency_ms(SiteId from, SiteId to) const override {
+    return base_.latency_ms(from, to);
+  }
+  [[nodiscard]] int available_slots(SiteId site) const override {
+    return base_.available_slots(site) -
+           used_[static_cast<std::size_t>(site.value())];
+  }
+
+  void consume(const StagePlacement& placement) {
+    for (std::size_t s = 0; s < placement.per_site.size(); ++s) {
+      used_[s] += placement.per_site[s];
+    }
+  }
+
+  // Claims the WAN bandwidth of the traffic each endpoint sends to (or
+  // receives from) the newly-placed stage, split per the placement shares.
+  void consume_traffic(const std::vector<TrafficEndpoint>& endpoints,
+                       const StagePlacement& placement, bool inbound) {
+    const int p = placement.parallelism();
+    if (p == 0) return;
+    const auto n = static_cast<std::int64_t>(base_.num_sites());
+    for (const auto& e : endpoints) {
+      for (SiteId s : placement.sites()) {
+        if (s == e.site) continue;
+        const double share = static_cast<double>(placement.at(s)) / p;
+        const double mbps = stream_mbps(e.events_per_sec * share,
+                                        e.event_bytes);
+        const std::int64_t key = inbound ? e.site.value() * n + s.value()
+                                         : s.value() * n + e.site.value();
+        used_mbps_[key] += mbps;
+      }
+    }
+  }
+
+ private:
+  const NetworkView& base_;
+  std::vector<int> used_;
+  std::unordered_map<std::int64_t, double> used_mbps_;
+};
+
+// Per-site emission rates of a placed stage: balanced partitioning splits
+// the operator's output evenly over its tasks (§7).
+std::vector<TrafficEndpoint> stage_endpoints(const Stage& stage,
+                                             double output_eps,
+                                             double event_bytes) {
+  std::vector<TrafficEndpoint> out;
+  const int p = stage.parallelism();
+  if (p == 0) return out;
+  for (SiteId site : stage.placement.sites()) {
+    const double share =
+        static_cast<double>(stage.placement.at(site)) / static_cast<double>(p);
+    out.push_back(TrafficEndpoint{site, output_eps * share, event_bytes});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<PlanPlacement> place_plan(
+    const query::LogicalPlan& logical,
+    const std::unordered_map<OperatorId, query::OperatorRates>& rates,
+    const std::unordered_map<OperatorId, int>& parallelism,
+    const NetworkView& view, const Scheduler& scheduler,
+    int max_parallelism_fallback) {
+  PlanPlacement result;
+  DeductingView working_view(view);
+
+  // Pinned stages occupy their slots unconditionally; reserve them up front
+  // so no unpinned stage is placed into a slot a later pinned stage needs.
+  // Sources are external-stream adapters and take no slot (matching
+  // Engine::slots_in_use).
+  std::unordered_map<OperatorId, StagePlacement> pinned;
+  for (const auto& op : logical.operators()) {
+    if (op.pinned_sites.empty()) continue;
+    StagePlacement placement;
+    placement.per_site.resize(view.num_sites(), 0);
+    for (SiteId s : op.pinned_sites) {
+      ++placement.per_site[static_cast<std::size_t>(s.value())];
+    }
+    if (!op.is_source()) working_view.consume(placement);
+    pinned.emplace(op.id, std::move(placement));
+  }
+
+  for (OperatorId op_id : logical.topological_order()) {
+    const query::LogicalOperator& op = logical.op(op_id);
+
+    if (const auto it = pinned.find(op_id); it != pinned.end()) {
+      result.plan.add_stage(op_id, it->second);
+      continue;
+    }
+
+    StageContext ctx;
+    ctx.parallelism = 1;
+    if (const auto it = parallelism.find(op_id); it != parallelism.end()) {
+      ctx.parallelism = std::max(1, it->second);
+    }
+    ctx.pinned_sites = op.pinned_sites;
+
+    // Upstream endpoints come from already-placed stages (topological order
+    // guarantees they exist).
+    for (OperatorId u : logical.upstream(op_id)) {
+      const query::LogicalOperator& up_op = logical.op(u);
+      const Stage& up_stage = result.plan.stage_for(u);
+      for (auto& e : stage_endpoints(up_stage, rates.at(u).output_eps,
+                                     up_op.output_event_bytes)) {
+        ctx.upstream.push_back(e);
+      }
+    }
+    // Downstream endpoints: only pinned operators are known ahead of their
+    // placement (initial deployment is one-stage-at-a-time, §4.1).
+    for (OperatorId d : logical.downstream(op_id)) {
+      const query::LogicalOperator& down_op = logical.op(d);
+      if (down_op.pinned_sites.empty()) continue;
+      const double out_eps = rates.at(op_id).output_eps /
+                             static_cast<double>(down_op.pinned_sites.size());
+      for (SiteId s : down_op.pinned_sites) {
+        ctx.downstream.push_back(
+            TrafficEndpoint{s, out_eps, op.output_event_bytes});
+      }
+    }
+
+    auto outcome = scheduler.place_stage(ctx, working_view);
+    if (!outcome.has_value() && ctx.pinned_sites.empty() &&
+        max_parallelism_fallback > ctx.parallelism) {
+      outcome = scheduler.place_with_min_parallelism(
+          ctx, working_view, ctx.parallelism + 1, max_parallelism_fallback);
+    }
+    if (!outcome.has_value()) return std::nullopt;
+    working_view.consume(outcome->placement);
+    working_view.consume_traffic(ctx.upstream, outcome->placement,
+                                 /*inbound=*/true);
+    working_view.consume_traffic(ctx.downstream, outcome->placement,
+                                 /*inbound=*/false);
+    result.plan.add_stage(op_id, outcome->placement);
+    result.objective += outcome->objective;
+  }
+
+  // Estimated WAN consumption: for every logical edge, traffic between
+  // non-co-located task sites.
+  for (const Stage& stage : result.plan.stages()) {
+    const query::LogicalOperator& op = logical.op(stage.op);
+    for (OperatorId d : logical.downstream(stage.op)) {
+      const Stage& down = result.plan.stage_for(d);
+      const double out_eps = rates.at(stage.op).output_eps;
+      const int p_up = stage.parallelism();
+      const int p_down = down.parallelism();
+      if (p_up == 0 || p_down == 0) continue;
+      for (SiteId su : stage.placement.sites()) {
+        for (SiteId sd : down.placement.sites()) {
+          if (su == sd) continue;
+          const double share =
+              (static_cast<double>(stage.placement.at(su)) / p_up) *
+              (static_cast<double>(down.placement.at(sd)) / p_down);
+          result.wan_mbps += stream_mbps(out_eps * share, op.output_event_bytes);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wasp::physical

@@ -1,0 +1,20 @@
+#include "physical/placement.h"
+
+#include <cassert>
+
+namespace wasp::physical {
+
+PlacementDiff diff_placements(const StagePlacement& from,
+                              const StagePlacement& to) {
+  assert(from.per_site.size() == to.per_site.size());
+  PlacementDiff diff;
+  for (std::size_t s = 0; s < from.per_site.size(); ++s) {
+    const int delta = to.per_site[s] - from.per_site[s];
+    const SiteId site(static_cast<std::int64_t>(s));
+    if (delta < 0) diff.drain.emplace_back(site, -delta);
+    if (delta > 0) diff.fill.emplace_back(site, delta);
+  }
+  return diff;
+}
+
+}  // namespace wasp::physical

@@ -1,0 +1,143 @@
+#include "physical/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/units.h"
+#include "ilp/branch_and_bound.h"
+#include "lp/problem.h"
+
+namespace wasp::physical {
+namespace {
+
+// Builds and solves the Eq. 1-5 ILP. One integer variable per site.
+std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
+                                          const NetworkView& view,
+                                          double alpha,
+                                          const std::vector<int>& extra_slots) {
+  const std::size_t m = view.num_sites();
+  const double p = static_cast<double>(ctx.parallelism);
+  assert(ctx.parallelism >= 1);
+
+  lp::Problem problem(lp::Sense::kMinimize);
+
+  // Objective: Σ_s p[s] · (Σ_u w_u ℓ_su + Σ_d w_d ℓ_ds), with endpoint
+  // weights proportional to the traffic they exchange with the stage
+  // (Eq. 1, traffic-weighted).
+  double total_up = 0.0, total_down = 0.0;
+  for (const auto& u : ctx.upstream) total_up += u.events_per_sec;
+  for (const auto& d : ctx.downstream) total_down += d.events_per_sec;
+
+  std::vector<std::size_t> vars;
+  for (std::size_t s = 0; s < m; ++s) {
+    const SiteId site(static_cast<std::int64_t>(s));
+    double cost = 0.0;
+    for (const auto& u : ctx.upstream) {
+      const double w = total_up > 0.0 ? u.events_per_sec / total_up : 1.0;
+      cost += w * view.latency_ms(u.site, site);
+    }
+    for (const auto& d : ctx.downstream) {
+      const double w = total_down > 0.0 ? d.events_per_sec / total_down : 1.0;
+      cost += w * view.latency_ms(site, d.site);
+    }
+    int slots = view.available_slots(site);
+    if (s < extra_slots.size()) slots += extra_slots[s];
+    const int lo = s < ctx.min_per_site.size() ? ctx.min_per_site[s] : 0;
+    // Constraint (4): lo <= p[s] <= A[s].
+    if (lo > slots) return std::nullopt;  // pinned floor exceeds capacity
+    vars.push_back(problem.add_variable(cost, lo, std::max(0, slots)));
+  }
+
+  // Constraint (5): Σ p[s] = p.
+  {
+    lp::Constraint total;
+    total.type = lp::RowType::kEq;
+    total.rhs = p;
+    for (std::size_t s = 0; s < m; ++s) {
+      total.vars.push_back(vars[s]);
+      total.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(total));
+  }
+
+  // Constraints (2) and (3): per (site, neighbor-site) bandwidth caps. Each
+  // becomes an upper bound on p[s]:
+  //   p[s]/p · traffic(u) < α · B(u -> s)   =>   p[s] < p·α·B / traffic.
+  // We fold all caps for a site into the tightest one and tighten the
+  // variable's upper bound, which keeps the ILP small.
+  for (std::size_t s = 0; s < m; ++s) {
+    const SiteId site(static_cast<std::int64_t>(s));
+    double cap = static_cast<double>(ctx.parallelism);
+    auto apply = [&](double traffic_eps, double event_bytes, double bw_mbps) {
+      const double demand = stream_mbps(traffic_eps, event_bytes);
+      if (demand <= 0.0) return;
+      if (bw_mbps <= 0.0) {
+        cap = 0.0;
+        return;
+      }
+      // Strict inequality in the paper; emulate with a tiny epsilon.
+      cap = std::min(cap, p * alpha * bw_mbps / demand - 1e-9);
+    };
+    for (const auto& u : ctx.upstream) {
+      if (u.site == site) continue;  // co-located: no WAN traffic
+      apply(u.events_per_sec, u.event_bytes,
+            view.available_mbps(u.site, site));
+    }
+    for (const auto& d : ctx.downstream) {
+      if (d.site == site) continue;
+      apply(d.events_per_sec, d.event_bytes,
+            view.available_mbps(site, d.site));
+    }
+    if (cap < static_cast<double>(ctx.parallelism)) {
+      const double hi = std::max(0.0, std::floor(cap));
+      const double existing_lo = problem.lower_bounds()[vars[s]];
+      const double existing_hi = problem.upper_bounds()[vars[s]];
+      const double new_hi = std::min(existing_hi, hi);
+      if (new_hi < existing_lo) return std::nullopt;  // floor unsatisfiable
+      problem.set_bounds(vars[s], existing_lo, new_hi);
+    }
+  }
+
+  const ilp::IlpResult result = ilp::solve(problem, vars);
+  if (!result.optimal()) return std::nullopt;
+
+  PlacementOutcome outcome;
+  outcome.placement.per_site.resize(m, 0);
+  for (std::size_t s = 0; s < m; ++s) {
+    outcome.placement.per_site[s] =
+        static_cast<int>(std::lround(result.values[vars[s]]));
+  }
+  outcome.objective = result.objective;
+  return outcome;
+}
+
+}  // namespace
+
+std::optional<PlacementOutcome> Scheduler::place_stage(
+    const StageContext& context, const NetworkView& view,
+    const std::vector<int>& extra_slots) const {
+  if (!context.pinned_sites.empty()) {
+    // Pinned stages (sources/sinks) bypass the ILP: one task per pin.
+    PlacementOutcome outcome;
+    outcome.placement.per_site.resize(view.num_sites(), 0);
+    for (SiteId s : context.pinned_sites) {
+      ++outcome.placement.per_site[static_cast<std::size_t>(s.value())];
+    }
+    return outcome;
+  }
+  return solve_ilp(context, view, config_.alpha, extra_slots);
+}
+
+std::optional<PlacementOutcome> Scheduler::place_with_min_parallelism(
+    const StageContext& context, const NetworkView& view, int min_parallelism,
+    int max_parallelism) const {
+  StageContext ctx = context;
+  for (int p = std::max(1, min_parallelism); p <= max_parallelism; ++p) {
+    ctx.parallelism = p;
+    if (auto outcome = place_stage(ctx, view)) return outcome;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wasp::physical

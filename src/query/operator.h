@@ -1,0 +1,94 @@
+// Logical stream operators.
+//
+// A query's logical plan is a DAG of these operators (§2.1). Each operator
+// carries the parameters the simulator and the adaptation layer need:
+//
+//  - selectivity σ: output events per input event (§3.2); for joins it is
+//    applied to the combined input rate,
+//  - per-slot processing capacity: how many events/s one task (one computing
+//    slot) sustains -- the compute-bottleneck knob,
+//  - output event size: converts event rates into WAN bandwidth demand,
+//  - state spec: whether the operator is stateful and how its state grows,
+//    which gates query re-planning (§4.3) and prices migration (§5),
+//  - splittable: whether parallelizing preserves semantics; a global counter
+//    or sink does not split without a combiner, so WASP re-plans instead of
+//    scaling it (§6.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace wasp::query {
+
+enum class OperatorKind {
+  kSource,
+  kFilter,
+  kMap,
+  kProject,
+  kUnion,
+  kWindowAggregate,  // keyed tumbling-window aggregation
+  kJoin,             // binary, commutative hash join
+  kTopK,             // windowed top-k reduction
+  kSink,
+};
+
+[[nodiscard]] const char* to_string(OperatorKind kind);
+
+// How an operator's output is routed to a downstream stage's tasks.
+//  - kHash: balanced partitioning over all downstream tasks (§7's default).
+//  - kForward: task-local forwarding, as with Flink's operator chaining --
+//    each task feeds the downstream task co-located at its own site. Used
+//    for source -> pre-filter edges so raw events never cross the WAN.
+//    Falls back to hash routing toward sites where the downstream stage has
+//    no co-located tasks.
+enum class Partitioning { kHash, kForward };
+
+// Tumbling-window specification; length 0 means "not windowed".
+struct WindowSpec {
+  double length_sec = 0.0;
+  [[nodiscard]] bool windowed() const { return length_sec > 0.0; }
+};
+
+// How operator state evolves. Total state per operator is
+//   base_mb + mb_per_kevent * (events buffered in the open window / 1000)
+// split evenly across the operator's tasks (balanced partitioning, §7).
+// `fixed_mb` > 0 pins the state to a constant size -- used by the §8.7
+// controlled-state experiments.
+struct StateSpec {
+  bool stateful = false;
+  double base_mb = 0.0;
+  double mb_per_kevent = 0.0;
+  double fixed_mb = -1.0;
+
+  [[nodiscard]] static StateSpec stateless() { return {}; }
+  [[nodiscard]] static StateSpec windowed(double base_mb,
+                                          double mb_per_kevent) {
+    return {true, base_mb, mb_per_kevent, -1.0};
+  }
+  [[nodiscard]] static StateSpec fixed(double mb) {
+    return {true, 0.0, 0.0, mb};
+  }
+};
+
+struct LogicalOperator {
+  OperatorId id;
+  std::string name;
+  OperatorKind kind = OperatorKind::kMap;
+  double selectivity = 1.0;
+  double output_event_bytes = 100.0;
+  double events_per_sec_per_slot = 50'000.0;
+  WindowSpec window;
+  StateSpec state;
+  Partitioning output_partitioning = Partitioning::kHash;
+  bool splittable = true;
+  // Sources/sinks are pinned where the data lives / results are consumed.
+  std::vector<SiteId> pinned_sites;
+
+  [[nodiscard]] bool is_source() const { return kind == OperatorKind::kSource; }
+  [[nodiscard]] bool is_sink() const { return kind == OperatorKind::kSink; }
+  [[nodiscard]] bool stateful() const { return state.stateful; }
+};
+
+}  // namespace wasp::query

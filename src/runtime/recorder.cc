@@ -1,0 +1,22 @@
+#include "runtime/recorder.h"
+
+namespace wasp::runtime {
+
+void Recorder::record_tick(double t, double delay_sec, double ratio,
+                           double parallelism_factor, double backlog_events,
+                           double generated, double admitted, double dropped) {
+  delay_.add(t, delay_sec);
+  ratio_.add(t, ratio);
+  parallelism_.add(t, parallelism_factor);
+  backlog_.add(t, backlog_events);
+  if (admitted > 0.0) delay_hist_.add(delay_sec, admitted);
+  total_generated_ += generated;
+  total_processed_ += admitted;
+  total_dropped_ += dropped;
+}
+
+double Recorder::processed_fraction() const {
+  return total_generated_ > 0.0 ? total_processed_ / total_generated_ : 1.0;
+}
+
+}  // namespace wasp::runtime

@@ -1,0 +1,81 @@
+// Experiment metric recorder.
+//
+// Collects, per tick, the series the paper's figures plot -- delay,
+// processing ratio, parallelism -- plus the event-weighted delay histogram
+// (for CDFs / percentiles), cumulative event accounting (processed-events
+// percentages, Fig. 12a), and a log of adaptation events with measured
+// transition and stabilization times (the §8.7 overhead breakdown).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/ids.h"
+#include "common/time_series.h"
+
+namespace wasp::runtime {
+
+struct AdaptationEvent {
+  double decided_at = 0.0;
+  double transition_end = -1.0;   // when the new deployment resumed
+  double stabilized_at = -1.0;    // when backlog returned to steady state
+  std::string kind;               // "re-assign", "scale-out", ...
+  std::string reason;
+  double estimated_transition_sec = 0.0;
+  double migrated_mb = 0.0;
+
+  [[nodiscard]] double transition_sec() const {
+    return transition_end >= 0.0 ? transition_end - decided_at : 0.0;
+  }
+  [[nodiscard]] double stabilize_sec() const {
+    return stabilized_at >= 0.0 && transition_end >= 0.0
+               ? stabilized_at - transition_end
+               : 0.0;
+  }
+};
+
+class Recorder {
+ public:
+  Recorder()
+      : delay_("delay_s"),
+        ratio_("processing_ratio"),
+        parallelism_("parallelism_x"),
+        backlog_("backlog_events") {}
+
+  void record_tick(double t, double delay_sec, double ratio,
+                   double parallelism_factor, double backlog_events,
+                   double generated, double admitted, double dropped);
+
+  [[nodiscard]] const TimeSeries& delay() const { return delay_; }
+  [[nodiscard]] const TimeSeries& ratio() const { return ratio_; }
+  [[nodiscard]] const TimeSeries& parallelism() const { return parallelism_; }
+  [[nodiscard]] const TimeSeries& backlog() const { return backlog_; }
+  [[nodiscard]] const WeightedHistogram& delay_histogram() const {
+    return delay_hist_;
+  }
+
+  [[nodiscard]] double total_generated() const { return total_generated_; }
+  [[nodiscard]] double total_processed() const { return total_processed_; }
+  [[nodiscard]] double total_dropped() const { return total_dropped_; }
+  // Fraction of generated events the query actually processed (Fig. 12a).
+  [[nodiscard]] double processed_fraction() const;
+
+  std::vector<AdaptationEvent>& events() { return events_; }
+  [[nodiscard]] const std::vector<AdaptationEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  TimeSeries delay_;
+  TimeSeries ratio_;
+  TimeSeries parallelism_;
+  TimeSeries backlog_;
+  WeightedHistogram delay_hist_;
+  double total_generated_ = 0.0;
+  double total_processed_ = 0.0;
+  double total_dropped_ = 0.0;
+  std::vector<AdaptationEvent> events_;
+};
+
+}  // namespace wasp::runtime

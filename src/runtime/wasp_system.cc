@@ -1,0 +1,438 @@
+#include "runtime/wasp_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.h"
+#include "physical/physical_plan.h"
+
+namespace wasp::runtime {
+
+const char* to_string(AdaptationMode mode) {
+  switch (mode) {
+    case AdaptationMode::kNoAdapt:
+      return "no-adapt";
+    case AdaptationMode::kDegrade:
+      return "degrade";
+    case AdaptationMode::kWasp:
+      return "wasp";
+    case AdaptationMode::kReassignOnly:
+      return "re-assign";
+    case AdaptationMode::kScaleOnly:
+      return "scale";
+    case AdaptationMode::kReplanOnly:
+      return "re-plan";
+    case AdaptationMode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+// The control plane's network view: bandwidth from the (noisy, periodically
+// refreshed) WAN monitor, latency from the topology (stable, measured once),
+// slots from live accounting minus failed sites.
+class WaspSystem::MonitorView final : public physical::NetworkView {
+ public:
+  MonitorView(const WaspSystem& system) : system_(system) {}
+
+  [[nodiscard]] std::size_t num_sites() const override {
+    return system_.network_.topology().num_sites();
+  }
+  [[nodiscard]] double available_mbps(SiteId from, SiteId to) const override {
+    return system_.wan_monitor_.available(from, to);
+  }
+  [[nodiscard]] double latency_ms(SiteId from, SiteId to) const override {
+    return system_.network_.latency_ms(from, to);
+  }
+  [[nodiscard]] int available_slots(SiteId site) const override {
+    const auto s = static_cast<std::size_t>(site.value());
+    if (system_.engine_ != nullptr && system_.engine_->site_failed(site)) {
+      return 0;
+    }
+    int used = 0;
+    if (system_.engine_ != nullptr) {
+      used = system_.engine_->slots_in_use()[s];
+    }
+    if (system_.config_.peer_slot_usage) {
+      const auto peers = system_.config_.peer_slot_usage();
+      if (s < peers.size()) used += peers[s];
+    }
+    return system_.network_.topology().sites()[s].slots - used;
+  }
+
+ private:
+  const WaspSystem& system_;
+};
+
+WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
+                       const workload::WorkloadPattern& pattern,
+                       SystemConfig config)
+    : network_(network),
+      pattern_(pattern),
+      config_(config),
+      rng_(config.seed),
+      wan_monitor_(network, config.wan_monitor, Rng(config.seed ^ 0x9E37)),
+      scheduler_(config.scheduler),
+      planner_() {
+  // Map the adaptation mode onto the policy switches (§8.5 baselines).
+  adapt::AdaptationPolicy::Config pc = config_.policy;
+  switch (config_.mode) {
+    case AdaptationMode::kNoAdapt:
+    case AdaptationMode::kDegrade:
+      pc.allow_reassign = pc.allow_scale = pc.allow_replan = false;
+      break;
+    case AdaptationMode::kWasp:
+    case AdaptationMode::kHybrid:
+      break;
+    case AdaptationMode::kReassignOnly:
+      pc.allow_scale = false;
+      pc.allow_replan = false;
+      break;
+    case AdaptationMode::kScaleOnly:
+      pc.allow_replan = false;
+      break;
+    case AdaptationMode::kReplanOnly:
+      pc.allow_reassign = false;
+      pc.allow_scale = false;
+      break;
+  }
+  policy_ = std::make_unique<adapt::AdaptationPolicy>(
+      pc, scheduler_, planner_,
+      state::MigrationPlanner(config_.migration, rng_.fork()),
+      adapt::Diagnoser(config_.diagnoser));
+
+  config_.engine.tick_sec = config_.tick_sec;
+  config_.engine.degrade = config_.mode == AdaptationMode::kDegrade ||
+                           config_.mode == AdaptationMode::kHybrid;
+  config_.engine.slo_sec = config_.slo_sec;
+
+  for (OperatorId src : spec.plan.sources()) {
+    pattern_source_ids_.emplace(spec.plan.op(src).name, src);
+  }
+  deploy(std::move(spec));
+}
+
+WaspSystem::~WaspSystem() = default;
+
+void WaspSystem::deploy(workload::QuerySpec spec) {
+  // Initial WAN measurement so the scheduler has bandwidth estimates.
+  wan_monitor_.probe_now(0.0);
+  const MonitorView view(*this);
+
+  // Source rates at t = 0 drive the deployment-time cost model.
+  auto source_rates_for = [&](const query::LogicalPlan& plan) {
+    std::unordered_map<OperatorId, double> rates;
+    for (OperatorId src : plan.sources()) {
+      const auto it = pattern_source_ids_.find(plan.op(src).name);
+      double total = 0.0;
+      if (it != pattern_source_ids_.end()) {
+        for (SiteId site : plan.op(src).pinned_sites) {
+          total += pattern_.rate(it->second, site, 0.0);
+        }
+      }
+      rates[src] = total;
+    }
+    return rates;
+  };
+
+  // Joint plan/placement optimization: price every candidate logical plan
+  // and deploy the cheapest (Fig. 1 pipeline; §4.3).
+  std::optional<query::LogicalPlan> best_logical;
+  std::optional<physical::PlanPlacement> best_placed;
+  double best_cost = 0.0;
+  for (query::LogicalPlan& candidate : planner_.enumerate(spec.plan)) {
+    const auto src_rates = source_rates_for(candidate);
+    const auto rates = candidate.estimate_rates(src_rates);
+    std::unordered_map<OperatorId, int> parallelism;  // default p = 1
+    auto placed = physical::place_plan(candidate, rates, parallelism, view,
+                                       scheduler_, config_.policy.p_max);
+    if (!placed.has_value()) continue;
+    const double cost =
+        adapt::estimate_plan_cost(candidate, placed->plan, rates, view,
+                                  scheduler_.config().alpha);
+    if (!best_logical.has_value() || cost < best_cost) {
+      best_cost = cost;
+      best_logical = std::move(candidate);
+      best_placed = std::move(placed);
+    }
+  }
+  // Fall back to the original plan with greedy feasibility relaxation: place
+  // every unpinned stage at the least-loaded data center.
+  if (!best_logical.has_value()) {
+    log(LogLevel::kWarn,
+        "no WAN-feasible initial placement; using fallback deployment");
+    physical::PhysicalPlan fallback;
+    // Least-loaded site by slots.
+    SiteId hub;
+    int best_slots = -1;
+    for (const auto& site : network_.topology().sites()) {
+      if (site.slots > best_slots) {
+        best_slots = site.slots;
+        hub = site.id;
+      }
+    }
+    for (OperatorId id : spec.plan.topological_order()) {
+      const auto& op = spec.plan.op(id);
+      physical::StagePlacement placement;
+      placement.per_site.assign(network_.topology().num_sites(), 0);
+      if (!op.pinned_sites.empty()) {
+        for (SiteId s : op.pinned_sites) {
+          ++placement.per_site[static_cast<std::size_t>(s.value())];
+        }
+      } else {
+        placement.per_site[static_cast<std::size_t>(hub.value())] = 1;
+      }
+      fallback.add_stage(id, placement);
+    }
+    best_logical = std::move(spec.plan);
+    best_placed = physical::PlanPlacement{std::move(fallback), 0.0, 0.0};
+  }
+
+  engine_ = std::make_unique<engine::Engine>(
+      std::move(*best_logical), std::move(best_placed->plan), network_,
+      config_.engine);
+  initial_tasks_ = engine_->physical_plan().total_tasks();
+  apply_workload();
+}
+
+void WaspSystem::apply_workload() {
+  const query::LogicalPlan& plan = engine_->logical();
+  for (OperatorId src : plan.sources()) {
+    const auto it = pattern_source_ids_.find(plan.op(src).name);
+    if (it == pattern_source_ids_.end()) continue;
+    for (SiteId site : plan.op(src).pinned_sites) {
+      engine_->set_source_rate(src, site, pattern_.rate(it->second, site, now_));
+    }
+  }
+}
+
+std::vector<int> WaspSystem::free_slots() const {
+  const auto used = engine_->slots_in_use();
+  std::vector<int> free(used.size(), 0);
+  for (std::size_t s = 0; s < used.size(); ++s) {
+    free[s] = network_.topology().sites()[s].slots - used[s];
+  }
+  return free;
+}
+
+void WaspSystem::step(bool drive_network) {
+  now_ += config_.tick_sec;
+  apply_workload();
+  wan_monitor_.tick(now_);
+  if (drive_network) network_.step(now_, config_.tick_sec);
+  engine_->tick(now_);
+  metric_monitor_.observe(*engine_, now_);
+
+  if (transition_.has_value()) {
+    // Migration complete when every bulk flow has drained and the minimum
+    // redeploy pause elapsed.
+    bool done = now_ - transition_->started_at >= config_.redeploy_sec;
+    for (FlowId f : transition_->bulk_flows) {
+      if (network_.has_flow(f) && !network_.flow(f).done) done = false;
+    }
+    if (done) finalize_transition();
+  } else if (pending_boundary_.has_value()) {
+    // A boundary-aligned re-plan waits for the orphaned window's state to
+    // re-initialize (§4.3).
+    const double w = pending_boundary_->boundary_window_sec;
+    if (std::fmod(now_, w) < config_.tick_sec) {
+      std::vector<adapt::AdaptationAction> actions;
+      actions.push_back(std::move(*pending_boundary_));
+      pending_boundary_.reset();
+      begin_transition(std::move(actions));
+    }
+  } else {
+    maybe_adapt();
+  }
+  watch_stabilization();
+
+  const auto& m = engine_->last_tick();
+  recorder_.record_tick(
+      now_, m.delay_sec, m.processing_ratio,
+      initial_tasks_ > 0
+          ? static_cast<double>(engine_->physical_plan().total_tasks()) /
+                initial_tasks_
+          : 1.0,
+      engine_->source_backlog_events(), m.generated_eps * config_.tick_sec,
+      m.admitted_eps * config_.tick_sec, m.dropped_eps * config_.tick_sec);
+}
+
+void WaspSystem::run_until(double t_end) {
+  while (now_ + config_.tick_sec <= t_end + 1e-9) step();
+}
+
+void WaspSystem::maybe_adapt() {
+  if (config_.mode == AdaptationMode::kNoAdapt ||
+      config_.mode == AdaptationMode::kDegrade) {
+    return;
+  }
+  if (now_ - last_decision_ < config_.monitoring_interval_sec) return;
+  last_decision_ = now_;
+
+  const MonitorView view(*this);
+  policy_->set_now(now_);
+  std::vector<adapt::AdaptationAction> actions =
+      policy_->decide_all(*engine_, metric_monitor_, view);
+
+  // §6.2 long-term dynamics: with nothing broken, periodically check in the
+  // background whether a different plan-placement pair now fits the (slowly
+  // shifting) workload better.
+  if (actions.empty() && config_.background_replan_interval_sec > 0.0 &&
+      now_ - last_background_replan_ >=
+          config_.background_replan_interval_sec) {
+    last_background_replan_ = now_;
+    adapt::AdaptationAction replan = policy_->consider_replan(
+        *engine_, metric_monitor_, view, "periodic background re-evaluation");
+    if (replan.kind != adapt::ActionKind::kNone) {
+      actions.push_back(std::move(replan));
+    }
+  }
+  metric_monitor_.reset_window();
+  if (actions.empty()) return;
+  for (const auto& action : actions) {
+    log(LogLevel::kInfo, "t=", now_, " adaptation: ", to_string(action.kind),
+        " (", action.reason, "), est transition ",
+        action.estimated_transition_sec, "s");
+  }
+  if (actions.size() == 1 &&
+      actions[0].kind == adapt::ActionKind::kReplan &&
+      actions[0].boundary_window_sec > 0.0) {
+    pending_boundary_ = std::move(actions[0]);
+    return;
+  }
+  begin_transition(std::move(actions));
+}
+
+void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions) {
+  assert(!actions.empty());
+  Transition transition;
+  transition.started_at = now_;
+  pre_transition_delay_ = engine_->last_tick().delay_sec;
+
+  for (adapt::AdaptationAction& action : actions) {
+    AdaptationEvent event;
+    event.decided_at = now_;
+    event.kind = to_string(action.kind);
+    event.reason = action.reason;
+    event.estimated_transition_sec = action.estimated_transition_sec;
+    for (const auto& move : action.migration.moves) {
+      event.migrated_mb += move.size_mb;
+    }
+    recorder_.events().push_back(event);
+    transition.event_indices.push_back(recorder_.events().size() - 1);
+
+    // Halt the affected execution (§4.1 step 1) and launch the state
+    // transfers as bulk flows that share the WAN with the data plane.
+    if (action.kind == adapt::ActionKind::kReplan) {
+      engine_->suspend_all();
+    } else {
+      engine_->suspend_stage(action.op);
+    }
+    for (const auto& move : action.migration.moves) {
+      transition.bulk_flows.push_back(
+          network_.add_bulk_flow(move.from, move.to, move.size_mb));
+    }
+  }
+  transition.actions = std::move(actions);
+  transition_ = std::move(transition);
+}
+
+void WaspSystem::finalize_transition() {
+  assert(transition_.has_value());
+
+  for (FlowId f : transition_->bulk_flows) {
+    if (network_.has_flow(f)) network_.remove_flow(f);
+  }
+
+  for (adapt::AdaptationAction& action : transition_->actions) {
+    if (action.kind == adapt::ActionKind::kReplan) {
+      engine_->apply_replan(std::move(*action.new_logical),
+                            std::move(*action.new_physical));
+      engine_->resume_all();
+    } else {
+      engine_->apply_placement(action.op, action.new_placement);
+      engine_->resume_stage(action.op);
+    }
+  }
+
+  for (std::size_t index : transition_->event_indices) {
+    recorder_.events()[index].transition_end = now_;
+  }
+  stabilizing_event_ = transition_->event_indices.front();
+  transition_.reset();
+  metric_monitor_.reset_window();
+  last_decision_ = now_;  // give the new deployment a full interval to settle
+}
+
+void WaspSystem::watch_stabilization() {
+  if (!stabilizing_event_.has_value()) return;
+  // Stable when (a) the events queued during the transition have been
+  // consumed (source backlog below one tick of generation) and (b) the
+  // delay is back in the neighbourhood of its pre-transition level.
+  const double backlog = engine_->source_backlog_events();
+  const double per_tick =
+      engine_->last_tick().generated_eps * config_.tick_sec;
+  const double delay_target =
+      std::max(1.0, 2.0 * pre_transition_delay_);
+  if (backlog <= std::max(per_tick, 1.0) &&
+      engine_->last_tick().delay_sec <= delay_target) {
+    recorder_.events()[*stabilizing_event_].stabilized_at = now_;
+    stabilizing_event_.reset();
+  }
+}
+
+void WaspSystem::fail_sites(const std::vector<SiteId>& sites) {
+  for (SiteId s : sites) engine_->fail_site(s);
+}
+
+void WaspSystem::fail_all_sites() {
+  for (const auto& site : network_.topology().sites()) {
+    engine_->fail_site(site.id);
+  }
+}
+
+void WaspSystem::restore_all_sites() {
+  for (const auto& site : network_.topology().sites()) {
+    if (engine_->site_failed(site.id)) engine_->restore_site(site.id);
+  }
+}
+
+void WaspSystem::force_reassign(OperatorId op,
+                                const physical::StagePlacement& placement) {
+  assert(!transition_.has_value());
+  const MonitorView view(*this);
+  state::MigrationPlanner planner(config_.migration, rng_.fork());
+
+  // Build the source/destination state inventory exactly as the policy does.
+  adapt::AdaptationAction action;
+  action.kind = adapt::ActionKind::kReassign;
+  action.op = op;
+  action.new_placement = placement;
+  const physical::StagePlacement& from = engine_->placement(op);
+  const double total_state = engine_->total_state_mb(op);
+  const int p_to = placement.parallelism();
+  if (total_state > 1e-9 && p_to > 0) {
+    std::vector<state::StateSource> sources;
+    std::vector<state::StateDestination> destinations;
+    for (std::size_t s = 0; s < from.per_site.size(); ++s) {
+      const SiteId site(static_cast<std::int64_t>(s));
+      const double here = engine_->state_mb(op, site);
+      const double target = total_state * placement.per_site[s] / p_to;
+      if (here > target + 1e-9) {
+        sources.push_back(state::StateSource{site, here - target});
+      } else if (target > here + 1e-9) {
+        destinations.push_back(state::StateDestination{site, target - here});
+      }
+    }
+    action.migration = planner.plan(sources, destinations, view);
+    action.estimated_transition_sec =
+        action.migration.estimated_transition_sec;
+  }
+  action.reason = "forced re-assignment (experiment)";
+  std::vector<adapt::AdaptationAction> actions;
+  actions.push_back(std::move(action));
+  begin_transition(std::move(actions));
+}
+
+}  // namespace wasp::runtime

@@ -1,0 +1,174 @@
+// WaspSystem: the deployed system facade (paper Fig. 3).
+//
+// Owns the whole control plane of one wide-area query:
+//   - the Job Manager's deployment step: Query Planner enumerates logical
+//     plans, the Scheduler prices a WAN-aware placement for each, and the
+//     cheapest plan-placement pair is deployed (§8.1);
+//   - the WAN Monitor (periodic noisy bandwidth probes);
+//   - the Global Metric Monitor and the adaptation policy, evaluated every
+//     monitoring interval (§8.2: 40 s);
+//   - the Reconfiguration Manager: executes a decided action as a multi-tick
+//     transition -- suspend the affected stage(s), push checkpointed state
+//     across the WAN as bulk flows that compete with the data plane, then
+//     re-wire and resume (§5);
+//   - failure injection and recovery;
+//   - the experiment recorder.
+//
+// The adaptation mode selects the paper's baselines: NoAdapt, Degrade (shed
+// events past the SLO), full WASP, or the single-technique variants of §8.5.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/monitor.h"
+#include "adapt/policy.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "engine/engine.h"
+#include "net/network.h"
+#include "net/wan_monitor.h"
+#include "physical/scheduler.h"
+#include "query/planner.h"
+#include "runtime/recorder.h"
+#include "state/migration.h"
+#include "workload/patterns.h"
+#include "workload/queries.h"
+
+namespace wasp::runtime {
+
+enum class AdaptationMode {
+  kNoAdapt,
+  kDegrade,
+  kWasp,          // full policy (re-assign + scale + re-plan)
+  kReassignOnly,  // §8.5 "Re-assign"
+  kScaleOnly,     // §8.5 "Scale" (re-assign first, scale as needed)
+  kReplanOnly,    // §8.5 "Re-plan"
+  // §7 "Re-optimize or degrade?": degradation as a stopgap *while* the
+  // re-optimization machinery works -- events past the SLO are shed only
+  // until the adapted deployment catches up, bounding the delay through
+  // transitions at a small quality cost.
+  kHybrid,
+};
+
+[[nodiscard]] const char* to_string(AdaptationMode mode);
+
+struct SystemConfig {
+  AdaptationMode mode = AdaptationMode::kWasp;
+  double tick_sec = 1.0;
+  double monitoring_interval_sec = 40.0;
+  double slo_sec = 10.0;  // Degrade's SLO
+  // Minimum transition pause even with nothing to migrate (task teardown/
+  // deploy round-trips).
+  double redeploy_sec = 2.0;
+  // §6.2 long-term dynamics: re-evaluate the query plan in the background
+  // every this many seconds, even without a diagnosed bottleneck (for
+  // predictable shifts like diurnal workloads). 0 disables.
+  double background_replan_interval_sec = 0.0;
+  adapt::AdaptationPolicy::Config policy;
+  adapt::Diagnoser::Config diagnoser;
+  physical::Scheduler::Config scheduler;
+  engine::EngineConfig engine;
+  net::WanMonitor::Config wan_monitor;
+  state::MigrationStrategy migration = state::MigrationStrategy::kNetworkAware;
+  std::uint64_t seed = 42;
+  // Multi-tenant slot accounting: when set, reports the computing slots
+  // per site used by *other* queries sharing the deployment; this query's
+  // scheduler subtracts them from availability. Wired by runtime::Cluster.
+  std::function<std::vector<int>()> peer_slot_usage;
+};
+
+class WaspSystem {
+ public:
+  // Deploys `spec` over `network` (which the system advances; one system per
+  // network instance). The workload `pattern` outlives the system.
+  WaspSystem(net::Network& network, workload::QuerySpec spec,
+             const workload::WorkloadPattern& pattern, SystemConfig config);
+  ~WaspSystem();
+
+  WaspSystem(const WaspSystem&) = delete;
+  WaspSystem& operator=(const WaspSystem&) = delete;
+
+  // Advances one tick (network -> engine -> monitors -> adaptation). Pass
+  // `drive_network = false` when an external driver (runtime::Cluster)
+  // already advanced the shared Network for this tick.
+  void step(bool drive_network = true);
+
+  // Runs until simulated time `t_end`.
+  void run_until(double t_end);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] const engine::Engine& engine() const { return *engine_; }
+  [[nodiscard]] engine::Engine& mutable_engine() { return *engine_; }
+  [[nodiscard]] const Recorder& recorder() const { return recorder_; }
+  [[nodiscard]] const net::WanMonitor& wan_monitor() const {
+    return wan_monitor_;
+  }
+  [[nodiscard]] int initial_total_tasks() const { return initial_tasks_; }
+  [[nodiscard]] bool transition_in_progress() const {
+    return transition_.has_value();
+  }
+
+  // Failure injection (engine-level; the control plane notices via metrics).
+  void fail_sites(const std::vector<SiteId>& sites);
+  void fail_all_sites();
+  void restore_all_sites();
+
+  // Force a one-off migration of `op` to `placement` (used by the §8.7
+  // controlled-overhead experiments). Uses the configured migration
+  // strategy; bypasses the policy.
+  void force_reassign(OperatorId op, const physical::StagePlacement& placement);
+
+ private:
+  struct Transition {
+    // One or more concurrent actions on distinct operators (a re-plan is
+    // always alone).
+    std::vector<adapt::AdaptationAction> actions;
+    std::vector<FlowId> bulk_flows;
+    double started_at = 0.0;
+    std::vector<std::size_t> event_indices;  // one recorder event per action
+  };
+
+  // NetworkView backed by the WAN monitor + free-slot accounting.
+  class MonitorView;
+
+  void deploy(workload::QuerySpec spec);
+  void apply_workload();
+  void maybe_adapt();
+  void begin_transition(std::vector<adapt::AdaptationAction> actions);
+  void finalize_transition();
+  void watch_stabilization();
+  [[nodiscard]] std::vector<int> free_slots() const;
+
+  net::Network& network_;
+  const workload::WorkloadPattern& pattern_;
+  SystemConfig config_;
+  Rng rng_;
+  net::WanMonitor wan_monitor_;
+  physical::Scheduler scheduler_;
+  query::QueryPlanner planner_;
+  adapt::GlobalMetricMonitor metric_monitor_;
+  std::unique_ptr<adapt::AdaptationPolicy> policy_;
+  std::unique_ptr<engine::Engine> engine_;
+  Recorder recorder_;
+
+  // Original source ids by name: workload patterns are keyed by the ids of
+  // the query spec as built; re-planning renumbers operators.
+  std::unordered_map<std::string, OperatorId> pattern_source_ids_;
+
+  double now_ = 0.0;
+  double last_decision_ = 0.0;
+  double last_background_replan_ = 0.0;
+  int initial_tasks_ = 0;
+  std::optional<Transition> transition_;
+  // A re-plan that must wait for a tumbling-window boundary (§4.3).
+  std::optional<adapt::AdaptationAction> pending_boundary_;
+  std::optional<std::size_t> stabilizing_event_;
+  double pre_transition_delay_ = 0.0;  // baseline for stabilization
+};
+
+}  // namespace wasp::runtime

@@ -1,0 +1,207 @@
+#include "state/migration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/units.h"
+#include "lp/simplex.h"
+
+namespace wasp::state {
+
+const char* to_string(MigrationStrategy strategy) {
+  switch (strategy) {
+    case MigrationStrategy::kNetworkAware:
+      return "network-aware";
+    case MigrationStrategy::kRandom:
+      return "random";
+    case MigrationStrategy::kDistant:
+      return "distant";
+    case MigrationStrategy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+double MigrationPlanner::estimate_makespan(const std::vector<Move>& moves,
+                                           const physical::NetworkView& view) {
+  // Same-link volumes serialize; distinct links run in parallel.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    double link_mb = 0.0;
+    for (const Move& m : moves) {
+      if (m.from == moves[i].from && m.to == moves[i].to) link_mb += m.size_mb;
+    }
+    const double mbps = view.available_mbps(moves[i].from, moves[i].to);
+    worst = std::max(worst, transfer_seconds(link_mb, mbps));
+  }
+  return worst;
+}
+
+MigrationPlan MigrationPlanner::plan(
+    const std::vector<StateSource>& sources,
+    const std::vector<StateDestination>& destinations,
+    const physical::NetworkView& view) {
+  MigrationPlan out;
+  if (strategy_ == MigrationStrategy::kNone) return out;
+
+  // Drop empty endpoints; nothing to move is a valid no-op.
+  std::vector<StateSource> srcs;
+  for (const auto& s : sources) {
+    if (s.state_mb > 1e-9) srcs.push_back(s);
+  }
+  std::vector<StateDestination> dsts;
+  for (const auto& d : destinations) {
+    if (d.share_mb > 1e-9) dsts.push_back(d);
+  }
+  if (srcs.empty() || dsts.empty()) return out;
+
+  // Normalize destination shares to match the source total.
+  const double total_src = std::accumulate(
+      srcs.begin(), srcs.end(), 0.0,
+      [](double acc, const StateSource& s) { return acc + s.state_mb; });
+  double total_dst = std::accumulate(
+      dsts.begin(), dsts.end(), 0.0,
+      [](double acc, const StateDestination& d) { return acc + d.share_mb; });
+  assert(total_dst > 0.0);
+  for (auto& d : dsts) d.share_mb *= total_src / total_dst;
+
+  switch (strategy_) {
+    case MigrationStrategy::kNetworkAware:
+      return plan_network_aware(srcs, dsts, view);
+    case MigrationStrategy::kRandom:
+      return plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/false);
+    case MigrationStrategy::kDistant:
+      return plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/true);
+    case MigrationStrategy::kNone:
+      break;
+  }
+  return out;
+}
+
+MigrationPlan MigrationPlanner::plan_network_aware(
+    const std::vector<StateSource>& sources,
+    const std::vector<StateDestination>& destinations,
+    const physical::NetworkView& view) const {
+  const std::size_t ns = sources.size();
+  const std::size_t nd = destinations.size();
+
+  // LP: minimize T subject to flow balance and x_ij <= T * r_ij, where r_ij
+  // is the link's estimated rate in MB/s. Links with no capacity get x = 0.
+  lp::Problem problem(lp::Sense::kMinimize);
+  // Variables: x_ij (objective 0), then T (objective 1).
+  std::vector<std::size_t> x(ns * nd);
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) {
+      x[i * nd + j] = problem.add_variable(0.0);
+    }
+  }
+  const std::size_t t_var = problem.add_variable(1.0);
+
+  for (std::size_t i = 0; i < ns; ++i) {
+    lp::Constraint row;
+    row.type = lp::RowType::kEq;
+    row.rhs = sources[i].state_mb;
+    for (std::size_t j = 0; j < nd; ++j) {
+      row.vars.push_back(x[i * nd + j]);
+      row.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(row));
+  }
+  for (std::size_t j = 0; j < nd; ++j) {
+    lp::Constraint row;
+    row.type = lp::RowType::kEq;
+    row.rhs = destinations[j].share_mb;
+    for (std::size_t i = 0; i < ns; ++i) {
+      row.vars.push_back(x[i * nd + j]);
+      row.coeffs.push_back(1.0);
+    }
+    problem.add_constraint(std::move(row));
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) {
+      const double rate_mb_per_sec = mbps_to_mb_per_sec(
+          view.available_mbps(sources[i].site, destinations[j].site));
+      if (rate_mb_per_sec <= 1e-9) {
+        // Dead link: forbid it (unless src == dst, which is free).
+        if (sources[i].site != destinations[j].site) {
+          problem.set_bounds(x[i * nd + j], 0.0, 0.0);
+        }
+        continue;
+      }
+      if (sources[i].site == destinations[j].site) continue;  // local: free
+      lp::Constraint row;  // x_ij - T * r_ij <= 0
+      row.type = lp::RowType::kLe;
+      row.rhs = 0.0;
+      row.vars = {x[i * nd + j], t_var};
+      row.coeffs = {1.0, -rate_mb_per_sec};
+      problem.add_constraint(std::move(row));
+    }
+  }
+
+  const lp::Solution sol = lp::solve(problem);
+  MigrationPlan out;
+  if (!sol.optimal()) {
+    // No feasible routing (e.g. all links dead): fall back to a greedy plan
+    // so the caller still gets a (slow) assignment to execute.
+    MigrationPlanner greedy(MigrationStrategy::kRandom, Rng(1));
+    return greedy.plan(sources, destinations, view);
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) {
+      const double mb = sol.values[x[i * nd + j]];
+      if (mb > 1e-6 && sources[i].site != destinations[j].site) {
+        out.moves.push_back(Move{sources[i].site, destinations[j].site, mb});
+      }
+    }
+  }
+  out.estimated_transition_sec = estimate_makespan(out.moves, view);
+  return out;
+}
+
+MigrationPlan MigrationPlanner::plan_greedy(
+    const std::vector<StateSource>& sources,
+    const std::vector<StateDestination>& destinations,
+    const physical::NetworkView& view, bool prefer_slow_links) {
+  // Fill destinations one source at a time. Random: destinations in random
+  // order. Distant: destinations sorted by ascending bandwidth from the
+  // source (worst link first) -- the adversarial WAN-agnostic baseline.
+  MigrationPlan out;
+  std::vector<double> remaining(destinations.size());
+  for (std::size_t j = 0; j < destinations.size(); ++j) {
+    remaining[j] = destinations[j].share_mb;
+  }
+  for (const StateSource& src : sources) {
+    double left = src.state_mb;
+    std::vector<std::size_t> order(destinations.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (prefer_slow_links) {
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return view.available_mbps(src.site, destinations[a].site) <
+               view.available_mbps(src.site, destinations[b].site);
+      });
+    } else {
+      // Fisher-Yates with the planner's rng.
+      for (std::size_t k = order.size(); k > 1; --k) {
+        const auto r = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+        std::swap(order[k - 1], order[r]);
+      }
+    }
+    for (std::size_t j : order) {
+      if (left <= 1e-9) break;
+      if (remaining[j] <= 1e-9) continue;
+      const double mb = std::min(left, remaining[j]);
+      left -= mb;
+      remaining[j] -= mb;
+      if (src.site != destinations[j].site) {
+        out.moves.push_back(Move{src.site, destinations[j].site, mb});
+      }
+    }
+  }
+  out.estimated_transition_sec = estimate_makespan(out.moves, view);
+  return out;
+}
+
+}  // namespace wasp::state

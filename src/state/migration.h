@@ -1,0 +1,93 @@
+// Network-aware state migration planning (paper §5, §8.7).
+//
+// When tasks of a stateful operator move between sites, their checkpointed
+// state must cross the WAN before the execution can resume, and the overall
+// adaptation overhead is dominated by the *slowest* transfer. WASP therefore
+// chooses the mapping from drained sites (S - S') to filled sites (S' - S)
+// by minimizing the maximum per-link transfer time:
+//
+//   minmax ( |state_s1| / B_{s1 -> s2} )
+//
+// We solve the fluid generalization exactly as a linear program with the
+// in-repo simplex: variables x_ij (MB moved from drain site i to fill site
+// j) and T (the makespan), minimizing T subject to
+//   Σ_j x_ij = S_i      (all of i's state leaves)
+//   Σ_i x_ij = D_j      (j receives its balanced share)
+//   x_ij <= T · r_ij    (a transfer of x MB over r MB/s takes <= T seconds)
+// Transfers on distinct links run in parallel; same-link volume serializes.
+//
+// The WAN-agnostic baselines of §8.7.1 are also provided: Random (ignore
+// bandwidth), Distant (adversarial: prefer the slowest links), and None
+// (drop the state -- the lossy NoMigrate baseline).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "physical/placement.h"
+
+namespace wasp::state {
+
+enum class MigrationStrategy { kNetworkAware, kRandom, kDistant, kNone };
+
+[[nodiscard]] const char* to_string(MigrationStrategy strategy);
+
+// One directed transfer of operator state.
+struct Move {
+  SiteId from;
+  SiteId to;
+  double size_mb = 0.0;
+};
+
+struct MigrationPlan {
+  std::vector<Move> moves;
+  // Estimated transition time: max over links of (volume / estimated
+  // bandwidth), per the monitor's view at planning time.
+  double estimated_transition_sec = 0.0;
+};
+
+// State leaving a site / share of state a site must receive.
+struct StateSource {
+  SiteId site;
+  double state_mb = 0.0;
+};
+struct StateDestination {
+  SiteId site;
+  double share_mb = 0.0;  // balanced share this site must end up holding
+};
+
+class MigrationPlanner {
+ public:
+  MigrationPlanner(MigrationStrategy strategy, Rng rng)
+      : strategy_(strategy), rng_(rng) {}
+
+  [[nodiscard]] MigrationStrategy strategy() const { return strategy_; }
+
+  // Plans the transfer of all `sources` state to `destinations`. The
+  // destination shares must sum to the source total (fluid balance); minor
+  // mismatches are normalized. Returns an empty plan for kNone.
+  [[nodiscard]] MigrationPlan plan(const std::vector<StateSource>& sources,
+                                   const std::vector<StateDestination>& destinations,
+                                   const physical::NetworkView& view);
+
+  // Estimated makespan of an explicit move set under `view`.
+  [[nodiscard]] static double estimate_makespan(
+      const std::vector<Move>& moves, const physical::NetworkView& view);
+
+ private:
+  [[nodiscard]] MigrationPlan plan_network_aware(
+      const std::vector<StateSource>& sources,
+      const std::vector<StateDestination>& destinations,
+      const physical::NetworkView& view) const;
+
+  [[nodiscard]] MigrationPlan plan_greedy(
+      const std::vector<StateSource>& sources,
+      const std::vector<StateDestination>& destinations,
+      const physical::NetworkView& view, bool prefer_slow_links);
+
+  MigrationStrategy strategy_;
+  Rng rng_;
+};
+
+}  // namespace wasp::state

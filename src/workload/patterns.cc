@@ -1,0 +1,118 @@
+#include "workload/patterns.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace wasp::workload {
+namespace {
+
+// Packs (source op, site) into one map key. Site ids are far below 4096.
+std::int64_t key_of(OperatorId source, SiteId site) {
+  assert(site.value() >= 0 && site.value() < 4096);
+  return source.value() * 4096 + site.value();
+}
+
+}  // namespace
+
+void SteppedWorkload::set_base_rate(OperatorId source, SiteId site,
+                                    double eps) {
+  base_[key_of(source, site)] = eps;
+}
+
+void SteppedWorkload::add_step(double t, double factor) {
+  steps_.emplace_back(t, factor);
+  std::sort(steps_.begin(), steps_.end());
+}
+
+double SteppedWorkload::rate(OperatorId source, SiteId site, double t) const {
+  const auto it = base_.find(key_of(source, site));
+  if (it == base_.end()) return 0.0;
+  double factor = 1.0;
+  for (const auto& [time, f] : steps_) {
+    if (time > t) break;
+    factor = f;
+  }
+  return it->second * factor;
+}
+
+RandomWalkWorkload::RandomWalkWorkload(Config config, Rng& rng)
+    : config_(config) {
+  const auto intervals =
+      static_cast<std::size_t>(
+          std::ceil(config.horizon_sec / config.period_sec)) +
+      1;
+  factors_.resize(4096);  // indexed by site id; sparse sites stay empty
+  for (std::size_t s = 0; s < 64; ++s) {
+    auto& series = factors_[s];
+    series.resize(intervals);
+    double f = rng.uniform(config.min_factor, config.max_factor);
+    for (auto& value : series) {
+      value = f;
+      f = std::clamp(f * std::exp(rng.normal(0.0, config.sigma)),
+                     config.min_factor, config.max_factor);
+    }
+  }
+}
+
+void RandomWalkWorkload::set_base_rate(OperatorId source, SiteId site,
+                                       double eps) {
+  base_[key_of(source, site)] = eps;
+}
+
+double RandomWalkWorkload::factor(SiteId site, double t) const {
+  const auto s = static_cast<std::size_t>(site.value());
+  if (s >= factors_.size() || factors_[s].empty()) return 1.0;
+  const auto& series = factors_[s];
+  const auto k = std::min(
+      series.size() - 1,
+      static_cast<std::size_t>(std::max(0.0, t) / config_.period_sec));
+  return series[k];
+}
+
+double RandomWalkWorkload::rate(OperatorId source, SiteId site,
+                                double t) const {
+  const auto it = base_.find(key_of(source, site));
+  if (it == base_.end()) return 0.0;
+  return it->second * factor(site, t);
+}
+
+void DiurnalWorkload::set_base_rate(OperatorId source, SiteId site,
+                                    double eps) {
+  base_[key_of(source, site)] = eps;
+}
+
+double DiurnalWorkload::rate(OperatorId source, SiteId site, double t) const {
+  const auto it = base_.find(key_of(source, site));
+  if (it == base_.end()) return 0.0;
+  // Sinusoid between 1 and peak_to_trough, phase-shifted per site.
+  const double phase =
+      static_cast<double>(site.value()) * config_.per_site_phase;
+  const double x = 2.0 * std::numbers::pi *
+                   (t / config_.day_length_sec + phase);
+  // Factor sweeps [1, peak_to_trough]: the base rate is the trough.
+  const double a = 0.5 * (config_.peak_to_trough - 1.0);
+  const double factor = 1.0 + a * (1.0 + std::sin(x));
+  return it->second * factor;
+}
+
+std::vector<double> zipf_site_split(double total_eps, std::size_t sites,
+                                    double s, Rng& rng) {
+  std::vector<double> weights(sites);
+  for (std::size_t k = 0; k < sites; ++k) {
+    weights[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  // Shuffle so the heavy sites are not always the low-index ones.
+  for (std::size_t k = sites; k > 1; --k) {
+    const auto r = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+    std::swap(weights[k - 1], weights[r]);
+  }
+  double total_w = 0.0;
+  for (double w : weights) total_w += w;
+  for (double& w : weights) w = total_eps * w / total_w;
+  return weights;
+}
+
+}  // namespace wasp::workload

@@ -1,0 +1,109 @@
+// Workload rate patterns: how much each source generates, where, and when.
+//
+// The evaluation drives three kinds of workload dynamics:
+//  - §8.4: global step changes (10k -> 20k -> 10k events/s per source),
+//  - §8.6: random per-source variation with factors in [0.8, 2.4], changing
+//    every few minutes (the "live" trace),
+//  - Twitter-style spatial skew and diurnal variation (day hours carry
+//    roughly 2x the night workload [37]), used by examples and extensions.
+//
+// A pattern maps (source operator, site, time) -> events/s. Patterns are
+// deterministic given their seed.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace wasp::workload {
+
+class WorkloadPattern {
+ public:
+  virtual ~WorkloadPattern() = default;
+  [[nodiscard]] virtual double rate(OperatorId source, SiteId site,
+                                    double t) const = 0;
+};
+
+// Fixed per-(source, site) base rates scaled by a global step schedule.
+class SteppedWorkload final : public WorkloadPattern {
+ public:
+  SteppedWorkload() = default;
+
+  void set_base_rate(OperatorId source, SiteId site, double eps);
+  // Appends a (time, factor) step; the factor of the last step at or before
+  // `t` applies (default 1.0 before any step).
+  void add_step(double t, double factor);
+
+  [[nodiscard]] double rate(OperatorId source, SiteId site,
+                            double t) const override;
+
+ private:
+  std::unordered_map<std::int64_t, double> base_;  // key: op * 4096 + site
+  std::vector<std::pair<double, double>> steps_;
+};
+
+// Per-site bounded random-walk factors over base rates (the §8.6 live
+// workload: factors in [0.8, 2.4], re-drawn every `period_sec`).
+class RandomWalkWorkload final : public WorkloadPattern {
+ public:
+  struct Config {
+    double horizon_sec = 1800.0;
+    double period_sec = 300.0;
+    double min_factor = 0.8;
+    double max_factor = 2.4;
+    double sigma = 0.3;
+  };
+
+  RandomWalkWorkload(Config config, Rng& rng);
+
+  void set_base_rate(OperatorId source, SiteId site, double eps);
+
+  [[nodiscard]] double rate(OperatorId source, SiteId site,
+                            double t) const override;
+
+  // The factor applied at (site, t); exposed so benches can plot the
+  // variation alongside the system's reaction (Fig. 11a).
+  [[nodiscard]] double factor(SiteId site, double t) const;
+
+ private:
+  Config config_;
+  std::unordered_map<std::int64_t, double> base_;
+  std::vector<std::vector<double>> factors_;  // [site][interval]
+};
+
+// Diurnal pattern: base rate modulated by a day/night sinusoid with the
+// given peak-to-trough ratio (default 2x, per the Twitter measurements) and
+// per-site phase offsets emulating time zones.
+class DiurnalWorkload final : public WorkloadPattern {
+ public:
+  struct Config {
+    double day_length_sec = 86400.0;
+    double peak_to_trough = 2.0;
+    // Phase offset per site index, as a fraction of the day (time zones).
+    double per_site_phase = 1.0 / 8.0;
+  };
+
+  explicit DiurnalWorkload(Config config) : config_(config) {}
+
+  void set_base_rate(OperatorId source, SiteId site, double eps);
+
+  [[nodiscard]] double rate(OperatorId source, SiteId site,
+                            double t) const override;
+
+ private:
+  Config config_;
+  std::unordered_map<std::int64_t, double> base_;
+};
+
+// Spatially skewed base-rate helper: splits `total_eps` over `sites` with
+// Zipf(s) weights in a deterministic shuffle -- the geo distribution of a
+// real trace (busy metros vs quiet regions).
+[[nodiscard]] std::vector<double> zipf_site_split(double total_eps,
+                                                  std::size_t sites, double s,
+                                                  Rng& rng);
+
+}  // namespace wasp::workload

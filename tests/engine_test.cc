@@ -1,0 +1,465 @@
+// Unit tests for the fluid stream-engine simulator: delay tracking,
+// throughput, backpressure propagation, degrade mode, windows and state,
+// placement changes, re-planning, suspension, and failures.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "engine/delay_tracker.h"
+#include "net/bandwidth_model.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "physical/physical_plan.h"
+#include "query/logical_plan.h"
+
+namespace wasp::engine {
+namespace {
+
+using physical::PhysicalPlan;
+using physical::StagePlacement;
+using query::LogicalOperator;
+using query::LogicalPlan;
+using query::OperatorKind;
+
+// ---------------------------------------------------------------------------
+// DelayTracker
+// ---------------------------------------------------------------------------
+
+TEST(DelayTrackerTest, NoBacklogMeansZeroDelay) {
+  DelayTracker t;
+  t.record_generated(1.0, 100.0);
+  t.record_consumed(100.0);
+  EXPECT_DOUBLE_EQ(t.queueing_delay(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.backlog(), 0.0);
+}
+
+TEST(DelayTrackerTest, BacklogAgeGrowsWithTime) {
+  DelayTracker t;
+  t.record_generated(1.0, 100.0);  // generated during (0, 1]
+  // Nothing consumed: the head of the backlog was generated at ~t=0.
+  EXPECT_NEAR(t.queueing_delay(10.0), 10.0, 1.1);
+}
+
+TEST(DelayTrackerTest, ConsumptionAdvancesTheHead) {
+  DelayTracker t;
+  for (int i = 1; i <= 10; ++i) {
+    t.record_generated(i, 100.0);
+  }
+  t.record_consumed(500.0);  // events generated through t=5 are done
+  EXPECT_NEAR(t.queueing_delay(10.0), 5.0, 0.1);
+}
+
+TEST(DelayTrackerTest, InterpolatesWithinTick) {
+  DelayTracker t;
+  t.record_generated(1.0, 100.0);
+  t.record_generated(2.0, 100.0);
+  t.record_consumed(150.0);  // halfway through the second tick
+  EXPECT_NEAR(t.generation_time(150.0, 2.0), 1.5, 1e-9);
+}
+
+TEST(DelayTrackerTest, ConsumedNeverExceedsGenerated) {
+  DelayTracker t;
+  t.record_generated(1.0, 100.0);
+  t.record_consumed(1000.0);
+  EXPECT_DOUBLE_EQ(t.consumed_cum(), 100.0);
+  EXPECT_DOUBLE_EQ(t.queueing_delay(5.0), 0.0);
+}
+
+TEST(DelayTrackerTest, GeneratedAtInterpolates) {
+  DelayTracker t;
+  t.record_generated(1.0, 100.0);
+  t.record_generated(2.0, 300.0);  // G(2) = 400
+  EXPECT_NEAR(t.generated_at(1.5), 250.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.generated_at(5.0), 400.0);
+}
+
+TEST(DelayTrackerTest, HistoryPruningKeepsInversionCorrect) {
+  DelayTracker t;
+  for (int i = 1; i <= 1000; ++i) {
+    t.record_generated(i, 10.0);
+    t.record_consumed(10.0);
+  }
+  EXPECT_DOUBLE_EQ(t.queueing_delay(1000.0), 0.0);
+  t.record_generated(1001.0, 10.0);
+  EXPECT_NEAR(t.queueing_delay(1003.0), 3.0, 1.1);
+}
+
+// ---------------------------------------------------------------------------
+// Engine scenarios on tiny topologies
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  // src (site 0) -> map (site 1) -> sink (site 2), one task each.
+  static constexpr double kEventBytes = 125.0;
+
+  Fixture(double bandwidth_mbps = 1000.0, double map_capacity = 50'000.0,
+          EngineConfig config = {},
+          std::shared_ptr<const net::BandwidthModel> model = nullptr)
+      : network(net::Topology::make_uniform(3, 2, bandwidth_mbps, 10.0),
+                model ? model : std::make_shared<net::ConstantBandwidth>()) {
+    LogicalOperator src;
+    src.name = "src";
+    src.kind = OperatorKind::kSource;
+    src.output_event_bytes = kEventBytes;
+    src.events_per_sec_per_slot = 1e6;
+    src.pinned_sites = {SiteId(0)};
+    src_id = plan.add_operator(std::move(src));
+
+    LogicalOperator map;
+    map.name = "map";
+    map.kind = OperatorKind::kMap;
+    map.selectivity = 1.0;
+    map.output_event_bytes = kEventBytes;
+    map.events_per_sec_per_slot = map_capacity;
+    map_id = plan.add_operator(std::move(map));
+
+    LogicalOperator sink;
+    sink.name = "sink";
+    sink.kind = OperatorKind::kSink;
+    sink.events_per_sec_per_slot = 1e6;
+    sink.pinned_sites = {SiteId(2)};
+    sink_id = plan.add_operator(std::move(sink));
+
+    plan.connect(src_id, map_id);
+    plan.connect(map_id, sink_id);
+
+    physical.add_stage(src_id, StagePlacement{.per_site = {1, 0, 0}});
+    physical.add_stage(map_id, StagePlacement{.per_site = {0, 1, 0}});
+    physical.add_stage(sink_id, StagePlacement{.per_site = {0, 0, 1}});
+
+    engine = std::make_unique<Engine>(plan, physical, network, config);
+  }
+
+  void run(double from, double to, double rate) {
+    for (double t = from + 1.0; t <= to + 1e-9; t += 1.0) {
+      engine->set_source_rate(src_id, SiteId(0), rate);
+      network.step(t, 1.0);
+      engine->tick(t);
+    }
+  }
+
+  net::Network network;
+  LogicalPlan plan;
+  PhysicalPlan physical;
+  OperatorId src_id, map_id, sink_id;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST(EngineTest, HealthyPipelineReachesSteadyState) {
+  Fixture f;
+  f.run(0.0, 30.0, 10'000.0);
+  const auto& m = f.engine->last_tick();
+  EXPECT_NEAR(m.processing_ratio, 1.0, 0.01);
+  EXPECT_NEAR(m.sink_eps, 10'000.0, 200.0);
+  EXPECT_LT(m.delay_sec, 1.0);  // two ~10 ms hops + no queueing
+  EXPECT_LT(f.engine->source_backlog_events(), 1.0);
+}
+
+TEST(EngineTest, SelectivityScalesSinkThroughput) {
+  Fixture f;
+  f.plan.mutable_op(f.map_id).selectivity = 0.25;
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  f.run(0.0, 30.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().sink_eps, 2'500.0, 100.0);
+}
+
+TEST(EngineTest, ComputeBottleneckThrottlesSources) {
+  // Map can only process 5k ev/s but 10k arrive.
+  Fixture f(1000.0, /*map_capacity=*/5'000.0);
+  f.run(0.0, 60.0, 10'000.0);
+  const auto& m = f.engine->last_tick();
+  EXPECT_LT(m.processing_ratio, 0.7);
+  EXPECT_GT(f.engine->source_backlog_events(), 10'000.0);
+  EXPECT_GT(m.delay_sec, 5.0);
+}
+
+TEST(EngineTest, NetworkBottleneckThrottlesSources) {
+  // 10k ev/s * 125 B = 10 Mbps demand on a 5 Mbps link.
+  Fixture f(/*bandwidth=*/5.0);
+  f.run(0.0, 60.0, 10'000.0);
+  const auto& m = f.engine->last_tick();
+  EXPECT_LT(m.processing_ratio, 0.7);
+  EXPECT_GT(m.delay_sec, 5.0);
+  // The map observes the deficit: arrivals well below the source rate.
+  EXPECT_LT(f.engine->op_metrics(f.map_id).arrived_eps, 6'000.0);
+}
+
+TEST(EngineTest, BacklogDrainsAfterOverload) {
+  Fixture f(1000.0, 15'000.0);
+  f.run(0.0, 60.0, 20'000.0);   // overload
+  EXPECT_GT(f.engine->source_backlog_events(), 0.0);
+  f.run(60.0, 200.0, 5'000.0);  // recovery: ratio must exceed 1 while draining
+  EXPECT_LT(f.engine->source_backlog_events(), 1.0);
+  EXPECT_LT(f.engine->last_tick().delay_sec, 1.0);
+}
+
+TEST(EngineTest, ProcessingRatioAboveOneWhileDraining) {
+  Fixture f(1000.0, 15'000.0);
+  f.run(0.0, 60.0, 20'000.0);
+  f.engine->set_source_rate(f.src_id, SiteId(0), 5'000.0);
+  bool saw_ratio_above_one = false;
+  for (double t = 61.0; t <= 120.0; t += 1.0) {
+    f.network.step(t, 1.0);
+    f.engine->tick(t);
+    if (f.engine->last_tick().processing_ratio > 1.1) {
+      saw_ratio_above_one = true;
+    }
+  }
+  EXPECT_TRUE(saw_ratio_above_one);
+}
+
+TEST(EngineTest, DegradeHoldsDelayNearSloAndDropsEvents) {
+  EngineConfig config;
+  config.degrade = true;
+  config.slo_sec = 10.0;
+  Fixture f(1000.0, /*map_capacity=*/5'000.0, config);
+  double dropped = 0.0;
+  for (double t = 1.0; t <= 300.0; t += 1.0) {
+    f.engine->set_source_rate(f.src_id, SiteId(0), 10'000.0);
+    f.network.step(t, 1.0);
+    f.engine->tick(t);
+    dropped += f.engine->last_tick().dropped_eps;
+  }
+  EXPECT_GT(dropped, 10'000.0);
+  // Delay bounded near the SLO rather than diverging to ~150 s.
+  EXPECT_LT(f.engine->last_tick().delay_sec, 30.0);
+}
+
+TEST(EngineTest, NoDegradeModeNeverDrops) {
+  Fixture f(1000.0, 5'000.0);
+  double dropped = 0.0;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    f.engine->set_source_rate(f.src_id, SiteId(0), 10'000.0);
+    f.network.step(t, 1.0);
+    f.engine->tick(t);
+    dropped += f.engine->last_tick().dropped_eps;
+  }
+  EXPECT_DOUBLE_EQ(dropped, 0.0);
+}
+
+TEST(EngineTest, EventConservationInSteadyState) {
+  Fixture f;
+  double generated = 0.0, admitted = 0.0;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    f.engine->set_source_rate(f.src_id, SiteId(0), 8'000.0);
+    f.network.step(t, 1.0);
+    f.engine->tick(t);
+    generated += f.engine->last_tick().generated_eps;
+    admitted += f.engine->last_tick().admitted_eps;
+  }
+  // generated = admitted + backlog (no drops configured).
+  EXPECT_NEAR(generated, admitted + f.engine->source_backlog_events(), 1.0);
+}
+
+TEST(EngineTest, WindowStateGrowsAndResets) {
+  Fixture f;
+  auto& map = f.plan.mutable_op(f.map_id);
+  map.kind = OperatorKind::kWindowAggregate;
+  map.window = query::WindowSpec{10.0};
+  map.state = query::StateSpec::windowed(/*base_mb=*/1.0,
+                                         /*mb_per_kevent=*/0.1);
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  // Mid-window the state must exceed the base; right after a window
+  // boundary it returns near the base.
+  double max_state = 0.0, state_after_reset = 1e18;
+  for (double t = 1.0; t <= 60.0; t += 1.0) {
+    f.engine->set_source_rate(f.src_id, SiteId(0), 10'000.0);
+    f.network.step(t, 1.0);
+    f.engine->tick(t);
+    const double s = f.engine->total_state_mb(f.map_id);
+    max_state = std::max(max_state, s);
+    if (t > 20.0 && std::fmod(t, 10.0) < 0.5) {
+      state_after_reset = std::min(state_after_reset, s);
+    }
+  }
+  EXPECT_GT(max_state, 5.0);  // ~9 windows * 10k ev/s * 0.1 MB/kev
+  EXPECT_LT(state_after_reset, 3.0);
+}
+
+TEST(EngineTest, StateOverridePinsStateSize) {
+  Fixture f;
+  f.engine->set_state_override_mb(f.map_id, 256.0);
+  f.run(0.0, 5.0, 1'000.0);
+  EXPECT_DOUBLE_EQ(f.engine->total_state_mb(f.map_id), 256.0);
+  EXPECT_DOUBLE_EQ(f.engine->state_mb(f.map_id, SiteId(1)), 256.0);
+}
+
+TEST(EngineTest, SuspensionStopsProcessingAndQueuesEvents) {
+  Fixture f;
+  f.run(0.0, 10.0, 10'000.0);
+  f.engine->suspend_stage(f.map_id);
+  f.run(10.0, 20.0, 10'000.0);
+  EXPECT_DOUBLE_EQ(f.engine->op_metrics(f.map_id).processed_eps, 0.0);
+  const double backlog_during = f.engine->source_backlog_events() +
+                                f.engine->op_metrics(f.map_id).input_queue_events +
+                                f.engine->op_metrics(f.map_id).channel_backlog_events;
+  EXPECT_GT(backlog_during, 10'000.0);
+  f.engine->resume_stage(f.map_id);
+  f.run(20.0, 80.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+  EXPECT_LT(f.engine->source_backlog_events(), 100.0);
+}
+
+TEST(EngineTest, ApplyPlacementMovesTasksAndKeepsQueues) {
+  Fixture f;
+  f.run(0.0, 10.0, 10'000.0);
+  // Move the map from site 1 to site 0 (co-located with the source).
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {1, 0, 0}});
+  EXPECT_EQ(f.engine->placement(f.map_id).at(SiteId(0)), 1);
+  f.run(10.0, 40.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+  EXPECT_NEAR(f.engine->last_tick().sink_eps, 10'000.0, 300.0);
+}
+
+TEST(EngineTest, ScaleOutSplitsStateAcrossSites) {
+  Fixture f;
+  f.engine->set_state_override_mb(f.map_id, 100.0);
+  f.run(0.0, 5.0, 1'000.0);
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {0, 1, 1}});
+  EXPECT_NEAR(f.engine->state_mb(f.map_id, SiteId(1)), 50.0, 1e-6);
+  EXPECT_NEAR(f.engine->state_mb(f.map_id, SiteId(2)), 50.0, 1e-6);
+  f.run(5.0, 40.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().sink_eps, 10'000.0, 300.0);
+}
+
+TEST(EngineTest, FailedSiteStopsProcessingUntilRestore) {
+  Fixture f;
+  f.run(0.0, 10.0, 10'000.0);
+  f.engine->fail_site(SiteId(1));
+  EXPECT_TRUE(f.engine->site_failed(SiteId(1)));
+  f.run(10.0, 30.0, 10'000.0);
+  EXPECT_DOUBLE_EQ(f.engine->op_metrics(f.map_id).processed_eps, 0.0);
+  EXPECT_GT(f.engine->source_backlog_events() +
+                f.engine->op_metrics(f.map_id).channel_backlog_events,
+            50'000.0);
+  f.engine->restore_site(SiteId(1));
+  f.run(30.0, 120.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+  EXPECT_LT(f.engine->source_backlog_events(), 1'000.0);
+}
+
+TEST(EngineTest, StragglerSlowsOnlyItsSite) {
+  Fixture f(1000.0, 50'000.0);
+  f.run(0.0, 20.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.02);
+  // 10x slowdown at the map's site: capacity 5k < 10k input.
+  f.engine->set_straggler(SiteId(1), 0.1);
+  EXPECT_DOUBLE_EQ(f.engine->straggler_factor(SiteId(1)), 0.1);
+  f.run(20.0, 80.0, 10'000.0);
+  EXPECT_LT(f.engine->op_metrics(f.map_id).processed_eps, 6'000.0);
+  EXPECT_GT(f.engine->last_tick().delay_sec, 5.0);
+  // Recovery when the straggler clears.
+  f.engine->set_straggler(SiteId(1), 1.0);
+  f.run(80.0, 200.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+  EXPECT_LT(f.engine->source_backlog_events(), 100.0);
+}
+
+TEST(EngineTest, PartitionSkewConcentratesLoadOnHotSite) {
+  // Map p=2 across sites 1 and 2, capacity 10k per task, input 16k:
+  // balanced -> 8k each (healthy); 3x skew -> 12k on the hot site (> its
+  // 10k capacity) -> the stage falls behind despite aggregate headroom.
+  Fixture f(1000.0, 10'000.0);
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {0, 1, 1}});
+  f.run(0.0, 60.0, 16'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.02);
+
+  f.engine->set_partition_skew(f.map_id, 3.0);
+  f.run(60.0, 160.0, 16'000.0);
+  EXPECT_LT(f.engine->last_tick().processing_ratio, 0.95);
+  EXPECT_GT(f.engine->last_tick().delay_sec, 2.0);
+
+  // Restoring balance heals it.
+  f.engine->set_partition_skew(f.map_id, 1.0);
+  f.run(160.0, 320.0, 16'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+}
+
+TEST(EngineTest, SlotsInUseTracksPlacements) {
+  Fixture f;
+  auto used = f.engine->slots_in_use();
+  EXPECT_EQ(used[0], 0);  // sources take no computing slot
+  EXPECT_EQ(used[1], 1);
+  EXPECT_EQ(used[2], 1);
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {0, 2, 0}});
+  used = f.engine->slots_in_use();
+  EXPECT_EQ(used[1], 2);
+}
+
+TEST(EngineTest, SourceGenerationReflectsActualWorkloadUnderBackpressure) {
+  Fixture f(/*bandwidth=*/5.0);  // heavily constrained
+  f.run(0.0, 60.0, 10'000.0);
+  // Observed throughput is throttled, but the actual workload (§3.3's
+  // λ_O[src]) still reports 10k.
+  EXPECT_DOUBLE_EQ(f.engine->source_generation_eps(f.src_id), 10'000.0);
+  EXPECT_LT(f.engine->op_metrics(f.src_id).processed_eps, 8'000.0);
+}
+
+TEST(EngineTest, OperatorMetricsSelectivity) {
+  Fixture f;
+  f.plan.mutable_op(f.map_id).selectivity = 0.5;
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  f.run(0.0, 20.0, 10'000.0);
+  EXPECT_NEAR(f.engine->op_metrics(f.map_id).selectivity, 0.5, 0.01);
+}
+
+TEST(EngineTest, ChannelMetricsExposeLinkTelemetry) {
+  Fixture f;
+  f.run(0.0, 10.0, 10'000.0);
+  const auto channels = f.engine->channels_into(f.map_id);
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0].from, SiteId(0));
+  EXPECT_EQ(channels[0].to, SiteId(1));
+  EXPECT_NEAR(channels[0].delivered_eps, 10'000.0, 300.0);
+}
+
+TEST(EngineTest, AdjacentLinkMbpsReportsStageTraffic) {
+  Fixture f;
+  f.run(0.0, 10.0, 10'000.0);
+  const auto links = f.engine->adjacent_link_mbps(f.map_id);
+  // 10k ev/s * 125 B = 10 Mbps inbound on 0->1 plus outbound on 1->2.
+  const auto n = static_cast<std::int64_t>(3);
+  ASSERT_TRUE(links.contains(0 * n + 1));
+  EXPECT_NEAR(links.at(0 * n + 1), 10.0, 0.5);
+  ASSERT_TRUE(links.contains(1 * n + 2));
+  EXPECT_NEAR(links.at(1 * n + 2), 10.0, 0.5);
+}
+
+TEST(EngineTest, ReplanCarriesSourceBacklogAndState) {
+  Fixture f;
+  f.plan.mutable_op(f.map_id).state = query::StateSpec::fixed(64.0);
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  // Build a backlog with a suspended map.
+  f.engine->suspend_stage(f.map_id);
+  f.run(0.0, 20.0, 10'000.0);
+  const double backlog_before = f.engine->source_backlog_events();
+  ASSERT_GT(backlog_before, 50'000.0);
+
+  // "Re-plan" to a structurally identical plan with the map at site 2.
+  LogicalPlan new_plan = f.plan;
+  PhysicalPlan new_physical;
+  new_physical.add_stage(f.src_id, StagePlacement{.per_site = {1, 0, 0}});
+  new_physical.add_stage(f.map_id, StagePlacement{.per_site = {0, 0, 1}});
+  new_physical.add_stage(f.sink_id, StagePlacement{.per_site = {0, 0, 1}});
+  f.engine->apply_replan(std::move(new_plan), std::move(new_physical));
+
+  // Backlog, state, and rates survived the swap.
+  EXPECT_GE(f.engine->source_backlog_events(), backlog_before - 1'000.0);
+  EXPECT_NEAR(f.engine->total_state_mb(f.map_id), 64.0, 1e-6);
+  EXPECT_DOUBLE_EQ(f.engine->source_generation_eps(f.src_id), 10'000.0);
+  // And the new execution drains it.
+  f.run(20.0, 120.0, 10'000.0);
+  EXPECT_LT(f.engine->source_backlog_events(), 1'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace wasp::engine

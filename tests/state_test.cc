@@ -1,0 +1,210 @@
+// Unit and property tests for state-migration planning (paper §5, §8.7):
+// the min-max LP, the WAN-agnostic baselines, and makespan estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "state/migration.h"
+
+namespace wasp::state {
+namespace {
+
+class FakeView final : public physical::NetworkView {
+ public:
+  explicit FakeView(std::size_t n, double default_mbps = 100.0)
+      : n_(n), bandwidth_(n * n, default_mbps) {}
+
+  void set_bandwidth(SiteId from, SiteId to, double mbps) {
+    bandwidth_[static_cast<std::size_t>(from.value()) * n_ +
+               static_cast<std::size_t>(to.value())] = mbps;
+  }
+
+  [[nodiscard]] std::size_t num_sites() const override { return n_; }
+  [[nodiscard]] double available_mbps(SiteId from, SiteId to) const override {
+    if (from == to) return 1e6;
+    return bandwidth_[static_cast<std::size_t>(from.value()) * n_ +
+                      static_cast<std::size_t>(to.value())];
+  }
+  [[nodiscard]] double latency_ms(SiteId, SiteId) const override {
+    return 10.0;
+  }
+  [[nodiscard]] int available_slots(SiteId) const override { return 8; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> bandwidth_;
+};
+
+double total_moved(const MigrationPlan& plan) {
+  double mb = 0.0;
+  for (const auto& m : plan.moves) mb += m.size_mb;
+  return mb;
+}
+
+TEST(MigrationTest, NoneStrategyMovesNothing) {
+  FakeView view(3);
+  MigrationPlanner planner(MigrationStrategy::kNone, Rng(1));
+  const auto plan = planner.plan({{SiteId(0), 100.0}}, {{SiteId(1), 100.0}},
+                                 view);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_DOUBLE_EQ(plan.estimated_transition_sec, 0.0);
+}
+
+TEST(MigrationTest, SingleSourceSingleDestination) {
+  FakeView view(2);
+  view.set_bandwidth(SiteId(0), SiteId(1), 80.0);  // 10 MB/s
+  MigrationPlanner planner(MigrationStrategy::kNetworkAware, Rng(1));
+  const auto plan =
+      planner.plan({{SiteId(0), 60.0}}, {{SiteId(1), 60.0}}, view);
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_NEAR(plan.moves[0].size_mb, 60.0, 1e-6);
+  EXPECT_NEAR(plan.estimated_transition_sec, 6.0, 1e-6);
+}
+
+TEST(MigrationTest, NetworkAwarePrefersFastLinks) {
+  // Two destinations; the slow one should carry (much) less state.
+  FakeView view(3);
+  view.set_bandwidth(SiteId(0), SiteId(1), 160.0);  // 20 MB/s
+  view.set_bandwidth(SiteId(0), SiteId(2), 16.0);   // 2 MB/s
+  MigrationPlanner planner(MigrationStrategy::kNetworkAware, Rng(1));
+  // Destination shares are balanced (50/50 task split), so the LP must move
+  // 50 MB to each; the estimate is dominated by the slow link.
+  const auto plan = planner.plan({{SiteId(0), 100.0}},
+                                 {{SiteId(1), 50.0}, {SiteId(2), 50.0}}, view);
+  EXPECT_NEAR(total_moved(plan), 100.0, 1e-6);
+  EXPECT_NEAR(plan.estimated_transition_sec, 25.0, 1e-6);
+}
+
+TEST(MigrationTest, MinMaxBalancesAcrossSources) {
+  // Classic minmax: two sources to two destinations with asymmetric links.
+  // src0->dst0 fast, src0->dst1 slow, src1->dst0 slow, src1->dst1 fast:
+  // the optimal mapping pairs fast links; any crossing is much worse.
+  FakeView view(4);
+  const SiteId s0(0), s1(1), d0(2), d1(3);
+  view.set_bandwidth(s0, d0, 800.0);
+  view.set_bandwidth(s0, d1, 8.0);
+  view.set_bandwidth(s1, d0, 8.0);
+  view.set_bandwidth(s1, d1, 800.0);
+  MigrationPlanner planner(MigrationStrategy::kNetworkAware, Rng(1));
+  const auto plan = planner.plan({{s0, 100.0}, {s1, 100.0}},
+                                 {{d0, 100.0}, {d1, 100.0}}, view);
+  // Optimal: all of s0 -> d0 and s1 -> d1: makespan 1 s.
+  EXPECT_NEAR(plan.estimated_transition_sec, 1.0, 0.05);
+}
+
+TEST(MigrationTest, DistantPrefersSlowLinks) {
+  FakeView view(3);
+  view.set_bandwidth(SiteId(0), SiteId(1), 800.0);
+  view.set_bandwidth(SiteId(0), SiteId(2), 8.0);
+  MigrationPlanner aware(MigrationStrategy::kNetworkAware, Rng(1));
+  MigrationPlanner distant(MigrationStrategy::kDistant, Rng(1));
+  // Unbalanced destinations: 90 MB can go anywhere.
+  const std::vector<StateSource> sources{{SiteId(0), 90.0}};
+  const std::vector<StateDestination> dests{{SiteId(1), 90.0},
+                                            {SiteId(2), 90.0}};
+  const auto fast = aware.plan(sources, dests, view);
+  const auto slow = distant.plan(sources, dests, view);
+  EXPECT_LT(fast.estimated_transition_sec, slow.estimated_transition_sec);
+}
+
+TEST(MigrationTest, LocalMovesAreFree) {
+  FakeView view(2);
+  MigrationPlanner planner(MigrationStrategy::kNetworkAware, Rng(1));
+  // Everything stays at site 0: no cross-site move should be emitted.
+  const auto plan =
+      planner.plan({{SiteId(0), 50.0}}, {{SiteId(0), 50.0}}, view);
+  EXPECT_TRUE(plan.moves.empty());
+}
+
+TEST(MigrationTest, DestinationSharesAreNormalized) {
+  FakeView view(3);
+  MigrationPlanner planner(MigrationStrategy::kNetworkAware, Rng(1));
+  // Destination shares sum to 200 but only 100 MB exists; the plan must
+  // still move exactly 100 MB split 50/50.
+  const auto plan = planner.plan(
+      {{SiteId(0), 100.0}}, {{SiteId(1), 100.0}, {SiteId(2), 100.0}}, view);
+  EXPECT_NEAR(total_moved(plan), 100.0, 1e-6);
+}
+
+TEST(MigrationTest, EmptyInventoriesYieldEmptyPlan) {
+  FakeView view(2);
+  MigrationPlanner planner(MigrationStrategy::kNetworkAware, Rng(1));
+  EXPECT_TRUE(planner.plan({}, {{SiteId(1), 10.0}}, view).moves.empty());
+  EXPECT_TRUE(planner.plan({{SiteId(0), 10.0}}, {}, view).moves.empty());
+}
+
+TEST(MigrationTest, MakespanAggregatesSameLinkMoves) {
+  FakeView view(2);
+  view.set_bandwidth(SiteId(0), SiteId(1), 80.0);  // 10 MB/s
+  const std::vector<Move> moves{{SiteId(0), SiteId(1), 30.0},
+                                {SiteId(0), SiteId(1), 30.0}};
+  // 60 MB serialize on the same link: 6 s, not 3 s.
+  EXPECT_NEAR(MigrationPlanner::estimate_makespan(moves, view), 6.0, 1e-9);
+}
+
+// Property: the network-aware plan conserves state and is never worse than
+// Random or Distant on the same instance.
+class MigrationOptimalityProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationOptimalityProperty, AwareBeatsAgnosticBaselines) {
+  Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 8));
+  FakeView view(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        view.set_bandwidth(SiteId(static_cast<std::int64_t>(i)),
+                           SiteId(static_cast<std::int64_t>(j)),
+                           rng.uniform(2.0, 200.0));
+      }
+    }
+  }
+  // Disjoint source/destination site sets.
+  const std::size_t ns = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  std::vector<StateSource> sources;
+  std::vector<StateDestination> dests;
+  double total = 0.0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    const double mb = rng.uniform(10.0, 300.0);
+    sources.push_back({SiteId(static_cast<std::int64_t>(i)), mb});
+    total += mb;
+  }
+  const std::size_t nd = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(n - ns)));
+  for (std::size_t j = 0; j < nd; ++j) {
+    dests.push_back(
+        {SiteId(static_cast<std::int64_t>(ns + j)), total / nd});
+  }
+
+  MigrationPlanner aware(MigrationStrategy::kNetworkAware, Rng(GetParam()));
+  MigrationPlanner random(MigrationStrategy::kRandom, Rng(GetParam()));
+  MigrationPlanner distant(MigrationStrategy::kDistant, Rng(GetParam()));
+  const auto plan_aware = aware.plan(sources, dests, view);
+  const auto plan_random = random.plan(sources, dests, view);
+  const auto plan_distant = distant.plan(sources, dests, view);
+
+  // Conservation (all strategies).
+  for (const auto* plan : {&plan_aware, &plan_random, &plan_distant}) {
+    double inbound = 0.0;
+    for (const auto& m : plan->moves) {
+      EXPECT_GT(m.size_mb, 0.0);
+      inbound += m.size_mb;
+    }
+    EXPECT_NEAR(inbound, total, 1e-5);
+  }
+  // Optimality: the LP's makespan is a lower bound on the greedy ones.
+  EXPECT_LE(plan_aware.estimated_transition_sec,
+            plan_random.estimated_transition_sec + 1e-6);
+  EXPECT_LE(plan_aware.estimated_transition_sec,
+            plan_distant.estimated_transition_sec + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MigrationOptimalityProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace wasp::state
