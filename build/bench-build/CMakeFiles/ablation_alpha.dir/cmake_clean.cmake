@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_alpha"
+  "../bench/ablation_alpha.pdb"
+  "CMakeFiles/ablation_alpha.dir/ablation_alpha.cpp.o"
+  "CMakeFiles/ablation_alpha.dir/ablation_alpha.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

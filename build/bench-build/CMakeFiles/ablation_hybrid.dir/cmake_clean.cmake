@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hybrid"
+  "../bench/ablation_hybrid.pdb"
+  "CMakeFiles/ablation_hybrid.dir/ablation_hybrid.cpp.o"
+  "CMakeFiles/ablation_hybrid.dir/ablation_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_keyskew"
+  "../bench/ablation_keyskew.pdb"
+  "CMakeFiles/ablation_keyskew.dir/ablation_keyskew.cpp.o"
+  "CMakeFiles/ablation_keyskew.dir/ablation_keyskew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_keyskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

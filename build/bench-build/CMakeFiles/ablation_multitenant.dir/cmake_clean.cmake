@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multitenant"
+  "../bench/ablation_multitenant.pdb"
+  "CMakeFiles/ablation_multitenant.dir/ablation_multitenant.cpp.o"
+  "CMakeFiles/ablation_multitenant.dir/ablation_multitenant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_bandwidth_variability"
+  "../bench/fig02_bandwidth_variability.pdb"
+  "CMakeFiles/fig02_bandwidth_variability.dir/fig02_bandwidth_variability.cpp.o"
+  "CMakeFiles/fig02_bandwidth_variability.dir/fig02_bandwidth_variability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bandwidth_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

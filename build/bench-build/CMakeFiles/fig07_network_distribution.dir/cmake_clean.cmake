@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_network_distribution"
+  "../bench/fig07_network_distribution.pdb"
+  "CMakeFiles/fig07_network_distribution.dir/fig07_network_distribution.cpp.o"
+  "CMakeFiles/fig07_network_distribution.dir/fig07_network_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_network_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

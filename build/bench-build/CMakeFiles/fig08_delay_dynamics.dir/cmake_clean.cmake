@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_delay_dynamics"
+  "../bench/fig08_delay_dynamics.pdb"
+  "CMakeFiles/fig08_delay_dynamics.dir/fig08_delay_dynamics.cpp.o"
+  "CMakeFiles/fig08_delay_dynamics.dir/fig08_delay_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_delay_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_processing_ratio"
+  "../bench/fig09_processing_ratio.pdb"
+  "CMakeFiles/fig09_processing_ratio.dir/fig09_processing_ratio.cpp.o"
+  "CMakeFiles/fig09_processing_ratio.dir/fig09_processing_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_processing_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

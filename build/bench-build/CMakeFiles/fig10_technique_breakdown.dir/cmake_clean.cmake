@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_technique_breakdown"
+  "../bench/fig10_technique_breakdown.pdb"
+  "CMakeFiles/fig10_technique_breakdown.dir/fig10_technique_breakdown.cpp.o"
+  "CMakeFiles/fig10_technique_breakdown.dir/fig10_technique_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_technique_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

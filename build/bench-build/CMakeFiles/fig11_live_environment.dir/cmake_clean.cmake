@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_live_environment"
+  "../bench/fig11_live_environment.pdb"
+  "CMakeFiles/fig11_live_environment.dir/fig11_live_environment.cpp.o"
+  "CMakeFiles/fig11_live_environment.dir/fig11_live_environment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_live_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_live_environment.
+# This may be replaced when dependencies are built.

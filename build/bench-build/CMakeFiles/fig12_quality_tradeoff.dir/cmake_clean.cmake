@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_quality_tradeoff"
+  "../bench/fig12_quality_tradeoff.pdb"
+  "CMakeFiles/fig12_quality_tradeoff.dir/fig12_quality_tradeoff.cpp.o"
+  "CMakeFiles/fig12_quality_tradeoff.dir/fig12_quality_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_quality_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

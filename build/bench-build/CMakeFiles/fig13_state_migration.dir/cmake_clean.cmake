@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_state_migration"
+  "../bench/fig13_state_migration.pdb"
+  "CMakeFiles/fig13_state_migration.dir/fig13_state_migration.cpp.o"
+  "CMakeFiles/fig13_state_migration.dir/fig13_state_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_state_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_state_partitioning"
+  "../bench/fig14_state_partitioning.pdb"
+  "CMakeFiles/fig14_state_partitioning.dir/fig14_state_partitioning.cpp.o"
+  "CMakeFiles/fig14_state_partitioning.dir/fig14_state_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_state_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

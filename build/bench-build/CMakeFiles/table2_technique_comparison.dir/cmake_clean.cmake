@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_technique_comparison"
+  "../bench/table2_technique_comparison.pdb"
+  "CMakeFiles/table2_technique_comparison.dir/table2_technique_comparison.cpp.o"
+  "CMakeFiles/table2_technique_comparison.dir/table2_technique_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_technique_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

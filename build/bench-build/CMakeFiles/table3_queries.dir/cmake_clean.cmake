@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_queries"
+  "../bench/table3_queries.pdb"
+  "CMakeFiles/table3_queries.dir/table3_queries.cpp.o"
+  "CMakeFiles/table3_queries.dir/table3_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_adaptation.dir/live_adaptation.cpp.o"
+  "CMakeFiles/live_adaptation.dir/live_adaptation.cpp.o.d"
+  "live_adaptation"
+  "live_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_topk.dir/twitter_topk.cpp.o"
+  "CMakeFiles/twitter_topk.dir/twitter_topk.cpp.o.d"
+  "twitter_topk"
+  "twitter_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_sim.dir/wasp_sim.cpp.o"
+  "CMakeFiles/wasp_sim.dir/wasp_sim.cpp.o.d"
+  "wasp_sim"
+  "wasp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

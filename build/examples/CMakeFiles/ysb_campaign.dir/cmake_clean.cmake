@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ysb_campaign.dir/ysb_campaign.cpp.o"
+  "CMakeFiles/ysb_campaign.dir/ysb_campaign.cpp.o.d"
+  "ysb_campaign"
+  "ysb_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ysb_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

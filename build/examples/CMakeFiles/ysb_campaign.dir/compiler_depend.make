@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ysb_campaign.
+# This may be replaced when dependencies are built.

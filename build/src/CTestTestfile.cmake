@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lp")
+subdirs("ilp")
+subdirs("net")
+subdirs("query")
+subdirs("physical")
+subdirs("engine")
+subdirs("microengine")
+subdirs("state")
+subdirs("adapt")
+subdirs("workload")
+subdirs("runtime")

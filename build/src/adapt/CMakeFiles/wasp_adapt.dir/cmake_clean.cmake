@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_adapt.dir/diagnosis.cc.o"
+  "CMakeFiles/wasp_adapt.dir/diagnosis.cc.o.d"
+  "CMakeFiles/wasp_adapt.dir/monitor.cc.o"
+  "CMakeFiles/wasp_adapt.dir/monitor.cc.o.d"
+  "CMakeFiles/wasp_adapt.dir/policy.cc.o"
+  "CMakeFiles/wasp_adapt.dir/policy.cc.o.d"
+  "libwasp_adapt.a"
+  "libwasp_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_common.dir/histogram.cc.o"
+  "CMakeFiles/wasp_common.dir/histogram.cc.o.d"
+  "CMakeFiles/wasp_common.dir/log.cc.o"
+  "CMakeFiles/wasp_common.dir/log.cc.o.d"
+  "CMakeFiles/wasp_common.dir/rng.cc.o"
+  "CMakeFiles/wasp_common.dir/rng.cc.o.d"
+  "CMakeFiles/wasp_common.dir/table.cc.o"
+  "CMakeFiles/wasp_common.dir/table.cc.o.d"
+  "CMakeFiles/wasp_common.dir/time_series.cc.o"
+  "CMakeFiles/wasp_common.dir/time_series.cc.o.d"
+  "CMakeFiles/wasp_common.dir/units.cc.o"
+  "CMakeFiles/wasp_common.dir/units.cc.o.d"
+  "libwasp_common.a"
+  "libwasp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_engine.dir/delay_tracker.cc.o"
+  "CMakeFiles/wasp_engine.dir/delay_tracker.cc.o.d"
+  "CMakeFiles/wasp_engine.dir/engine.cc.o"
+  "CMakeFiles/wasp_engine.dir/engine.cc.o.d"
+  "libwasp_engine.a"
+  "libwasp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_ilp.dir/branch_and_bound.cc.o"
+  "CMakeFiles/wasp_ilp.dir/branch_and_bound.cc.o.d"
+  "libwasp_ilp.a"
+  "libwasp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/problem.cc" "src/lp/CMakeFiles/wasp_lp.dir/problem.cc.o" "gcc" "src/lp/CMakeFiles/wasp_lp.dir/problem.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/lp/CMakeFiles/wasp_lp.dir/simplex.cc.o" "gcc" "src/lp/CMakeFiles/wasp_lp.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

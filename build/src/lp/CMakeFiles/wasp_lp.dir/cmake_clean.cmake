@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_lp.dir/problem.cc.o"
+  "CMakeFiles/wasp_lp.dir/problem.cc.o.d"
+  "CMakeFiles/wasp_lp.dir/simplex.cc.o"
+  "CMakeFiles/wasp_lp.dir/simplex.cc.o.d"
+  "libwasp_lp.a"
+  "libwasp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microengine/micro_engine.cc" "src/microengine/CMakeFiles/wasp_microengine.dir/micro_engine.cc.o" "gcc" "src/microengine/CMakeFiles/wasp_microengine.dir/micro_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wasp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/wasp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/wasp_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/wasp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/wasp_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

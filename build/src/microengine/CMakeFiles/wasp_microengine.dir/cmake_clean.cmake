@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_microengine.dir/micro_engine.cc.o"
+  "CMakeFiles/wasp_microengine.dir/micro_engine.cc.o.d"
+  "libwasp_microengine.a"
+  "libwasp_microengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_microengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wasp_microengine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bandwidth_model.cc" "src/net/CMakeFiles/wasp_net.dir/bandwidth_model.cc.o" "gcc" "src/net/CMakeFiles/wasp_net.dir/bandwidth_model.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/wasp_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/wasp_net.dir/network.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/wasp_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/wasp_net.dir/topology.cc.o.d"
+  "/root/repo/src/net/trace_io.cc" "src/net/CMakeFiles/wasp_net.dir/trace_io.cc.o" "gcc" "src/net/CMakeFiles/wasp_net.dir/trace_io.cc.o.d"
+  "/root/repo/src/net/wan_monitor.cc" "src/net/CMakeFiles/wasp_net.dir/wan_monitor.cc.o" "gcc" "src/net/CMakeFiles/wasp_net.dir/wan_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_net.dir/bandwidth_model.cc.o"
+  "CMakeFiles/wasp_net.dir/bandwidth_model.cc.o.d"
+  "CMakeFiles/wasp_net.dir/network.cc.o"
+  "CMakeFiles/wasp_net.dir/network.cc.o.d"
+  "CMakeFiles/wasp_net.dir/topology.cc.o"
+  "CMakeFiles/wasp_net.dir/topology.cc.o.d"
+  "CMakeFiles/wasp_net.dir/trace_io.cc.o"
+  "CMakeFiles/wasp_net.dir/trace_io.cc.o.d"
+  "CMakeFiles/wasp_net.dir/wan_monitor.cc.o"
+  "CMakeFiles/wasp_net.dir/wan_monitor.cc.o.d"
+  "libwasp_net.a"
+  "libwasp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_physical.dir/physical_plan.cc.o"
+  "CMakeFiles/wasp_physical.dir/physical_plan.cc.o.d"
+  "CMakeFiles/wasp_physical.dir/placement.cc.o"
+  "CMakeFiles/wasp_physical.dir/placement.cc.o.d"
+  "CMakeFiles/wasp_physical.dir/scheduler.cc.o"
+  "CMakeFiles/wasp_physical.dir/scheduler.cc.o.d"
+  "libwasp_physical.a"
+  "libwasp_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

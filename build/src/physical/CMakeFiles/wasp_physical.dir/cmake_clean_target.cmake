@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwasp_physical.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_query.dir/logical_plan.cc.o"
+  "CMakeFiles/wasp_query.dir/logical_plan.cc.o.d"
+  "CMakeFiles/wasp_query.dir/planner.cc.o"
+  "CMakeFiles/wasp_query.dir/planner.cc.o.d"
+  "libwasp_query.a"
+  "libwasp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

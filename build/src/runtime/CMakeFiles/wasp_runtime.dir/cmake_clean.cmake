@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_runtime.dir/cluster.cc.o"
+  "CMakeFiles/wasp_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/wasp_runtime.dir/recorder.cc.o"
+  "CMakeFiles/wasp_runtime.dir/recorder.cc.o.d"
+  "CMakeFiles/wasp_runtime.dir/wasp_system.cc.o"
+  "CMakeFiles/wasp_runtime.dir/wasp_system.cc.o.d"
+  "libwasp_runtime.a"
+  "libwasp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_state.dir/migration.cc.o"
+  "CMakeFiles/wasp_state.dir/migration.cc.o.d"
+  "libwasp_state.a"
+  "libwasp_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_workload.dir/patterns.cc.o"
+  "CMakeFiles/wasp_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/wasp_workload.dir/queries.cc.o"
+  "CMakeFiles/wasp_workload.dir/queries.cc.o.d"
+  "CMakeFiles/wasp_workload.dir/trace_io.cc.o"
+  "CMakeFiles/wasp_workload.dir/trace_io.cc.o.d"
+  "libwasp_workload.a"
+  "libwasp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

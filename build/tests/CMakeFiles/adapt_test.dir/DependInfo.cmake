@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adapt_test.cc" "tests/CMakeFiles/adapt_test.dir/adapt_test.cc.o" "gcc" "tests/CMakeFiles/adapt_test.dir/adapt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adapt/CMakeFiles/wasp_adapt.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wasp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wasp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/wasp_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/wasp_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/wasp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/wasp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/wasp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_test.dir/adapt_test.cc.o"
+  "CMakeFiles/adapt_test.dir/adapt_test.cc.o.d"
+  "adapt_test"
+  "adapt_test.pdb"
+  "adapt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_test.dir/ilp_test.cc.o"
+  "CMakeFiles/ilp_test.dir/ilp_test.cc.o.d"
+  "ilp_test"
+  "ilp_test.pdb"
+  "ilp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microengine_test.dir/microengine_test.cc.o"
+  "CMakeFiles/microengine_test.dir/microengine_test.cc.o.d"
+  "microengine_test"
+  "microengine_test.pdb"
+  "microengine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microengine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
