@@ -1,0 +1,61 @@
+// Shared command-line options for the bench drivers.
+//
+// Every driver is a zero-argument reproduction of one paper figure; the only
+// runtime knob they share is where (whether) to write the structured
+// observability trace:
+//
+//   fig11_live_environment --trace-out=fig11.jsonl
+//
+// Drivers pass `opts.sink` into runtime::SystemConfig::trace_sink (null when
+// the flag is absent, which disables tracing entirely) and call
+// `opts.flush()` before exiting.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace wasp::bench {
+
+struct BenchOptions {
+  std::shared_ptr<obs::FileSink> sink;  // null unless --trace-out was given
+  std::string trace_out;
+
+  // Parses argv; exits with usage on an unknown flag or an unopenable file.
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const std::string prefix = "--trace-out=";
+      if (arg == "--help" || arg == "-h") {
+        std::cout << argv[0]
+                  << " [--trace-out=FILE]   write the observability trace "
+                     "(JSONL) to FILE\n";
+        std::exit(0);
+      } else if (arg.rfind(prefix, 0) == 0) {
+        opts.trace_out = arg.substr(prefix.size());
+      } else {
+        std::cerr << "unknown argument: " << arg
+                  << " (supported: --trace-out=FILE)\n";
+        std::exit(2);
+      }
+    }
+    if (!opts.trace_out.empty()) {
+      opts.sink = std::make_shared<obs::FileSink>(opts.trace_out);
+      if (!opts.sink->ok()) {
+        std::cerr << "cannot open trace output '" << opts.trace_out << "'\n";
+        std::exit(1);
+      }
+    }
+    return opts;
+  }
+
+  void flush() const {
+    if (sink != nullptr) sink->flush();
+  }
+};
+
+}  // namespace wasp::bench

@@ -10,10 +10,15 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE traces the Re-opt runs (one per query, appended into a
+  // single JSONL stream); the baselines run untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   const runtime::AdaptationMode kModes[] = {
       runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
@@ -36,6 +41,9 @@ int main() {
       runtime::SystemConfig config;
       config.mode = kModes[m];
       config.slo_sec = 10.0;
+      if (kModes[m] == runtime::AdaptationMode::kWasp) {
+        config.trace_sink = opts.sink;
+      }
       runtime::WaspSystem system(bed.network, std::move(spec), pattern,
                                  config);
       system.run_until(1500.0);
@@ -51,6 +59,7 @@ int main() {
     }
     print_series(std::cout, "t(s)", series, 2);
   }
+  opts.flush();
 
   expected_shape(
       "NoAdapt: delay grows by orders of magnitude during the overload "

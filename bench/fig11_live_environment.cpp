@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
 namespace {
 
@@ -20,7 +21,8 @@ struct LiveRun {
 };
 
 LiveRun run_mode(wasp::runtime::AdaptationMode mode,
-                 wasp::TimeSeries* variation_out) {
+                 wasp::TimeSeries* variation_out,
+                 std::shared_ptr<wasp::obs::TraceSink> trace_sink = nullptr) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -62,6 +64,7 @@ LiveRun run_mode(wasp::runtime::AdaptationMode mode,
   runtime::SystemConfig config;
   config.mode = mode;
   config.slo_sec = 10.0;
+  config.trace_sink = std::move(trace_sink);
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   // Failure at t=540: all compute revoked; restored 60 s later (§8.6).
   system.run_until(540.0);
@@ -81,15 +84,21 @@ LiveRun run_mode(wasp::runtime::AdaptationMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE captures the full WASP run (the interesting one) as a
+  // structured JSONL trace; the baselines run untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   TimeSeries variations[2];
   const LiveRun noadapt =
       run_mode(runtime::AdaptationMode::kNoAdapt, variations);
   const LiveRun degrade = run_mode(runtime::AdaptationMode::kDegrade, nullptr);
-  const LiveRun wasp_run = run_mode(runtime::AdaptationMode::kWasp, nullptr);
+  const LiveRun wasp_run =
+      run_mode(runtime::AdaptationMode::kWasp, nullptr, opts.sink);
+  opts.flush();
 
   print_section(std::cout,
                 "Figure 11(a): bandwidth and workload variation factors");

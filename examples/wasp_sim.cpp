@@ -23,6 +23,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/trace.h"
 #include "net/bandwidth_model.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -50,6 +51,7 @@ struct Options {
   bool verbose = false;
   std::string trace_file;
   std::string workload_trace_file;
+  std::string trace_out;
   std::vector<std::pair<double, double>> workload_steps;
   std::vector<std::pair<double, double>> bandwidth_steps;
   std::optional<std::pair<double, double>> failure;  // (t, duration)
@@ -78,6 +80,8 @@ void print_usage() {
   --workload-trace=FILE            replay a workload-trace CSV
                                    (time_sec,source_name,site,events_per_sec)
   --fail=T:DURATION                revoke all compute at T for DURATION seconds
+  --trace-out=FILE                 write the structured observability trace
+                                   (schema-versioned JSONL) to FILE
   --csv                            print t,delay_s,ratio,parallelism_x as CSV
   --verbose                        narrate adaptation decisions
   --help                           this text
@@ -125,6 +129,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->trace_file = *v;
     } else if (auto v = value_of("--workload-trace")) {
       opts->workload_trace_file = *v;
+    } else if (auto v = value_of("--trace-out")) {
+      opts->trace_out = *v;
     } else if (auto v = value_of("--workload-step")) {
       std::pair<double, double> step;
       if (!parse_pair(*v, &step)) return false;
@@ -289,6 +295,15 @@ int main(int argc, char** argv) {
   config.slo_sec = opts.slo;
   config.scheduler.alpha = opts.alpha;
   config.seed = opts.seed;
+  std::shared_ptr<obs::FileSink> trace_sink;
+  if (!opts.trace_out.empty()) {
+    trace_sink = std::make_shared<obs::FileSink>(opts.trace_out);
+    if (!trace_sink->ok()) {
+      std::cerr << "cannot open trace output '" << opts.trace_out << "'\n";
+      return 1;
+    }
+    config.trace_sink = trace_sink;
+  }
   runtime::WaspSystem system(network, std::move(query), *pattern, config);
 
   if (opts.failure.has_value()) {
@@ -298,6 +313,7 @@ int main(int argc, char** argv) {
     system.restore_all_sites();
   }
   system.run_until(opts.duration);
+  if (trace_sink != nullptr) trace_sink->flush();
 
   // --- report ---------------------------------------------------------------------
   const auto& rec = system.recorder();

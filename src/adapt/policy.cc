@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace wasp::adapt {
 namespace {
@@ -78,6 +79,21 @@ bool query_is_stateless(const query::LogicalPlan& plan) {
 }
 
 }  // namespace
+
+void AdaptationPolicy::set_trace(obs::TraceEmitter* trace) {
+  trace_ = trace;
+  migration_planner_.set_trace(trace);
+}
+
+void AdaptationPolicy::on_replan_applied(const query::LogicalPlan& old_plan,
+                                         const query::LogicalPlan& new_plan) {
+  std::unordered_map<OperatorId, double> remapped;
+  for (const auto& [old_op, new_op] : new_plan.matching_operators(old_plan)) {
+    const auto it = last_grown_.find(old_op);
+    if (it != last_grown_.end()) remapped[new_op] = it->second;
+  }
+  last_grown_ = std::move(remapped);
+}
 
 const char* to_string(ActionKind kind) {
   switch (kind) {
@@ -275,11 +291,24 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
               return a->diagnosis.severity > b->diagnosis.severity;
             });
 
+  const bool tracing = trace_ != nullptr && trace_->enabled();
   for (const auto& d : diags) {
     if (d.diagnosis.health != Health::kHealthy) {
       log(LogLevel::kDebug, "diagnosis op=", d.op.value(), " ",
           to_string(d.diagnosis.health), " severity=", d.diagnosis.severity,
           " (", d.diagnosis.detail, ")");
+      if (tracing) {
+        trace_->event("diagnosis")
+            .num("op", static_cast<double>(d.op.value()))
+            .str("health", to_string(d.diagnosis.health))
+            .str("detail", d.diagnosis.detail)
+            .num("severity", d.diagnosis.severity)
+            .num("expected_input_eps", d.expected_input_eps)
+            .num("observed_input_eps", d.observed_input_eps)
+            .num("upstream_output_eps", d.upstream_output_eps)
+            .num("backpressure_frac", d.backpressure_frac)
+            .flag("actionable", d.actionable);
+      }
     }
   }
 
@@ -292,6 +321,16 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
               ? handle_compute_bottleneck(engine, monitor, working_view, *d)
               : handle_network_bottleneck(engine, monitor, working_view, *d);
       if (action.kind == ActionKind::kNone) continue;
+      if (tracing) {
+        trace_->event("policy_action")
+            .str("kind", to_string(action.kind))
+            .num("op", action.op.valid()
+                           ? static_cast<double>(action.op.value())
+                           : -1.0)
+            .str("reason", action.reason)
+            .num("estimated_transition_sec", action.estimated_transition_sec)
+            .num("num_moves", static_cast<double>(action.migration.moves.size()));
+      }
       if (action.kind == ActionKind::kReplan) {
         // A re-plan replaces everything; it cannot compose with others.
         if (actions.empty()) actions.push_back(std::move(action));
@@ -376,8 +415,22 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
       AdaptationAction action =
           handle_overprovisioning(engine, monitor, working_view, *waste);
       if (action.kind != ActionKind::kNone) {
+        if (tracing) {
+          trace_->event("policy_action")
+              .str("kind", to_string(action.kind))
+              .num("op", static_cast<double>(action.op.value()))
+              .str("reason", action.reason)
+              .num("estimated_transition_sec",
+                   action.estimated_transition_sec);
+        }
         actions.push_back(std::move(action));
       }
+    } else if (tracing) {
+      trace_->event("policy_reject")
+          .str("kind", to_string(ActionKind::kScaleDown))
+          .num("op", static_cast<double>(waste->op.value()))
+          .str("why", cooling ? "scale-down cooldown active"
+                              : "source backlog above threshold");
     }
   }
   return actions;
@@ -609,7 +662,27 @@ AdaptationAction AdaptationPolicy::handle_network_bottleneck(
         action.reason = "network bottleneck: " + diag.diagnosis.detail;
         return action;
       }
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->event("policy_reject")
+            .str("kind", to_string(ActionKind::kReassign))
+            .num("op", static_cast<double>(diag.op.value()))
+            .str("why", "migration would exceed t_max")
+            .num("estimated_transition_sec",
+                 migration.estimated_transition_sec)
+            .num("t_max_sec", config_.t_max_sec);
+      }
+    } else if (trace_ != nullptr && trace_->enabled()) {
+      trace_->event("policy_reject")
+          .str("kind", to_string(ActionKind::kReassign))
+          .num("op", static_cast<double>(diag.op.value()))
+          .str("why", !outcome.has_value() ? "no feasible placement"
+                                           : "keeps current placement");
     }
+  } else if (recently_adapted && trace_ != nullptr && trace_->enabled()) {
+    trace_->event("policy_reject")
+        .str("kind", to_string(ActionKind::kReassign))
+        .num("op", static_cast<double>(diag.op.value()))
+        .str("why", "recently adapted; escalating");
   }
 
   // 2) Scale out: more tasks spread the stream (and the state partitions)

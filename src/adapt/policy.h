@@ -36,6 +36,10 @@
 #include "query/planner.h"
 #include "state/migration.h"
 
+namespace wasp::obs {
+class TraceEmitter;
+}  // namespace wasp::obs
+
 namespace wasp::adapt {
 
 enum class ActionKind {
@@ -102,6 +106,20 @@ class AdaptationPolicy {
   // Informs the policy of the current time (drives the scale-down
   // cooldown). Call once per decision round.
   void set_now(double t) { now_ = t; }
+
+  // Optional trace hook (non-owning; may be null): decide_all() emits
+  // "diagnosis" events for unhealthy operators, "policy_action" per chosen
+  // action, and "policy_reject" for considered-but-discarded alternatives.
+  // Also forwarded to the embedded migration planner.
+  void set_trace(obs::TraceEmitter* trace);
+
+  // Must be called when a kReplan action is applied to the engine. The new
+  // plan can reuse OperatorIds for different operators, so the scale-down
+  // cooldown map is remapped: operators matched between plans keep their
+  // timestamps under their new ids, everything else is dropped. (Without
+  // this a fresh operator inherits a stale cooldown -- or escapes one.)
+  void on_replan_applied(const query::LogicalPlan& old_plan,
+                         const query::LogicalPlan& new_plan);
 
   // Decides the next action (or kNone). `view` must reflect *currently
   // free* slots; the policy accounts for slots its own reconfiguration
@@ -178,6 +196,7 @@ class AdaptationPolicy {
   query::QueryPlanner planner_;
   state::MigrationPlanner migration_planner_;
   Diagnoser diagnoser_;
+  obs::TraceEmitter* trace_ = nullptr;
   double now_ = 0.0;
   // Last time each operator was grown/re-placed (scale-down cooldown).
   std::unordered_map<OperatorId, double> last_grown_;

@@ -20,7 +20,7 @@ void WeightedHistogram::sort_if_needed() const {
 }
 
 double WeightedHistogram::percentile(double pct) const {
-  if (samples_.empty()) return 0.0;
+  if (samples_.empty() || total_weight_ <= 0.0) return 0.0;
   sort_if_needed();
   const double target = std::clamp(pct, 0.0, 100.0) / 100.0 * total_weight_;
   double cum = 0.0;
@@ -45,11 +45,22 @@ double WeightedHistogram::cdf_at(double x) const {
 std::vector<std::pair<double, double>> WeightedHistogram::cdf_points(
     std::size_t points) const {
   std::vector<std::pair<double, double>> out;
-  if (samples_.empty() || points == 0) return out;
+  if (samples_.empty() || points == 0 || total_weight_ <= 0.0) return out;
+  sort_if_needed();
   out.reserve(points);
-  for (std::size_t i = 1; i <= points; ++i) {
-    const double q = static_cast<double>(i) / static_cast<double>(points);
-    out.emplace_back(percentile(q * 100.0), q);
+  // One cumulative pass: quantile targets are visited in increasing order, so
+  // the sample cursor only ever advances — O(n + points) instead of the old
+  // O(points * n) percentile re-scan per point.
+  std::size_t i = 0;
+  double cum = samples_.front().second;
+  for (std::size_t k = 1; k <= points; ++k) {
+    const double q = static_cast<double>(k) / static_cast<double>(points);
+    const double target = q * total_weight_;
+    while (cum < target && i + 1 < samples_.size()) {
+      ++i;
+      cum += samples_[i].second;
+    }
+    out.emplace_back(samples_[i].first, q);
   }
   return out;
 }

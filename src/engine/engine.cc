@@ -7,6 +7,8 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace wasp::engine {
 namespace {
@@ -332,11 +334,15 @@ void Engine::process_stage(std::size_t stage_idx, double t, double dt) {
           const double headroom =
               std::max(0.0, network_.capacity(c->from, c->to, now_) -
                                 network_.link_allocated(c->from, c->to));
-          drain_eps = std::min(
-              drain_eps,
+          // A freshly (re)built flow has allocated_mbps = 0 and, on a busy
+          // link, near-zero headroom -- but the channel demonstrably drained
+          // at delivered_prev last tick, so never estimate below that.
+          const double link_eps = std::max(
               events_per_sec_over(
                   network_.flow(c->flow).allocated_mbps + headroom,
-                  c->event_bytes));
+                  c->event_bytes),
+              c->delivered_prev / dt);
+          drain_eps = std::min(drain_eps, link_eps);
         }
         chan_cap = config_.channel_buffer_floor_events +
                    config_.channel_buffer_sec * drain_eps;
@@ -479,7 +485,11 @@ void Engine::tick(double t) {
     stage.backpressured = false;
   }
   for (Channel& c : channels_) {
-    c.delivered_prev = c.delivered;
+    // delivered_prev is the channel's last *live* drain rate: while the
+    // receiver is suspended (mid-transition), deliver_into() skips it and
+    // `delivered` decays to zero, which must not erase the drain estimate
+    // the post-transition backpressure bound depends on.
+    if (!stages_[c.to_stage].suspended) c.delivered_prev = c.delivered;
     c.offered = c.delivered = 0.0;
   }
   prev_delay_sec_ = last_.delay_sec;
@@ -495,12 +505,20 @@ void Engine::tick(double t) {
 
   // Periodic localized checkpoint (§5): record state sizes per group.
   if (t - last_checkpoint_ >= config_.checkpoint_interval_sec) {
+    double checkpointed_mb = 0.0;
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       for (std::size_t s = 0; s < stages_[i].groups.size(); ++s) {
         checkpointed_state_[i][s] = group_state_mb(stages_[i], s);
+        checkpointed_mb += checkpointed_state_[i][s];
       }
     }
     last_checkpoint_ = t;
+    if (config_.trace != nullptr && config_.trace->enabled()) {
+      config_.trace->event_at(t, "checkpoint").num("state_mb", checkpointed_mb);
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->counter("engine.checkpoints").inc();
+    }
   }
 
   update_delay_metric(t);
@@ -511,6 +529,76 @@ void Engine::tick(double t) {
   last_.processing_ratio =
       last_.generated_eps > 0.0 ? last_.admitted_eps / last_.generated_eps
                                 : 1.0;
+
+  emit_tick_trace(t, dt);
+}
+
+void Engine::emit_tick_trace(double t, double dt) {
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    reg.counter("engine.ticks").inc();
+    reg.gauge("engine.delay_sec").set(last_.delay_sec);
+    reg.gauge("engine.generated_eps").set(last_.generated_eps);
+    reg.gauge("engine.admitted_eps").set(last_.admitted_eps);
+    reg.gauge("engine.sink_eps").set(last_.sink_eps);
+    reg.gauge("engine.processing_ratio").set(last_.processing_ratio);
+    reg.gauge("engine.source_backlog_events").set(source_backlog_events());
+    int backpressured = 0;
+    for (const StageRt& stage : stages_) {
+      if (stage.backpressured) ++backpressured;
+    }
+    reg.gauge("engine.backpressured_stages").set(backpressured);
+    if (last_.dropped_eps > 0.0) {
+      reg.counter("engine.dropped_events").inc(last_.dropped_eps * dt);
+    }
+  }
+
+  if (config_.trace == nullptr || !config_.trace->enabled()) return;
+  obs::TraceEmitter& trace = *config_.trace;
+
+  trace.event_at(t, "tick")
+      .num("delay_sec", last_.delay_sec)
+      .num("generated_eps", last_.generated_eps)
+      .num("admitted_eps", last_.admitted_eps)
+      .num("sink_eps", last_.sink_eps)
+      .num("dropped_eps", last_.dropped_eps)
+      .num("processing_ratio", last_.processing_ratio);
+
+  for (const StageRt& stage : stages_) {
+    // Idle, unsuspended stages with empty queues carry no information; skip
+    // them to keep the stream proportional to activity.
+    double input_queue = 0.0;
+    for (const Group& g : stage.groups) input_queue += g.input_queue;
+    if (stage.processed <= 0.0 && stage.arrived <= 0.0 && input_queue <= 0.0 &&
+        !stage.backpressured && !stage.suspended) {
+      continue;
+    }
+    trace.event_at(t, "op_tick")
+        .num("op", static_cast<double>(stage.op.value()))
+        .str("name", logical_.op(stage.op).name)
+        .num("processed_eps", stage.processed)
+        .num("emitted_eps", stage.emitted)
+        .num("arrived_eps", stage.arrived)
+        .num("input_queue_events", input_queue)
+        .num("state_mb", stage_total_state_mb(stage))
+        .flag("backpressured", stage.backpressured)
+        .flag("suspended", stage.suspended);
+  }
+
+  for (const Channel& c : channels_) {
+    if (c.offered <= 0.0 && c.delivered <= 0.0 && c.queue <= 0.0) continue;
+    auto event = trace.event_at(t, "channel_tick");
+    event.num("from_op", static_cast<double>(stages_[c.from_stage].op.value()))
+        .num("to_op", static_cast<double>(stages_[c.to_stage].op.value()))
+        .num("from_site", static_cast<double>(c.from.value()))
+        .num("to_site", static_cast<double>(c.to.value()))
+        .num("offered_eps", c.offered / dt)
+        .num("delivered_eps", c.delivered / dt)
+        .num("queue_events", c.queue);
+    if (c.flow.valid() && network_.has_flow(c.flow)) {
+      event.num("allocated_mbps", network_.flow(c.flow).allocated_mbps);
+    }
+  }
 }
 
 void Engine::suspend_stage(OperatorId op) { stage_rt(op).suspended = true; }
@@ -556,30 +644,56 @@ void Engine::apply_placement(OperatorId op,
     g.restore_until = -1.0;
   }
   rebuild_adjacent_channels(stage_index(op));
+
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    auto event = config_.trace->event("placement");
+    event.num("op", static_cast<double>(op.value()))
+        .str("name", logical_.op(op).name)
+        .num("parallelism", new_p);
+    for (SiteId site : placement.sites()) {
+      event.num("tasks_at_site_" + std::to_string(site.value()),
+                placement.at(site));
+    }
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("engine.placements_applied").inc();
+  }
 }
 
 void Engine::rebuild_adjacent_channels(std::size_t stage_idx) {
-  // Collect queued events per logical edge touching this stage, drop those
-  // channels, then recreate them against the new placement and redistribute
-  // the queue by traffic share.
+  // Collect queued events and the aggregate drain rate per logical edge
+  // touching this stage, drop those channels, then recreate them against the
+  // new placement and redistribute both by traffic share. Seeding the drain
+  // (delivered_prev) matters: a fresh channel with delivered_prev = 0 on a
+  // busy link would see its buffer cap collapse to the floor and signal
+  // spurious backpressure for the first post-migration tick.
   struct EdgeKey {
     std::size_t from, to;
     bool operator==(const EdgeKey&) const = default;
   };
-  std::vector<std::pair<EdgeKey, double>> edge_queues;
-  auto queue_of = [&](EdgeKey key) -> double& {
-    for (auto& [k, q] : edge_queues) {
-      if (k == key) return q;
+  struct EdgeCarry {
+    double queue = 0.0;
+    double drain = 0.0;  // summed delivered_prev of the replaced channels
+  };
+  std::vector<std::pair<EdgeKey, EdgeCarry>> edge_carry;
+  auto carry_of = [&](EdgeKey key) -> EdgeCarry& {
+    for (auto& [k, c] : edge_carry) {
+      if (k == key) return c;
     }
-    edge_queues.emplace_back(key, 0.0);
-    return edge_queues.back().second;
+    edge_carry.emplace_back(key, EdgeCarry{});
+    return edge_carry.back().second;
   };
 
   std::vector<Channel> kept;
   kept.reserve(channels_.size());
   for (Channel& c : channels_) {
     if (c.from_stage == stage_idx || c.to_stage == stage_idx) {
-      queue_of({c.from_stage, c.to_stage}) += c.queue;
+      EdgeCarry& carry = carry_of({c.from_stage, c.to_stage});
+      carry.queue += c.queue;
+      // `delivered` holds the just-completed tick's delivery (freshest for a
+      // live receiver); delivered_prev is the retained live rate when the
+      // receiver spent the last tick suspended mid-transition.
+      carry.drain += std::max(c.delivered, c.delivered_prev);
       if (c.flow.valid() && network_.has_flow(c.flow)) {
         network_.remove_flow(c.flow);
       }
@@ -592,7 +706,7 @@ void Engine::rebuild_adjacent_channels(std::size_t stage_idx) {
   auto make_edge = [&](std::size_t from_idx, std::size_t to_idx) {
     const StageRt& from = stages_[from_idx];
     const StageRt& to = stages_[to_idx];
-    const double queued = queue_of({from_idx, to_idx});
+    const EdgeCarry carry = carry_of({from_idx, to_idx});
     const int p_from = from.placement.parallelism();
     const int p_to = to.placement.parallelism();
     if (p_from == 0 || p_to == 0) return;
@@ -607,7 +721,14 @@ void Engine::rebuild_adjacent_channels(std::size_t stage_idx) {
         const double share =
             (static_cast<double>(from.placement.at(su)) / p_from) *
             (static_cast<double>(to.placement.at(sd)) / p_to);
-        c.queue = queued * share;
+        c.queue = carry.queue * share;
+        // Seed both delivery fields: tick() derives delivered_prev from
+        // `delivered` at the start of the next tick when the receiver is
+        // live (so a seed in delivered_prev alone would be clobbered by the
+        // fresh channel's zero), while a still-suspended receiver skips that
+        // update and reads delivered_prev directly.
+        c.delivered = carry.drain * share;
+        c.delivered_prev = carry.drain * share;
         if (su != sd) c.flow = network_.add_stream_flow(su, sd);
         channels_.push_back(c);
       }
@@ -768,10 +889,26 @@ void Engine::apply_replan(query::LogicalPlan logical,
       replay_pending_events_ += units;
     }
   }
+
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    config_.trace->event("replan")
+        .num("num_operators", static_cast<double>(logical_.num_operators()))
+        .num("replayed_source_units", inflight_source_units);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("engine.replans_applied").inc();
+  }
 }
 
 void Engine::fail_site(SiteId site) {
   failed_sites_[static_cast<std::size_t>(site.value())] = true;
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    config_.trace->event("site_failed")
+        .num("site", static_cast<double>(site.value()));
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("engine.site_failures").inc();
+  }
 }
 
 void Engine::restore_site(SiteId site) {
@@ -779,12 +916,25 @@ void Engine::restore_site(SiteId site) {
   failed_sites_[s] = false;
   // Groups at the site replay their local checkpoint before processing
   // resumes; the pause is proportional to the checkpointed state size (§5).
+  double restore_mb = 0.0;
+  double max_restore_sec = 0.0;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     Group& g = stages_[i].groups[s];
     if (g.tasks == 0) continue;
     const double restore_sec =
         checkpointed_state_[i][s] / config_.local_restore_mb_per_sec;
     g.restore_until = now_ + restore_sec;
+    restore_mb += checkpointed_state_[i][s];
+    max_restore_sec = std::max(max_restore_sec, restore_sec);
+  }
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    config_.trace->event("site_restored")
+        .num("site", static_cast<double>(site.value()))
+        .num("checkpoint_mb", restore_mb)
+        .num("restore_sec", max_restore_sec);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("engine.site_restores").inc();
   }
 }
 

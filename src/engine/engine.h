@@ -39,6 +39,11 @@
 #include "physical/physical_plan.h"
 #include "query/logical_plan.h"
 
+namespace wasp::obs {
+class MetricsRegistry;
+class TraceEmitter;
+}  // namespace wasp::obs
+
 namespace wasp::engine {
 
 struct EngineConfig {
@@ -61,6 +66,11 @@ struct EngineConfig {
   // localized checkpointing makes restore a local, fast operation).
   double local_restore_mb_per_sec = 200.0;
   double checkpoint_interval_sec = 30.0;
+  // Optional observability hooks (non-owning; may be null). The trace
+  // receives tick/placement/replan/failure/checkpoint events; the registry
+  // receives engine.* counters and gauges. See DESIGN.md §6.
+  obs::TraceEmitter* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {
@@ -219,6 +229,7 @@ class Engine {
   void apply_degrade_drops(double t);
   void deliver_into(std::size_t stage_idx, double dt);
   void process_stage(std::size_t stage_idx, double t, double dt);
+  void emit_tick_trace(double t, double dt);
   void set_flow_demands(double dt);
   void update_delay_metric(double t);
   [[nodiscard]] double stage_total_state_mb(const StageRt& stage) const;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/units.h"
+#include "obs/trace.h"
 
 namespace wasp::net {
 
@@ -100,10 +101,26 @@ void Network::step(double t, double dt) {
     }
     per_link[f.from.value() * n + f.to.value()].push_back(&f);
   }
+  const bool tracing = trace_ != nullptr && trace_->enabled();
   for (auto& [key, flows] : per_link) {
     const SiteId from(key / n);
     const SiteId to(key % n);
-    waterfill(flows, capacity(from, to, t));
+    const double cap = capacity(from, to, t);
+    waterfill(flows, cap);
+    if (tracing) {
+      double stream_mbps = 0.0, bulk_mbps = 0.0;
+      for (const Flow* f : flows) {
+        (f->kind == FlowKind::kStream ? stream_mbps : bulk_mbps) +=
+            f->allocated_mbps;
+      }
+      trace_->event_at(t, "link_alloc")
+          .num("from_site", static_cast<double>(from.value()))
+          .num("to_site", static_cast<double>(to.value()))
+          .num("capacity_mbps", cap)
+          .num("stream_mbps", stream_mbps)
+          .num("bulk_mbps", bulk_mbps)
+          .num("num_flows", static_cast<double>(flows.size()));
+    }
   }
 
   // Advance bulk transfers.
@@ -113,6 +130,12 @@ void Network::step(double t, double dt) {
     if (f.remaining_mb <= 1e-9) {
       f.remaining_mb = 0.0;
       f.done = true;
+      if (tracing) {
+        trace_->event_at(t, "bulk_done")
+            .num("flow", static_cast<double>(id.value()))
+            .num("from_site", static_cast<double>(f.from.value()))
+            .num("to_site", static_cast<double>(f.to.value()));
+      }
     }
   }
 }

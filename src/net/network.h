@@ -17,6 +17,10 @@
 #include "net/bandwidth_model.h"
 #include "net/topology.h"
 
+namespace wasp::obs {
+class TraceEmitter;
+}  // namespace wasp::obs
+
 namespace wasp::net {
 
 enum class FlowKind {
@@ -70,6 +74,12 @@ class Network {
 
   [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
 
+  // Optional trace hook (non-owning; may be null). step() emits one
+  // "link_alloc" event per active WAN link and a "bulk_done" event when a
+  // bulk (migration) transfer completes.
+  void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
+  [[nodiscard]] obs::TraceEmitter* trace() const { return trace_; }
+
  private:
   // Max-min fair share for the flows of one link given its capacity. Bulk
   // flows are treated as having unbounded demand.
@@ -79,6 +89,7 @@ class Network {
   std::shared_ptr<const BandwidthModel> model_;
   std::unordered_map<FlowId, Flow> flows_;
   std::int64_t next_flow_id_ = 0;
+  obs::TraceEmitter* trace_ = nullptr;
 };
 
 }  // namespace wasp::net

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wasp::obs {
+namespace {
+
+// JSON string escaping for keys and string values.
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  // Shortest round-trippable form is overkill here; %.12g keeps lines compact
+  // while preserving the precision the analyses care about.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out += buf;
+}
+
+}  // namespace
+
+double TraceEvent::num(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : nums) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string_view TraceEvent::str(std::string_view key,
+                                 std::string_view fallback) const {
+  for (const auto& [k, v] : strs) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string to_json_line(const TraceEvent& event) {
+  std::string out;
+  out.reserve(96 + 32 * (event.nums.size() + event.strs.size()));
+  out += "{\"schema\":";
+  append_number(out, kTraceSchemaVersion);
+  out += ",\"seq\":";
+  append_number(out, static_cast<double>(event.seq));
+  out += ",\"t\":";
+  append_number(out, event.t);
+  out += ",\"type\":";
+  append_escaped(out, event.type);
+  for (const auto& [key, value] : event.strs) {
+    out.push_back(',');
+    append_escaped(out, key);
+    out.push_back(':');
+    append_escaped(out, value);
+  }
+  for (const auto& [key, value] : event.nums) {
+    out.push_back(',');
+    append_escaped(out, key);
+    out.push_back(':');
+    append_number(out, value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+void MemorySink::write(const TraceEvent& event) {
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<const TraceEvent*> MemorySink::of_type(
+    std::string_view type) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) out.push_back(&event);
+  }
+  return out;
+}
+
+void FileSink::write(const TraceEvent& event) {
+  if (!out_.good()) return;
+  out_ << to_json_line(event) << '\n';
+}
+
+TraceEmitter::Event::Event(TraceEmitter* emitter, double t,
+                           std::string_view type)
+    : emitter_(emitter) {
+  if (emitter_ == nullptr) return;
+  event_.t = t;
+  event_.type.assign(type);
+}
+
+TraceEmitter::Event::~Event() {
+  if (emitter_ != nullptr) emitter_->commit(std::move(event_));
+}
+
+TraceEmitter::Event& TraceEmitter::Event::num(std::string_view key,
+                                              double value) {
+  if (emitter_ != nullptr) event_.nums.emplace_back(key, value);
+  return *this;
+}
+
+TraceEmitter::Event& TraceEmitter::Event::str(std::string_view key,
+                                              std::string_view value) {
+  if (emitter_ != nullptr) event_.strs.emplace_back(key, value);
+  return *this;
+}
+
+void TraceEmitter::commit(TraceEvent event) {
+  event.seq = next_seq_++;
+  sink_->write(event);
+}
+
+}  // namespace wasp::obs

@@ -1,0 +1,156 @@
+// Structured trace emission (the observability event stream).
+//
+// WASP's contribution is a control loop that observes rates, queues,
+// backpressure and state sizes and then picks one adaptation action (§3.2,
+// §6). Debugging a wrong decision needs the full causal chain: what the
+// engine measured, what the policy diagnosed, which alternatives it rejected,
+// and what the reconfiguration actually did. The TraceEmitter captures that
+// chain as schema-versioned events written to a runtime-chosen sink:
+//   - FileSink:   JSONL (one JSON object per line) for offline analysis;
+//   - MemorySink: a bounded in-memory ring for tests and embedding;
+//   - no sink:    the emitter is disabled and every call is a cheap no-op.
+//
+// Event layout (see DESIGN.md §6 for the per-type field tables):
+//   {"schema":1,"seq":N,"t":<sim seconds>,"type":"...", ...fields}
+//
+// Producers hold a non-owning TraceEmitter* and guard hot paths with
+// `enabled()`; fields are attached through a small RAII builder that commits
+// the event when it goes out of scope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wasp::obs {
+
+inline constexpr int kTraceSchemaVersion = 1;
+
+// One trace record: a type tag, a simulated-time stamp, and flat fields.
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  std::string type;
+  std::vector<std::pair<std::string, double>> nums;
+  std::vector<std::pair<std::string, std::string>> strs;
+
+  // Field lookup (linear; events are small). Returns the fallback when the
+  // key is absent.
+  [[nodiscard]] double num(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] std::string_view str(std::string_view key,
+                                     std::string_view fallback = {}) const;
+};
+
+// Serializes one event as a single JSON line (no trailing newline). Numbers
+// that JSON cannot represent (NaN, infinities) are emitted as null.
+[[nodiscard]] std::string to_json_line(const TraceEvent& event);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+// Bounded ring of structured events; the oldest are dropped once full.
+class MemorySink final : public TraceSink {
+ public:
+  explicit MemorySink(std::size_t capacity = 1 << 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void write(const TraceEvent& event) override;
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::vector<const TraceEvent*> of_type(
+      std::string_view type) const;
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+// JSONL file sink. Check ok() after construction; a sink that failed to open
+// swallows writes.
+class FileSink final : public TraceSink {
+ public:
+  explicit FileSink(const std::string& path) : out_(path) {}
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+  void write(const TraceEvent& event) override;
+  void flush() override { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+class TraceEmitter {
+ public:
+  TraceEmitter() = default;  // disabled: every event() is a no-op
+  explicit TraceEmitter(std::shared_ptr<TraceSink> sink)
+      : sink_(std::move(sink)) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] std::uint64_t emitted() const { return next_seq_; }
+
+  // The default timestamp for event(); the runtime advances it once per tick
+  // so producers without their own clock (e.g. the migration planner) stamp
+  // correctly.
+  void set_now(double t) { now_ = t; }
+  [[nodiscard]] double now() const { return now_; }
+
+  // RAII field builder: commits the event to the sink on destruction.
+  class Event {
+   public:
+    Event(Event&& other) noexcept
+        : emitter_(other.emitter_), event_(std::move(other.event_)) {
+      other.emitter_ = nullptr;
+    }
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+    Event& operator=(Event&&) = delete;
+    ~Event();
+
+    Event& num(std::string_view key, double value);
+    Event& str(std::string_view key, std::string_view value);
+    Event& flag(std::string_view key, bool value) {
+      return str(key, value ? "true" : "false");
+    }
+
+   private:
+    friend class TraceEmitter;
+    Event(TraceEmitter* emitter, double t, std::string_view type);
+
+    TraceEmitter* emitter_;  // null when the emitter is disabled
+    TraceEvent event_;
+  };
+
+  [[nodiscard]] Event event(std::string_view type) {
+    return Event(enabled() ? this : nullptr, now_, type);
+  }
+  [[nodiscard]] Event event_at(double t, std::string_view type) {
+    return Event(enabled() ? this : nullptr, t, type);
+  }
+
+  void flush() {
+    if (sink_ != nullptr) sink_->flush();
+  }
+
+ private:
+  void commit(TraceEvent event);
+
+  std::shared_ptr<TraceSink> sink_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace wasp::obs

@@ -1,5 +1,7 @@
 #include "runtime/recorder.h"
 
+#include "obs/metrics_registry.h"
+
 namespace wasp::runtime {
 
 void Recorder::record_tick(double t, double delay_sec, double ratio,
@@ -13,6 +15,19 @@ void Recorder::record_tick(double t, double delay_sec, double ratio,
   total_generated_ += generated;
   total_processed_ += admitted;
   total_dropped_ += dropped;
+
+  if (metrics_ != nullptr) {
+    metrics_->gauge("runtime.delay_sec").set(delay_sec);
+    metrics_->gauge("runtime.processing_ratio").set(ratio);
+    metrics_->gauge("runtime.parallelism_factor").set(parallelism_factor);
+    metrics_->gauge("runtime.backlog_events").set(backlog_events);
+    metrics_->counter("runtime.generated_events").inc(generated);
+    metrics_->counter("runtime.processed_events").inc(admitted);
+    metrics_->counter("runtime.dropped_events").inc(dropped);
+    if (admitted > 0.0) {
+      metrics_->histogram("runtime.delay_sec").add(delay_sec, admitted);
+    }
+  }
 }
 
 double Recorder::processed_fraction() const {

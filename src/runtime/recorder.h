@@ -7,12 +7,17 @@
 // transition and stabilization times (the §8.7 overhead breakdown).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/ids.h"
 #include "common/time_series.h"
+
+namespace wasp::obs {
+class MetricsRegistry;
+}  // namespace wasp::obs
 
 namespace wasp::runtime {
 
@@ -22,6 +27,7 @@ struct AdaptationEvent {
   double stabilized_at = -1.0;    // when backlog returned to steady state
   std::string kind;               // "re-assign", "scale-out", ...
   std::string reason;
+  std::int64_t op = -1;           // target operator id; -1 for re-plans
   double estimated_transition_sec = 0.0;
   double migrated_mb = 0.0;
 
@@ -46,6 +52,12 @@ class Recorder {
   void record_tick(double t, double delay_sec, double ratio,
                    double parallelism_factor, double backlog_events,
                    double generated, double admitted, double dropped);
+
+  // Mirrors every recorded tick into `registry` (runtime.* gauges/counters
+  // and the runtime.delay_sec histogram), so external consumers read the
+  // recorder's data through the shared registry instead of duplicating it.
+  // Non-owning; pass nullptr to detach.
+  void bind_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
 
   [[nodiscard]] const TimeSeries& delay() const { return delay_; }
   [[nodiscard]] const TimeSeries& ratio() const { return ratio_; }
@@ -76,6 +88,7 @@ class Recorder {
   double total_processed_ = 0.0;
   double total_dropped_ = 0.0;
   std::vector<AdaptationEvent> events_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace wasp::runtime

@@ -102,10 +102,22 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
       state::MigrationPlanner(config_.migration, rng_.fork()),
       adapt::Diagnoser(config_.diagnoser));
 
+  // Observability wiring: one emitter over the configured sink, shared (as a
+  // raw pointer) by every layer. Recorder data flows through the registry
+  // rather than being duplicated.
+  if (config_.trace_sink != nullptr) {
+    trace_ = obs::TraceEmitter(config_.trace_sink);
+    network_.set_trace(&trace_);
+  }
+  policy_->set_trace(&trace_);
+  recorder_.bind_metrics(&metrics_);
+
   config_.engine.tick_sec = config_.tick_sec;
   config_.engine.degrade = config_.mode == AdaptationMode::kDegrade ||
                            config_.mode == AdaptationMode::kHybrid;
   config_.engine.slo_sec = config_.slo_sec;
+  config_.engine.trace = &trace_;
+  config_.engine.metrics = &metrics_;
 
   for (OperatorId src : spec.plan.sources()) {
     pattern_source_ids_.emplace(spec.plan.op(src).name, src);
@@ -113,7 +125,11 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
   deploy(std::move(spec));
 }
 
-WaspSystem::~WaspSystem() = default;
+WaspSystem::~WaspSystem() {
+  // The Network may be shared across systems (runtime::Cluster); only detach
+  // the trace hook if it still points at this system's emitter.
+  if (network_.trace() == &trace_) network_.set_trace(nullptr);
+}
 
 void WaspSystem::deploy(workload::QuerySpec spec) {
   // Initial WAN measurement so the scheduler has bandwidth estimates.
@@ -218,6 +234,7 @@ std::vector<int> WaspSystem::free_slots() const {
 
 void WaspSystem::step(bool drive_network) {
   now_ += config_.tick_sec;
+  trace_.set_now(now_);
   apply_workload();
   wan_monitor_.tick(now_);
   if (drive_network) network_.step(now_, config_.tick_sec);
@@ -315,12 +332,25 @@ void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions) 
     event.decided_at = now_;
     event.kind = to_string(action.kind);
     event.reason = action.reason;
+    event.op = action.op.valid() ? action.op.value() : -1;
     event.estimated_transition_sec = action.estimated_transition_sec;
     for (const auto& move : action.migration.moves) {
       event.migrated_mb += move.size_mb;
     }
     recorder_.events().push_back(event);
     transition.event_indices.push_back(recorder_.events().size() - 1);
+
+    // The canonical adaptation record: one trace event per recorder event,
+    // same kind/op/timestamp (tests assert the one-to-one match).
+    if (trace_.enabled()) {
+      trace_.event("adaptation")
+          .str("kind", event.kind)
+          .num("op", static_cast<double>(event.op))
+          .str("reason", event.reason)
+          .num("estimated_transition_sec", event.estimated_transition_sec)
+          .num("migrated_mb", event.migrated_mb);
+    }
+    metrics_.counter("runtime.adaptations").inc();
 
     // Halt the affected execution (§4.1 step 1) and launch the state
     // transfers as bulk flows that share the WAN with the data plane.
@@ -347,6 +377,9 @@ void WaspSystem::finalize_transition() {
 
   for (adapt::AdaptationAction& action : transition_->actions) {
     if (action.kind == adapt::ActionKind::kReplan) {
+      // The new plan may reuse operator ids: remap the policy's per-operator
+      // cooldowns before the engine consumes (moves) the new logical plan.
+      policy_->on_replan_applied(engine_->logical(), *action.new_logical);
       engine_->apply_replan(std::move(*action.new_logical),
                             std::move(*action.new_physical));
       engine_->resume_all();
@@ -358,6 +391,14 @@ void WaspSystem::finalize_transition() {
 
   for (std::size_t index : transition_->event_indices) {
     recorder_.events()[index].transition_end = now_;
+    if (trace_.enabled()) {
+      const AdaptationEvent& event = recorder_.events()[index];
+      trace_.event("transition_end")
+          .str("kind", event.kind)
+          .num("op", static_cast<double>(event.op))
+          .num("decided_at", event.decided_at)
+          .num("transition_sec", event.transition_sec());
+    }
   }
   stabilizing_event_ = transition_->event_indices.front();
   transition_.reset();
@@ -377,7 +418,15 @@ void WaspSystem::watch_stabilization() {
       std::max(1.0, 2.0 * pre_transition_delay_);
   if (backlog <= std::max(per_tick, 1.0) &&
       engine_->last_tick().delay_sec <= delay_target) {
-    recorder_.events()[*stabilizing_event_].stabilized_at = now_;
+    AdaptationEvent& event = recorder_.events()[*stabilizing_event_];
+    event.stabilized_at = now_;
+    if (trace_.enabled()) {
+      trace_.event("stabilized")
+          .str("kind", event.kind)
+          .num("op", static_cast<double>(event.op))
+          .num("decided_at", event.decided_at)
+          .num("stabilize_sec", event.stabilize_sec());
+    }
     stabilizing_event_.reset();
   }
 }
@@ -403,6 +452,7 @@ void WaspSystem::force_reassign(OperatorId op,
   assert(!transition_.has_value());
   const MonitorView view(*this);
   state::MigrationPlanner planner(config_.migration, rng_.fork());
+  planner.set_trace(&trace_);
 
   // Build the source/destination state inventory exactly as the policy does.
   adapt::AdaptationAction action;

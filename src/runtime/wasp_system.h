@@ -32,6 +32,8 @@
 #include "engine/engine.h"
 #include "net/network.h"
 #include "net/wan_monitor.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "physical/scheduler.h"
 #include "query/planner.h"
 #include "runtime/recorder.h"
@@ -80,6 +82,11 @@ struct SystemConfig {
   // per site used by *other* queries sharing the deployment; this query's
   // scheduler subtracts them from availability. Wired by runtime::Cluster.
   std::function<std::vector<int>()> peer_slot_usage;
+  // Observability: when set, the system wires a TraceEmitter over this sink
+  // through every layer (engine, network, policy, migration planner) and
+  // emits its own "adaptation"/"transition_end"/"stabilized" events. Null
+  // (the default) disables tracing entirely. See DESIGN.md §6.
+  std::shared_ptr<obs::TraceSink> trace_sink;
 };
 
 class WaspSystem {
@@ -105,6 +112,10 @@ class WaspSystem {
   [[nodiscard]] const engine::Engine& engine() const { return *engine_; }
   [[nodiscard]] engine::Engine& mutable_engine() { return *engine_; }
   [[nodiscard]] const Recorder& recorder() const { return recorder_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] obs::TraceEmitter& trace() { return trace_; }
   [[nodiscard]] const net::WanMonitor& wan_monitor() const {
     return wan_monitor_;
   }
@@ -151,6 +162,10 @@ class WaspSystem {
   net::WanMonitor wan_monitor_;
   physical::Scheduler scheduler_;
   query::QueryPlanner planner_;
+  // Declared before policy_/engine_: both hold raw pointers into these and
+  // must be destroyed first.
+  obs::MetricsRegistry metrics_;
+  obs::TraceEmitter trace_;
   adapt::GlobalMetricMonitor metric_monitor_;
   std::unique_ptr<adapt::AdaptationPolicy> policy_;
   std::unique_ptr<engine::Engine> engine_;

@@ -7,6 +7,7 @@
 
 #include "common/units.h"
 #include "lp/simplex.h"
+#include "obs/trace.h"
 
 namespace wasp::state {
 
@@ -69,13 +70,26 @@ MigrationPlan MigrationPlanner::plan(
 
   switch (strategy_) {
     case MigrationStrategy::kNetworkAware:
-      return plan_network_aware(srcs, dsts, view);
+      out = plan_network_aware(srcs, dsts, view);
+      break;
     case MigrationStrategy::kRandom:
-      return plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/false);
+      out = plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/false);
+      break;
     case MigrationStrategy::kDistant:
-      return plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/true);
+      out = plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/true);
+      break;
     case MigrationStrategy::kNone:
       break;
+  }
+
+  if (trace_ != nullptr && trace_->enabled()) {
+    double total_mb = 0.0;
+    for (const Move& m : out.moves) total_mb += m.size_mb;
+    trace_->event("migration_plan")
+        .str("strategy", to_string(strategy_))
+        .num("num_moves", static_cast<double>(out.moves.size()))
+        .num("total_mb", total_mb)
+        .num("estimated_transition_sec", out.estimated_transition_sec);
   }
   return out;
 }

@@ -27,6 +27,10 @@
 #include "common/rng.h"
 #include "physical/placement.h"
 
+namespace wasp::obs {
+class TraceEmitter;
+}  // namespace wasp::obs
+
 namespace wasp::state {
 
 enum class MigrationStrategy { kNetworkAware, kRandom, kDistant, kNone };
@@ -64,6 +68,10 @@ class MigrationPlanner {
 
   [[nodiscard]] MigrationStrategy strategy() const { return strategy_; }
 
+  // Optional trace hook (non-owning; may be null): plan() emits one
+  // "migration_plan" event summarizing the chosen move set.
+  void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
+
   // Plans the transfer of all `sources` state to `destinations`. The
   // destination shares must sum to the source total (fluid balance); minor
   // mismatches are normalized. Returns an empty plan for kNone.
@@ -88,6 +96,7 @@ class MigrationPlanner {
 
   MigrationStrategy strategy_;
   Rng rng_;
+  obs::TraceEmitter* trace_ = nullptr;
 };
 
 }  // namespace wasp::state

@@ -494,6 +494,71 @@ TEST(PolicyTest, ReassignEscalatesAfterCooldownHit) {
   EXPECT_NE(second.kind, ActionKind::kReassign);
 }
 
+TEST(PolicyTest, ReplanClearsStaleCooldowns) {
+  // Regression: the per-operator grow cooldowns (last_grown_) are keyed by
+  // operator id, but a re-plan renumbers operators. Without the
+  // on_replan_applied remap a stale entry either sticks to an unrelated new
+  // operator or lingers forever. After a re-plan where no operator matches,
+  // the cooldown must be gone: the same bottleneck re-diagnosed later must
+  // again yield a plain re-assignment, not an escalation.
+  Fixture f(100.0, 100'000.0);
+  net::Topology topo = net::Topology::make_uniform(4, 4, 100.0, 20.0);
+  topo.set_link(SiteId(0), SiteId(1), 6.0, 20.0);
+  f.engine.reset();
+  f.network = net::Network(topo, std::make_shared<net::ConstantBandwidth>());
+  f.engine = std::make_unique<engine::Engine>(f.plan, f.physical, f.network,
+                                              engine::EngineConfig{});
+  GlobalMetricMonitor monitor;
+  f.run(0.0, 40.0, 10'000.0, &monitor);
+  auto policy = f.make_policy();
+  policy.set_now(40.0);
+  const auto first =
+      policy.decide(*f.engine, monitor, TruthView(f.network, f.engine.get()));
+  ASSERT_EQ(first.kind, ActionKind::kReassign);
+
+  // A re-plan lands whose operators share no signature with the old plan
+  // (signatures hash the source *names*, so renaming the source changes
+  // every downstream signature too). All cooldowns must be dropped.
+  LogicalPlan renamed = f.plan;
+  renamed.mutable_op(f.src_id).name = "src_renamed";
+  policy.on_replan_applied(f.plan, renamed);
+
+  policy.set_now(80.0);
+  const auto second =
+      policy.decide(*f.engine, monitor, TruthView(f.network, f.engine.get()));
+  EXPECT_EQ(second.kind, ActionKind::kReassign)
+      << "stale cooldown survived the re-plan";
+}
+
+TEST(PolicyTest, ReplanRemapsCooldownsForMatchingOperators) {
+  // Counterpart to ReplanClearsStaleCooldowns: when the new plan contains
+  // the same operator (matching signature), its cooldown must carry over so
+  // the escalation behaviour is preserved.
+  Fixture f(100.0, 100'000.0);
+  net::Topology topo = net::Topology::make_uniform(4, 4, 100.0, 20.0);
+  topo.set_link(SiteId(0), SiteId(1), 6.0, 20.0);
+  f.engine.reset();
+  f.network = net::Network(topo, std::make_shared<net::ConstantBandwidth>());
+  f.engine = std::make_unique<engine::Engine>(f.plan, f.physical, f.network,
+                                              engine::EngineConfig{});
+  GlobalMetricMonitor monitor;
+  f.run(0.0, 40.0, 10'000.0, &monitor);
+  auto policy = f.make_policy();
+  policy.set_now(40.0);
+  const auto first =
+      policy.decide(*f.engine, monitor, TruthView(f.network, f.engine.get()));
+  ASSERT_EQ(first.kind, ActionKind::kReassign);
+
+  // An identical re-plan: every operator matches itself.
+  policy.on_replan_applied(f.plan, f.plan);
+
+  policy.set_now(80.0);
+  const auto second =
+      policy.decide(*f.engine, monitor, TruthView(f.network, f.engine.get()));
+  EXPECT_NE(second.kind, ActionKind::kReassign)
+      << "cooldown for a matching operator must survive the re-plan";
+}
+
 TEST(PolicyTest, ScaleDownSuppressedWhileBacklogged) {
   // An over-provisioned stage is left alone while a large source backlog
   // still needs the capacity.

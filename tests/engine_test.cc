@@ -317,6 +317,80 @@ TEST(EngineTest, ApplyPlacementMovesTasksAndKeepsQueues) {
   EXPECT_NEAR(f.engine->last_tick().sink_eps, 10'000.0, 300.0);
 }
 
+TEST(EngineTest, MigrationSeedsChannelDrainEstimate) {
+  // Regression: channels created by rebuild_adjacent_channels used to start
+  // with delivered_prev = 0. On a nearly saturated link the freshly rebuilt
+  // flow has allocated_mbps = 0 and near-zero headroom, so the WAN drain
+  // estimate -- and with it the channel buffer cap -- collapsed to the floor
+  // and the sender was spuriously backpressured on the first post-migration
+  // tick. The rebuild must seed delivered_prev from the replaced channels'
+  // demonstrated drain rate.
+  //
+  // Setup: two chains sourced at site 0 on 12 Mbps links. Chain A
+  // (srcA -> mapA@1) keeps link 0->1 at 11 of 12 Mbps, leaving ~1 Mbps of
+  // headroom. Chain B (srcB -> mapB@0) runs intra-site at 10k events/s.
+  // Moving mapB to site 1 creates a fresh WAN channel on the saturated link:
+  // without seeding its cap is ~5000 + 2 s * ~1000 eps = 7000 events, well
+  // under one tick's 10k output -> spurious backpressure.
+  net::Network network(net::Topology::make_uniform(3, 4, 12.0, 10.0),
+                       std::make_shared<net::ConstantBandwidth>());
+  LogicalPlan plan;
+  auto make_op = [](const char* name, OperatorKind kind,
+                    std::vector<SiteId> pinned) {
+    LogicalOperator op;
+    op.name = name;
+    op.kind = kind;
+    op.output_event_bytes = 125.0;
+    op.events_per_sec_per_slot = 1e6;
+    op.pinned_sites = std::move(pinned);
+    return op;
+  };
+  const OperatorId src_a =
+      plan.add_operator(make_op("srcA", OperatorKind::kSource, {SiteId(0)}));
+  const OperatorId map_a =
+      plan.add_operator(make_op("mapA", OperatorKind::kMap, {}));
+  const OperatorId sink_a =
+      plan.add_operator(make_op("sinkA", OperatorKind::kSink, {SiteId(1)}));
+  const OperatorId src_b =
+      plan.add_operator(make_op("srcB", OperatorKind::kSource, {SiteId(0)}));
+  const OperatorId map_b =
+      plan.add_operator(make_op("mapB", OperatorKind::kMap, {}));
+  const OperatorId sink_b =
+      plan.add_operator(make_op("sinkB", OperatorKind::kSink, {SiteId(0)}));
+  plan.connect(src_a, map_a);
+  plan.connect(map_a, sink_a);
+  plan.connect(src_b, map_b);
+  plan.connect(map_b, sink_b);
+
+  PhysicalPlan physical;
+  physical.add_stage(src_a, StagePlacement{.per_site = {1, 0, 0}});
+  physical.add_stage(map_a, StagePlacement{.per_site = {0, 1, 0}});
+  physical.add_stage(sink_a, StagePlacement{.per_site = {0, 1, 0}});
+  physical.add_stage(src_b, StagePlacement{.per_site = {1, 0, 0}});
+  physical.add_stage(map_b, StagePlacement{.per_site = {1, 0, 0}});
+  physical.add_stage(sink_b, StagePlacement{.per_site = {1, 0, 0}});
+
+  Engine engine(plan, physical, network, EngineConfig{});
+  for (double t = 1.0; t <= 30.0 + 1e-9; t += 1.0) {
+    engine.set_source_rate(src_a, SiteId(0), 11'000.0);
+    engine.set_source_rate(src_b, SiteId(0), 10'000.0);
+    network.step(t, 1.0);
+    engine.tick(t);
+  }
+  ASSERT_FALSE(engine.op_metrics(src_a).backpressured);
+  ASSERT_FALSE(engine.op_metrics(src_b).backpressured);
+
+  engine.apply_placement(map_b, StagePlacement{.per_site = {0, 1, 0}});
+
+  engine.set_source_rate(src_a, SiteId(0), 11'000.0);
+  engine.set_source_rate(src_b, SiteId(0), 10'000.0);
+  network.step(31.0, 1.0);
+  engine.tick(31.0);
+  EXPECT_FALSE(engine.op_metrics(src_b).backpressured)
+      << "fresh post-migration channel must inherit the replaced channel's "
+         "drain rate, not collapse to the floor buffer";
+}
+
 TEST(EngineTest, ScaleOutSplitsStateAcrossSites) {
   Fixture f;
   f.engine->set_state_override_mb(f.map_id, 100.0);

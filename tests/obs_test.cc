@@ -1,0 +1,272 @@
+// Observability layer: metrics registry semantics, trace emitter/sink
+// behaviour and JSON encoding, and an end-to-end check that the trace
+// stream's adaptation events mirror the experiment recorder one-to-one.
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "net/bandwidth_model.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "runtime/wasp_system.h"
+#include "workload/patterns.h"
+#include "workload/queries.h"
+
+namespace wasp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersAndGaugesRoundTrip) {
+  MetricsRegistry registry;
+  Counter& ticks = registry.counter("engine.ticks");
+  Gauge& delay = registry.gauge("engine.delay_sec");
+
+  ticks.inc();
+  ticks.inc(4.0);
+  delay.set(2.5);
+  delay.set(0.75);
+
+  EXPECT_DOUBLE_EQ(registry.counter("engine.ticks").value(), 5.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("engine.delay_sec").value(), 0.75);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossLaterRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("a.first");
+  // Register enough further metrics that any container reallocation would
+  // move non-node-stable storage.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("c.metric_" + std::to_string(i)).inc();
+  }
+  first.inc(7.0);
+  EXPECT_DOUBLE_EQ(registry.counter("a.first").value(), 7.0);
+  EXPECT_EQ(&first, &registry.counter("a.first"));
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullForUnknownNames) {
+  MetricsRegistry registry;
+  registry.counter("known.counter");
+  EXPECT_NE(registry.find_counter("known.counter"), nullptr);
+  EXPECT_EQ(registry.find_counter("unknown"), nullptr);
+  EXPECT_EQ(registry.find_gauge("known.counter"), nullptr);
+  EXPECT_EQ(registry.find_histogram("known.counter"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndCoversAllKinds) {
+  MetricsRegistry registry;
+  registry.gauge("z.gauge").set(3.0);
+  registry.counter("a.counter").inc(2.0);
+  registry.histogram("m.hist").add(1.0, 10.0);
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "a.counter");
+  EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+  EXPECT_EQ(snap[1].first, "m.hist");
+  EXPECT_DOUBLE_EQ(snap[1].second, 10.0);  // reported as total weight
+  EXPECT_EQ(snap[2].first, "z.gauge");
+  EXPECT_DOUBLE_EQ(snap[2].second, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// TraceEmitter + sinks
+
+TEST(TraceEmitterTest, DisabledEmitterIsANoOp) {
+  TraceEmitter emitter;  // no sink
+  EXPECT_FALSE(emitter.enabled());
+  emitter.event("tick").num("x", 1.0).str("s", "v");
+  EXPECT_EQ(emitter.emitted(), 0u);
+  emitter.flush();  // must not crash
+}
+
+TEST(TraceEmitterTest, EventsCarryFieldsTimestampAndMonotoneSeq) {
+  auto sink = std::make_shared<MemorySink>();
+  TraceEmitter emitter(sink);
+  ASSERT_TRUE(emitter.enabled());
+
+  emitter.set_now(12.5);
+  emitter.event("tick").num("delay_sec", 0.25).str("phase", "steady");
+  emitter.event_at(99.0, "checkpoint").num("state_mb", 42.0);
+
+  ASSERT_EQ(sink->events().size(), 2u);
+  const TraceEvent& first = sink->events()[0];
+  EXPECT_EQ(first.type, "tick");
+  EXPECT_DOUBLE_EQ(first.t, 12.5);
+  EXPECT_DOUBLE_EQ(first.num("delay_sec"), 0.25);
+  EXPECT_EQ(first.str("phase"), "steady");
+  EXPECT_DOUBLE_EQ(first.num("missing", -1.0), -1.0);
+  EXPECT_EQ(first.str("missing", "fallback"), "fallback");
+
+  const TraceEvent& second = sink->events()[1];
+  EXPECT_DOUBLE_EQ(second.t, 99.0);
+  EXPECT_GT(second.seq, first.seq);
+  EXPECT_EQ(emitter.emitted(), 2u);
+}
+
+TEST(TraceEmitterTest, MemorySinkDropsOldestWhenFull) {
+  auto sink = std::make_shared<MemorySink>(/*capacity=*/3);
+  TraceEmitter emitter(sink);
+  for (int i = 0; i < 5; ++i) {
+    emitter.event("e").num("i", static_cast<double>(i));
+  }
+  EXPECT_EQ(sink->events().size(), 3u);
+  EXPECT_EQ(sink->dropped(), 2u);
+  EXPECT_DOUBLE_EQ(sink->events().front().num("i"), 2.0);
+  EXPECT_DOUBLE_EQ(sink->events().back().num("i"), 4.0);
+  EXPECT_EQ(sink->of_type("e").size(), 3u);
+  EXPECT_TRUE(sink->of_type("absent").empty());
+}
+
+TEST(TraceJsonTest, LineHasSchemaOrderingAndEscaping) {
+  TraceEvent event;
+  event.seq = 7;
+  event.t = 1.5;
+  event.type = "policy_action";
+  event.strs.emplace_back("reason", "line1\nquote\"back\\slash");
+  event.nums.emplace_back("op", 3.0);
+
+  const std::string line = to_json_line(event);
+  EXPECT_EQ(line.rfind("{\"schema\":1,\"seq\":7,\"t\":1.5,"
+                       "\"type\":\"policy_action\"",
+                       0),
+            0u)
+      << line;
+  EXPECT_NE(line.find("\"reason\":\"line1\\nquote\\\"back\\\\slash\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"op\":3"), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // JSONL: one line per event
+}
+
+TEST(TraceJsonTest, NonFiniteNumbersSerializeAsNull) {
+  TraceEvent event;
+  event.type = "tick";
+  event.nums.emplace_back("nan", std::numeric_limits<double>::quiet_NaN());
+  event.nums.emplace_back("inf", std::numeric_limits<double>::infinity());
+  const std::string line = to_json_line(event);
+  EXPECT_NE(line.find("\"nan\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"inf\":null"), std::string::npos) << line;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the trace stream mirrors the recorder's adaptation log.
+
+struct Testbed {
+  explicit Testbed(std::uint64_t seed = 7)
+      : rng(seed),
+        topology(net::Topology::make_paper_testbed(rng)),
+        network(topology, std::make_shared<net::ConstantBandwidth>()) {
+    for (const auto& site : topology.sites()) {
+      if (site.type == net::SiteType::kEdge) {
+        (east.size() <= west.size() ? east : west).push_back(site.id);
+      } else if (!sink.valid()) {
+        sink = site.id;
+      }
+    }
+  }
+
+  Rng rng;
+  net::Topology topology;
+  net::Network network;
+  std::vector<SiteId> east, west;
+  SiteId sink;
+};
+
+TEST(TraceIntegrationTest, AdaptationEventsMatchRecorderOneToOne) {
+  Testbed bed;
+  auto spec = workload::make_topk_topics(bed.east, bed.west, bed.sink);
+
+  workload::SteppedWorkload pattern;
+  for (OperatorId src : spec.sources) {
+    for (SiteId s : spec.plan.op(src).pinned_sites) {
+      pattern.set_base_rate(src, s, 10'000.0);
+    }
+  }
+  pattern.add_step(100.0, 2.0);  // overload: force the policy to act
+
+  auto sink = std::make_shared<MemorySink>(1 << 20);
+  runtime::SystemConfig config;
+  config.mode = runtime::AdaptationMode::kWasp;
+  config.trace_sink = sink;
+  runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
+  system.run_until(600.0);
+
+  const auto& recorded = system.recorder().events();
+  ASSERT_FALSE(recorded.empty()) << "scenario must trigger adaptations";
+
+  const auto traced = sink->of_type("adaptation");
+  ASSERT_EQ(traced.size(), recorded.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_EQ(traced[i]->str("kind"), recorded[i].kind) << "event " << i;
+    EXPECT_DOUBLE_EQ(traced[i]->num("op"),
+                     static_cast<double>(recorded[i].op))
+        << "event " << i;
+    EXPECT_DOUBLE_EQ(traced[i]->t, recorded[i].decided_at) << "event " << i;
+    EXPECT_EQ(traced[i]->str("reason"), recorded[i].reason) << "event " << i;
+  }
+
+  // The stream as a whole: seq strictly increasing, timestamps monotone
+  // non-decreasing (modulo ring-buffer truncation, excluded by the size).
+  EXPECT_EQ(sink->dropped(), 0u);
+  const auto& all = sink->events();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].seq, all[i].seq);
+    EXPECT_LE(all[i - 1].t, all[i].t);
+  }
+
+  // The registry mirrors the recorder through bind_metrics().
+  const auto& metrics = system.metrics();
+  const Counter* adaptations = metrics.find_counter("runtime.adaptations");
+  ASSERT_NE(adaptations, nullptr);
+  EXPECT_DOUBLE_EQ(adaptations->value(),
+                   static_cast<double>(recorded.size()));
+  const Counter* ticks = metrics.find_counter("engine.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_GT(ticks->value(), 0.0);
+  const WeightedHistogram* delays = metrics.find_histogram("runtime.delay_sec");
+  ASSERT_NE(delays, nullptr);
+  EXPECT_GT(delays->total_weight(), 0.0);
+
+  // Per-tick engine events are present and well-formed.
+  EXPECT_FALSE(sink->of_type("tick").empty());
+  EXPECT_FALSE(sink->of_type("op_tick").empty());
+  for (const TraceEvent* e : sink->of_type("op_tick")) {
+    EXPECT_GE(e->num("op"), 0.0);
+    EXPECT_FALSE(e->str("name").empty());
+  }
+}
+
+TEST(TraceIntegrationTest, UntracedRunEmitsNothing) {
+  Testbed bed;
+  auto spec = workload::make_topk_topics(bed.east, bed.west, bed.sink);
+  workload::SteppedWorkload pattern;
+  for (OperatorId src : spec.sources) {
+    for (SiteId s : spec.plan.op(src).pinned_sites) {
+      pattern.set_base_rate(src, s, 10'000.0);
+    }
+  }
+  runtime::SystemConfig config;
+  config.mode = runtime::AdaptationMode::kWasp;  // no trace_sink set
+  runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
+  system.run_until(120.0);
+  EXPECT_FALSE(system.trace().enabled());
+  EXPECT_EQ(system.trace().emitted(), 0u);
+  // The registry still runs: it is how the recorder's data is exported.
+  const Counter* ticks = system.metrics().find_counter("engine.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_GT(ticks->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace wasp::obs
