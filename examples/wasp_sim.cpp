@@ -12,6 +12,7 @@
 //   wasp_sim --trace=bandwidth.csv                # replay a measured trace
 //
 // Run `wasp_sim --help` for the full flag list.
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -52,6 +53,7 @@ struct Options {
   std::string trace_file;
   std::string workload_trace_file;
   std::string trace_out;
+  std::string bench_out;
   std::vector<std::pair<double, double>> workload_steps;
   std::vector<std::pair<double, double>> bandwidth_steps;
   std::optional<std::pair<double, double>> failure;  // (t, duration)
@@ -82,6 +84,8 @@ void print_usage() {
   --fail=T:DURATION                revoke all compute at T for DURATION seconds
   --trace-out=FILE                 write the structured observability trace
                                    (schema-versioned JSONL) to FILE
+  --bench-out=FILE                 write a wall-clock benchmark JSON (wall_ms,
+                                   ticks, ticks_per_sec) to FILE
   --csv                            print t,delay_s,ratio,parallelism_x as CSV
   --verbose                        narrate adaptation decisions
   --help                           this text
@@ -131,6 +135,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->workload_trace_file = *v;
     } else if (auto v = value_of("--trace-out")) {
       opts->trace_out = *v;
+    } else if (auto v = value_of("--bench-out")) {
+      opts->bench_out = *v;
     } else if (auto v = value_of("--workload-step")) {
       std::pair<double, double> step;
       if (!parse_pair(*v, &step)) return false;
@@ -306,6 +312,7 @@ int main(int argc, char** argv) {
   }
   runtime::WaspSystem system(network, std::move(query), *pattern, config);
 
+  const auto wall_start = std::chrono::steady_clock::now();
   if (opts.failure.has_value()) {
     system.run_until(opts.failure->first);
     system.fail_all_sites();
@@ -313,7 +320,31 @@ int main(int argc, char** argv) {
     system.restore_all_sites();
   }
   system.run_until(opts.duration);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
   if (trace_sink != nullptr) trace_sink->flush();
+
+  if (!opts.bench_out.empty()) {
+    std::ofstream bench(opts.bench_out);
+    if (!bench) {
+      std::cerr << "cannot open bench output '" << opts.bench_out << "'\n";
+      return 1;
+    }
+    const double ticks = opts.duration;  // 1 Hz simulation loop
+    bench << "{\n  \"schema\": \"wasp-bench-e2e-v1\",\n"
+          << "  \"query\": \"" << opts.query << "\",\n"
+          << "  \"mode\": \"" << opts.mode << "\",\n"
+          << "  \"duration_sim_sec\": " << opts.duration << ",\n"
+          << "  \"rate_eps_per_site\": " << opts.rate << ",\n"
+          << "  \"seed\": " << opts.seed << ",\n"
+          << "  \"wall_ms\": " << wall_ms << ",\n"
+          << "  \"ticks\": " << ticks << ",\n"
+          << "  \"ticks_per_sec\": " << (wall_ms > 0.0 ? ticks * 1e3 / wall_ms
+                                                       : 0.0)
+          << "\n}\n";
+  }
 
   // --- report ---------------------------------------------------------------------
   const auto& rec = system.recorder();

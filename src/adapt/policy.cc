@@ -265,6 +265,11 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
   std::vector<AdaptationAction> actions;
   if (!monitor.has_data() || max_actions == 0) return actions;
 
+  // New decision epoch: placement ILP outcomes memoized from here on are
+  // reused across the p-sweeps and candidate-plan pricing below, and dropped
+  // at the next round (the WAN estimates will have moved by then).
+  scheduler_.begin_epoch();
+
   std::vector<OpDiagnosis> diags = diagnose_all(engine, monitor);
 
   // Most severe bottleneck first.
@@ -689,9 +694,10 @@ AdaptationAction AdaptationPolicy::handle_network_bottleneck(
   // over more links.
   if (config_.allow_scale && p < config_.p_max) {
     physical::StageContext ctx = stage_context(engine, rates, diag.op);
+    // The stage's own vacated slots stay countable at every candidate
+    // parallelism (threaded through to each place_stage probe).
     auto outcome = scheduler_.place_with_min_parallelism(
-        ctx, ReleasedSlotsView(self_view, current.per_site), p + 1,
-        config_.p_max);
+        ctx, self_view, p + 1, config_.p_max, current.per_site);
     if (outcome.has_value()) {
       AdaptationAction action;
       action.kind = ActionKind::kScaleOut;
@@ -805,6 +811,8 @@ AdaptationAction AdaptationPolicy::consider_replan(
     const engine::Engine& engine, const GlobalMetricMonitor& monitor,
     const physical::NetworkView& view, const std::string& why) {
   if (!config_.allow_replan || !monitor.has_data()) return {};
+  // Background re-evaluation runs outside decide_all's epoch.
+  scheduler_.begin_epoch();
   return try_replan(engine, monitor, view, why);
 }
 

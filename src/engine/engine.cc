@@ -74,6 +74,8 @@ void Engine::build_runtime() {
 
   checkpointed_state_.assign(stages_.size(),
                              std::vector<double>(num_sites, 0.0));
+  checkpointed_window_.assign(stages_.size(),
+                              std::vector<double>(num_sites, 0.0));
 }
 
 void Engine::teardown_channels() {
@@ -509,6 +511,7 @@ void Engine::tick(double t) {
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       for (std::size_t s = 0; s < stages_[i].groups.size(); ++s) {
         checkpointed_state_[i][s] = group_state_mb(stages_[i], s);
+        checkpointed_window_[i][s] = stages_[i].groups[s].window_events;
         checkpointed_mb += checkpointed_state_[i][s];
       }
     }
@@ -641,7 +644,11 @@ void Engine::apply_placement(OperatorId op,
     g.tasks = placement.per_site[s];
     g.input_queue = total_queue * share;
     g.window_events = total_window * share;
-    g.restore_until = -1.0;
+    // A group mid-way through replaying its checkpoint keeps the pause if it
+    // still hosts tasks here -- re-placement does not speed up recovery.
+    if (!(g.restore_until > now_ && placement.per_site[s] > 0)) {
+      g.restore_until = -1.0;
+    }
   }
   rebuild_adjacent_channels(stage_index(op));
 
@@ -914,10 +921,27 @@ void Engine::fail_site(SiteId site) {
 void Engine::restore_site(SiteId site) {
   const auto s = static_cast<std::size_t>(site.value());
   failed_sites_[s] = false;
+
+  // Rates to convert events lost at an operator back into source units, the
+  // same way apply_replan re-injects in-flight work.
+  std::unordered_map<OperatorId, double> src_rates;
+  double total_src_eps = 0.0;
+  for (OperatorId src : logical_.sources()) {
+    const double eps = source_generation_eps(src);
+    src_rates.emplace(src, eps);
+    total_src_eps += eps;
+  }
+  const auto rates = logical_.estimate_rates(src_rates);
+
   // Groups at the site replay their local checkpoint before processing
   // resumes; the pause is proportional to the checkpointed state size (§5).
+  // The failure destroyed everything the group accumulated since that
+  // checkpoint: its state rolls back to the snapshot, and the delta (window
+  // growth since the checkpoint plus the queued-but-unprocessed input) is
+  // lost and must be replayed from the sources' durable logs.
   double restore_mb = 0.0;
   double max_restore_sec = 0.0;
+  double lost_source_units = 0.0;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     Group& g = stages_[i].groups[s];
     if (g.tasks == 0) continue;
@@ -926,12 +950,52 @@ void Engine::restore_site(SiteId site) {
     g.restore_until = now_ + restore_sec;
     restore_mb += checkpointed_state_[i][s];
     max_restore_sec = std::max(max_restore_sec, restore_sec);
+
+    // Sources model the durable external stream: their backlog survives the
+    // failure (the log retains it), so only operator groups roll back.
+    if (logical_.op(stages_[i].op).is_source()) continue;
+    const double lost =
+        std::max(0.0, g.window_events - checkpointed_window_[i][s]) +
+        g.input_queue;
+    g.window_events = checkpointed_window_[i][s];
+    g.input_queue = 0.0;
+    const double op_eps = rates.at(stages_[i].op).input_eps;
+    if (lost > 0.0 && op_eps > 0.0 && total_src_eps > 0.0) {
+      lost_source_units += lost * (total_src_eps / op_eps);
+    }
   }
+
+  // Re-inject the lost delta at the replayable sources (rate-proportional
+  // shares, mirroring apply_replan's in-flight replay).
+  if (lost_source_units > 0.0) {
+    for (OperatorId src : logical_.sources()) {
+      StageRt& stage = stage_rt(src);
+      const double rate = source_generation_eps(src);
+      const double share =
+          total_src_eps > 0.0
+              ? rate / total_src_eps
+              : 1.0 / static_cast<double>(logical_.sources().size());
+      const double units = lost_source_units * share;
+      if (units <= 0.0) continue;
+      int active_sites = 0;
+      for (const Group& g : stage.groups) {
+        if (g.tasks > 0) ++active_sites;
+      }
+      if (active_sites == 0) continue;
+      for (Group& g : stage.groups) {
+        if (g.tasks > 0) g.input_queue += units / active_sites;
+      }
+      source_trackers_[logical_.signature(src)].record_generated(now_, units);
+      replay_pending_events_ += units;
+    }
+  }
+
   if (config_.trace != nullptr && config_.trace->enabled()) {
     config_.trace->event("site_restored")
         .num("site", static_cast<double>(site.value()))
         .num("checkpoint_mb", restore_mb)
-        .num("restore_sec", max_restore_sec);
+        .num("restore_sec", max_restore_sec)
+        .num("replayed_source_units", lost_source_units);
   }
   if (config_.metrics != nullptr) {
     config_.metrics->counter("engine.site_restores").inc();

@@ -259,6 +259,10 @@ class Engine {
   double last_checkpoint_ = 0.0;
   // Per-stage, per-site state size at the last checkpoint (MB).
   std::vector<std::vector<double>> checkpointed_state_;
+  // Per-stage, per-site open-window contents at the last checkpoint
+  // (events). restore_site() rolls a recovered group's window back to this
+  // snapshot and re-injects the lost delta at the replayable sources.
+  std::vector<std::vector<double>> checkpointed_window_;
 };
 
 }  // namespace wasp::engine

@@ -22,7 +22,10 @@ struct VarMap {
 };
 
 struct StandardForm {
-  std::vector<std::vector<double>> rows;  // coefficients over structural vars
+  // Row-major coefficient matrix over structural vars (stride
+  // `num_structural`). Flat storage: the solver is allocation-bound on the
+  // small LPs this repo solves, so rows share one contiguous buffer.
+  std::vector<double> rows;
   std::vector<double> rhs;
   std::vector<RowType> types;
   std::vector<double> cost;  // minimization costs over structural vars
@@ -30,6 +33,11 @@ struct StandardForm {
   bool maximize = false;
   std::vector<VarMap> mapping;  // original var -> structural var(s)
   std::size_t num_structural = 0;
+
+  [[nodiscard]] std::size_t num_rows() const { return rhs.size(); }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return rows.data() + r * num_structural;
+  }
 };
 
 StandardForm build_standard_form(const Problem& p) {
@@ -69,27 +77,31 @@ StandardForm build_standard_form(const Problem& p) {
     sf.objective_offset += c * m.offset;
   }
 
-  auto add_row = [&](const std::vector<std::pair<std::size_t, double>>& terms,
-                     RowType type, double rhs) {
-    std::vector<double> row(sf.num_structural, 0.0);
-    for (const auto& [var, coeff] : terms) row[var] += coeff;
-    sf.rows.push_back(std::move(row));
+  // Opens a fresh zeroed row in the flat buffer and returns its base pointer.
+  auto open_row = [&](RowType type, double rhs) -> double* {
+    const std::size_t base = sf.rows.size();
+    sf.rows.resize(base + sf.num_structural, 0.0);
     sf.rhs.push_back(rhs);
     sf.types.push_back(type);
+    return sf.rows.data() + base;
   };
+  sf.rows.reserve(sf.num_structural * (p.constraints().size() + n));
+  sf.rhs.reserve(p.constraints().size() + n);
+  sf.types.reserve(p.constraints().size() + n);
 
   // User constraints, rewritten over structural variables.
   for (const Constraint& c : p.constraints()) {
-    std::vector<std::pair<std::size_t, double>> terms;
     double rhs = c.rhs;
+    for (std::size_t k = 0; k < c.vars.size(); ++k) {
+      rhs -= c.coeffs[k] * sf.mapping[c.vars[k]].offset;
+    }
+    double* row = open_row(c.type, rhs);
     for (std::size_t k = 0; k < c.vars.size(); ++k) {
       const VarMap& m = sf.mapping[c.vars[k]];
       const double a = c.coeffs[k];
-      terms.emplace_back(m.pos, a * m.sign);
-      if (m.neg != VarMap::npos) terms.emplace_back(m.neg, -a);
-      rhs -= a * m.offset;
+      row[m.pos] += a * m.sign;
+      if (m.neg != VarMap::npos) row[m.neg] -= a;
     }
-    add_row(terms, c.type, rhs);
   }
 
   // Finite upper bounds become explicit rows: y <= hi - lo.
@@ -97,7 +109,7 @@ StandardForm build_standard_form(const Problem& p) {
     const double lo = p.lower_bounds()[i];
     const double hi = p.upper_bounds()[i];
     if (lo != -kInfinity && hi != kInfinity) {
-      add_row({{sf.mapping[i].pos, 1.0}}, RowType::kLe, hi - lo);
+      open_row(RowType::kLe, hi - lo)[sf.mapping[i].pos] = 1.0;
     }
   }
   return sf;
@@ -108,8 +120,12 @@ StandardForm build_standard_form(const Problem& p) {
 class Tableau {
  public:
   Tableau(StandardForm sf, const SimplexOptions& options)
-      : sf_(std::move(sf)), eps_(options.eps) {
-    const std::size_t m = sf_.rows.size();
+      : sf_(std::move(sf)),
+        eps_(options.eps),
+        maintained_pricing_(options.pricing ==
+                            SimplexOptions::Pricing::kMaintainedRow) {
+    const std::size_t m = sf_.num_rows();
+    num_rows_ = m;
     // Count auxiliary columns.
     std::size_t slack = 0;
     for (RowType t : sf_.types) {
@@ -118,14 +134,23 @@ class Tableau {
     slack_begin_ = sf_.num_structural;
     art_begin_ = slack_begin_ + slack;
     num_cols_ = art_begin_ + m;  // one artificial slot per row (may be unused)
+    stride_ = num_cols_ + 1;
     max_iters_ = options.max_iterations != 0
                      ? options.max_iterations
                      : 50 * (m + num_cols_) + 1000;
 
-    a_.assign(m, std::vector<double>(num_cols_ + 1, 0.0));
+    a_.assign(m * stride_, 0.0);
     basis_.assign(m, 0);
-    is_artificial_.assign(num_cols_, false);
-    blocked_.assign(num_cols_, false);
+    is_artificial_.assign(num_cols_, 0);
+    blocked_.assign(num_cols_, 0);
+
+    // Phase-1 feasibility is declared when the artificial objective drops
+    // below a tolerance derived from the requested eps and the data scale:
+    // residuals are sums over RHS-magnitude terms, so the cutoff must grow
+    // with the RHS and shrink when the caller tightens eps.
+    double max_abs_rhs = 0.0;
+    for (double b : sf_.rhs) max_abs_rhs = std::max(max_abs_rhs, std::abs(b));
+    feas_tol_ = options.eps * 100.0 * std::max(1.0, max_abs_rhs);
 
     std::size_t next_slack = slack_begin_;
     for (std::size_t r = 0; r < m; ++r) {
@@ -139,26 +164,28 @@ class Tableau {
                    ? RowType::kGe
                    : (type == RowType::kGe ? RowType::kLe : RowType::kEq);
       }
+      double* arow = row(r);
+      const double* src = sf_.row(r);
       for (std::size_t c = 0; c < sf_.num_structural; ++c) {
-        a_[r][c] = sign * sf_.rows[r][c];
+        arow[c] = sign * src[c];
       }
-      a_[r][num_cols_] = rhs;
+      arow[num_cols_] = rhs;
 
       switch (type) {
         case RowType::kLe:
-          a_[r][next_slack] = 1.0;
+          arow[next_slack] = 1.0;
           basis_[r] = next_slack++;
           break;
         case RowType::kGe:
-          a_[r][next_slack] = -1.0;
+          arow[next_slack] = -1.0;
           ++next_slack;
-          a_[r][art_begin_ + r] = 1.0;
-          is_artificial_[art_begin_ + r] = true;
+          arow[art_begin_ + r] = 1.0;
+          is_artificial_[art_begin_ + r] = 1;
           basis_[r] = art_begin_ + r;
           break;
         case RowType::kEq:
-          a_[r][art_begin_ + r] = 1.0;
-          is_artificial_[art_begin_ + r] = true;
+          arow[art_begin_ + r] = 1.0;
+          is_artificial_[art_begin_ + r] = 1;
           basis_[r] = art_begin_ + r;
           break;
       }
@@ -166,34 +193,35 @@ class Tableau {
   }
 
   Solution run() {
-    // Phase 1: minimize the sum of artificial variables.
-    std::vector<double> phase1_cost(num_cols_, 0.0);
+    // Phase 1: minimize the sum of artificial variables. `cost_` is reused
+    // as the phase-cost buffer for both phases.
+    cost_.assign(num_cols_, 0.0);
     bool any_artificial = false;
     for (std::size_t c = art_begin_; c < num_cols_; ++c) {
       if (is_artificial_[c]) {
-        phase1_cost[c] = 1.0;
+        cost_[c] = 1.0;
         any_artificial = true;
       }
     }
     if (any_artificial) {
-      const SolveStatus s1 = optimize(phase1_cost);
+      const SolveStatus s1 = optimize(cost_);
       if (s1 == SolveStatus::kIterationLimit) return Solution{.status = s1, .objective = 0.0, .values = {}};
-      if (phase_objective(phase1_cost) > 1e-7) {
+      if (phase_objective(cost_) > feas_tol_) {
         return Solution{.status = SolveStatus::kInfeasible, .objective = 0.0, .values = {}};
       }
       drop_artificials();
     }
 
     // Phase 2: the real objective.
-    std::vector<double> cost(num_cols_, 0.0);
-    for (std::size_t c = 0; c < sf_.num_structural; ++c) cost[c] = sf_.cost[c];
-    const SolveStatus s2 = optimize(cost);
+    cost_.assign(num_cols_, 0.0);
+    for (std::size_t c = 0; c < sf_.num_structural; ++c) cost_[c] = sf_.cost[c];
+    const SolveStatus s2 = optimize(cost_);
     if (s2 != SolveStatus::kOptimal) return Solution{.status = s2, .objective = 0.0, .values = {}};
 
     // Recover original variable values.
     std::vector<double> y(num_cols_, 0.0);
-    for (std::size_t r = 0; r < a_.size(); ++r) {
-      y[basis_[r]] = a_[r][num_cols_];
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      y[basis_[r]] = row(r)[num_cols_];
     }
     Solution sol;
     sol.status = SolveStatus::kOptimal;
@@ -211,10 +239,15 @@ class Tableau {
   }
 
  private:
+  [[nodiscard]] double* row(std::size_t r) { return a_.data() + r * stride_; }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return a_.data() + r * stride_;
+  }
+
   double phase_objective(const std::vector<double>& cost) const {
     double obj = 0.0;
-    for (std::size_t r = 0; r < a_.size(); ++r) {
-      obj += cost[basis_[r]] * a_[r][num_cols_];
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      obj += cost[basis_[r]] * row(r)[num_cols_];
     }
     return obj;
   }
@@ -223,19 +256,34 @@ class Tableau {
   // directly from the tableau (the tableau rows are already B^-1 A).
   double reduced_cost(const std::vector<double>& cost, std::size_t c) const {
     double z = 0.0;
-    for (std::size_t r = 0; r < a_.size(); ++r) {
-      z += cost[basis_[r]] * a_[r][c];
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      z += cost[basis_[r]] * row(r)[c];
     }
     return cost[c] - z;
   }
 
   SolveStatus optimize(const std::vector<double>& cost) {
+    if (maintained_pricing_) {
+      // Price every column once per phase; pivot() keeps the row current.
+      red_.resize(num_cols_);
+      for (std::size_t c = 0; c < num_cols_; ++c) {
+        red_[c] = reduced_cost(cost, c);
+      }
+    }
+    const SolveStatus status = optimize_loop(cost);
+    red_.clear();  // pivots outside optimize() (drop_artificials) don't track
+    return status;
+  }
+
+  SolveStatus optimize_loop(const std::vector<double>& cost) {
     for (std::size_t iter = 0; iter < max_iters_; ++iter) {
       // Bland's rule: the lowest-index column with negative reduced cost.
       std::size_t entering = num_cols_;
       for (std::size_t c = 0; c < num_cols_; ++c) {
         if (blocked_[c]) continue;
-        if (reduced_cost(cost, c) < -eps_) {
+        const double rc =
+            maintained_pricing_ ? red_[c] : reduced_cost(cost, c);
+        if (rc < -eps_) {
           entering = c;
           break;
         }
@@ -243,13 +291,13 @@ class Tableau {
       if (entering == num_cols_) return SolveStatus::kOptimal;
 
       // Ratio test; Bland tie-break on the leaving basic variable index.
-      std::size_t leaving_row = a_.size();
+      std::size_t leaving_row = num_rows_;
       double best_ratio = 0.0;
-      for (std::size_t r = 0; r < a_.size(); ++r) {
-        const double pivot = a_[r][entering];
+      for (std::size_t r = 0; r < num_rows_; ++r) {
+        const double pivot = row(r)[entering];
         if (pivot > eps_) {
-          const double ratio = a_[r][num_cols_] / pivot;
-          if (leaving_row == a_.size() || ratio < best_ratio - eps_ ||
+          const double ratio = row(r)[num_cols_] / pivot;
+          if (leaving_row == num_rows_ || ratio < best_ratio - eps_ ||
               (std::abs(ratio - best_ratio) <= eps_ &&
                basis_[r] < basis_[leaving_row])) {
             leaving_row = r;
@@ -257,58 +305,77 @@ class Tableau {
           }
         }
       }
-      if (leaving_row == a_.size()) return SolveStatus::kUnbounded;
+      if (leaving_row == num_rows_) return SolveStatus::kUnbounded;
       pivot(leaving_row, entering);
     }
     return SolveStatus::kIterationLimit;
   }
 
-  void pivot(std::size_t row, std::size_t col) {
-    const double p = a_[row][col];
+  void pivot(std::size_t prow, std::size_t col) {
+    double* pr = row(prow);
+    const double p = pr[col];
     assert(std::abs(p) > 0.0);
-    for (double& v : a_[row]) v /= p;
-    for (std::size_t r = 0; r < a_.size(); ++r) {
-      if (r == row) continue;
-      const double factor = a_[r][col];
+    for (std::size_t c = 0; c <= num_cols_; ++c) pr[c] /= p;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (r == prow) continue;
+      double* tr = row(r);
+      const double factor = tr[col];
       if (factor == 0.0) continue;
       for (std::size_t c = 0; c <= num_cols_; ++c) {
-        a_[r][c] -= factor * a_[row][c];
+        tr[c] -= factor * pr[c];
       }
     }
-    basis_[row] = col;
+    // Reduced-cost row invariant: the row transforms exactly like any other
+    // tableau row under the elimination, using the normalized pivot row.
+    if (!red_.empty()) {
+      const double factor = red_[col];
+      if (factor != 0.0) {
+        for (std::size_t c = 0; c < num_cols_; ++c) {
+          red_[c] -= factor * pr[c];
+        }
+      }
+    }
+    basis_[prow] = col;
   }
 
   // After phase 1: pivot artificials out of the basis where possible and
   // block every artificial column from re-entering.
   void drop_artificials() {
-    for (std::size_t r = 0; r < a_.size(); ++r) {
+    for (std::size_t r = 0; r < num_rows_; ++r) {
       if (!is_artificial_[basis_[r]]) continue;
       // The artificial is basic at value ~0 (phase 1 succeeded). Pivot in any
       // non-artificial column with a nonzero entry; if none exists the row is
       // redundant and harmlessly keeps its zero-valued artificial.
+      const double* rr = row(r);
       for (std::size_t c = 0; c < art_begin_; ++c) {
-        if (std::abs(a_[r][c]) > eps_) {
+        if (std::abs(rr[c]) > eps_) {
           pivot(r, c);
           break;
         }
       }
     }
-    blocked_.assign(num_cols_, false);
+    blocked_.assign(num_cols_, 0);
     for (std::size_t c = art_begin_; c < num_cols_; ++c) {
-      if (is_artificial_[c]) blocked_[c] = true;
+      if (is_artificial_[c]) blocked_[c] = 1;
     }
   }
 
   StandardForm sf_;
   double eps_;
+  bool maintained_pricing_ = true;
+  double feas_tol_ = 1e-7;
+  std::vector<double> red_;  // maintained reduced costs, active in optimize()
+  std::vector<double> cost_;  // phase cost buffer, reused across phases
   std::size_t slack_begin_ = 0;
   std::size_t art_begin_ = 0;
   std::size_t num_cols_ = 0;
+  std::size_t num_rows_ = 0;
+  std::size_t stride_ = 0;
   std::size_t max_iters_ = 0;
-  std::vector<std::vector<double>> a_;
+  std::vector<double> a_;  // row-major, `stride_` doubles per row (rhs last)
   std::vector<std::size_t> basis_;
-  std::vector<bool> is_artificial_;
-  std::vector<bool> blocked_;
+  std::vector<char> is_artificial_;
+  std::vector<char> blocked_;
 };
 
 }  // namespace

@@ -63,6 +63,14 @@ struct StagePlacement {
       default;
 };
 
+// A solved placement together with its Eq. 1 objective value. Produced by
+// the scheduler; defined here so the placement cache can store it without
+// depending on the scheduler headers.
+struct PlacementOutcome {
+  StagePlacement placement;
+  double objective = 0.0;  // traffic-weighted delay (ms-weighted tasks)
+};
+
 // Sites to drain (S - S') and to populate (S' - S) when moving from
 // placement `from` to placement `to`; the unit is tasks.
 struct PlacementDiff {

@@ -1,0 +1,108 @@
+#include "physical/placement_cache.h"
+
+#include <cstring>
+
+#include "physical/scheduler.h"
+
+namespace wasp::physical {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &v, sizeof(double));
+  out.append(buf, sizeof(double));
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[sizeof(std::int64_t)];
+  std::memcpy(buf, &v, sizeof(std::int64_t));
+  out.append(buf, sizeof(std::int64_t));
+}
+
+// One traffic endpoint plus everything the ILP reads from the view about it:
+// the latency from/to every site and the bandwidth on every link the
+// endpoint's traffic would cross.
+void append_endpoint(std::string& out, const TrafficEndpoint& ep,
+                     const NetworkView& view, bool upstream) {
+  append_int(out, ep.site.value());
+  append_double(out, ep.events_per_sec);
+  append_double(out, ep.event_bytes);
+  const std::size_t m = view.num_sites();
+  for (std::size_t s = 0; s < m; ++s) {
+    const SiteId site(static_cast<std::int64_t>(s));
+    if (upstream) {
+      append_double(out, view.latency_ms(ep.site, site));
+      append_double(out, view.available_mbps(ep.site, site));
+    } else {
+      append_double(out, view.latency_ms(site, ep.site));
+      append_double(out, view.available_mbps(site, ep.site));
+    }
+  }
+}
+
+}  // namespace
+
+std::string placement_cache_key(const StageContext& context,
+                                const NetworkView& view, double alpha,
+                                const std::vector<int>& extra_slots) {
+  std::string key;
+  placement_cache_key(key, context, view, alpha, extra_slots);
+  return key;
+}
+
+void placement_cache_key(std::string& key, const StageContext& context,
+                         const NetworkView& view, double alpha,
+                         const std::vector<int>& extra_slots) {
+  const std::size_t m = view.num_sites();
+  key.clear();
+  key.reserve(64 + 8 * m * (2 * (context.upstream.size() +
+                                 context.downstream.size()) + 2));
+  append_double(key, alpha);
+  append_int(key, context.parallelism);
+  append_int(key, static_cast<std::int64_t>(m));
+  for (std::size_t s = 0; s < m; ++s) {
+    const SiteId site(static_cast<std::int64_t>(s));
+    int slots = view.available_slots(site);
+    if (s < extra_slots.size()) slots += extra_slots[s];
+    append_int(key, slots);
+    append_int(key, s < context.min_per_site.size() ? context.min_per_site[s]
+                                                    : 0);
+  }
+  append_int(key, static_cast<std::int64_t>(context.upstream.size()));
+  for (const TrafficEndpoint& u : context.upstream) {
+    append_endpoint(key, u, view, /*upstream=*/true);
+  }
+  append_int(key, static_cast<std::int64_t>(context.downstream.size()));
+  for (const TrafficEndpoint& d : context.downstream) {
+    append_endpoint(key, d, view, /*upstream=*/false);
+  }
+}
+
+const std::optional<PlacementOutcome>* PlacementCache::find(
+    const std::string& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+void PlacementCache::insert(std::string key,
+                            std::optional<PlacementOutcome> outcome) {
+  map_.emplace(std::move(key), std::move(outcome));
+}
+
+std::pair<std::optional<PlacementOutcome>*, bool> PlacementCache::find_or_reserve(
+    const std::string& key) {
+  const auto [it, inserted] = map_.try_emplace(key);
+  if (inserted) {
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+  }
+  return {&it->second, !inserted};
+}
+
+}  // namespace wasp::physical

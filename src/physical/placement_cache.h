@@ -1,0 +1,72 @@
+// Memoization for the Eq. 1-5 placement ILP.
+//
+// Every adaptation decision re-prices placements: `place_with_min_parallelism`
+// sweeps candidate parallelisms, and the planner prices every candidate
+// logical plan, so within one decision epoch the same (stage, parallelism,
+// network snapshot) ILP is solved many times. The cache keys a solve by the
+// exact bytes of everything the ILP reads -- alpha, parallelism, per-site
+// floors and extra slots, the traffic endpoints, and the slots/latency/
+// bandwidth the view reports for those endpoints -- so a hit is guaranteed to
+// return the bit-identical outcome the solver would have produced. Exact keys
+// (rather than quantized ones) trade a few extra misses for that guarantee.
+//
+// The cache is cleared at the start of each decision epoch
+// (`Scheduler::begin_epoch`); network measurements change between epochs, so
+// stale entries would only be dead weight.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "physical/placement.h"
+
+namespace wasp::physical {
+
+struct StageContext;
+
+// Exact byte key covering every input `solve_ilp` reads. Two calls with equal
+// keys are guaranteed to produce identical outcomes.
+[[nodiscard]] std::string placement_cache_key(
+    const StageContext& context, const NetworkView& view, double alpha,
+    const std::vector<int>& extra_slots);
+
+// Allocation-free variant for the hot path: rebuilds the key into `key`
+// (cleared first; capacity is reused across calls).
+void placement_cache_key(std::string& key, const StageContext& context,
+                         const NetworkView& view, double alpha,
+                         const std::vector<int>& extra_slots);
+
+class PlacementCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+
+  // Returns the cached outcome for `key`, or nullptr on a miss. Infeasible
+  // results (nullopt outcomes) are cached too.
+  [[nodiscard]] const std::optional<PlacementOutcome>* find(
+      const std::string& key);
+
+  void insert(std::string key, std::optional<PlacementOutcome> outcome);
+
+  // Single-hash find-or-insert: returns {slot, hit}. On a hit the slot holds
+  // the memoized outcome; on a miss a default (nullopt) slot was reserved and
+  // the caller must fill it with the solved outcome.
+  [[nodiscard]] std::pair<std::optional<PlacementOutcome>*, bool>
+  find_or_reserve(const std::string& key);
+
+  void clear() { map_.clear(); }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<std::string, std::optional<PlacementOutcome>> map_;
+  Stats stats_;
+};
+
+}  // namespace wasp::physical

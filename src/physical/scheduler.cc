@@ -15,7 +15,8 @@ namespace {
 std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
                                           const NetworkView& view,
                                           double alpha,
-                                          const std::vector<int>& extra_slots) {
+                                          const std::vector<int>& extra_slots,
+                                          const ilp::IlpOptions& ilp_options) {
   const std::size_t m = view.num_sites();
   const double p = static_cast<double>(ctx.parallelism);
   assert(ctx.parallelism >= 1);
@@ -99,7 +100,7 @@ std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
     }
   }
 
-  const ilp::IlpResult result = ilp::solve(problem, vars);
+  const ilp::IlpResult result = ilp::solve(problem, vars, ilp_options);
   if (!result.optimal()) return std::nullopt;
 
   PlacementOutcome outcome;
@@ -110,6 +111,15 @@ std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
   }
   outcome.objective = result.objective;
   return outcome;
+}
+
+// ILP options for the reference (pre-optimization) solver stack: rescan
+// pricing in the simplex and the copy-per-node branch & bound.
+ilp::IlpOptions reference_ilp_options() {
+  ilp::IlpOptions opts;
+  opts.algorithm = ilp::IlpOptions::Algorithm::kReference;
+  opts.lp_options.pricing = lp::SimplexOptions::Pricing::kRescan;
+  return opts;
 }
 
 }  // namespace
@@ -126,16 +136,25 @@ std::optional<PlacementOutcome> Scheduler::place_stage(
     }
     return outcome;
   }
-  return solve_ilp(context, view, config_.alpha, extra_slots);
+  if (config_.use_reference_solvers) {
+    return solve_ilp(context, view, config_.alpha, extra_slots,
+                     reference_ilp_options());
+  }
+  placement_cache_key(key_scratch_, context, view, config_.alpha, extra_slots);
+  const auto [slot, hit] = cache_.find_or_reserve(key_scratch_);
+  if (hit) return *slot;
+  *slot = solve_ilp(context, view, config_.alpha, extra_slots,
+                    ilp::IlpOptions{});
+  return *slot;
 }
 
 std::optional<PlacementOutcome> Scheduler::place_with_min_parallelism(
     const StageContext& context, const NetworkView& view, int min_parallelism,
-    int max_parallelism) const {
+    int max_parallelism, const std::vector<int>& extra_slots) const {
   StageContext ctx = context;
   for (int p = std::max(1, min_parallelism); p <= max_parallelism; ++p) {
     ctx.parallelism = p;
-    if (auto outcome = place_stage(ctx, view)) return outcome;
+    if (auto outcome = place_stage(ctx, view, extra_slots)) return outcome;
   }
   return std::nullopt;
 }

@@ -21,10 +21,12 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/ids.h"
 #include "physical/placement.h"
+#include "physical/placement_cache.h"
 
 namespace wasp::physical {
 
@@ -52,21 +54,31 @@ struct StageContext {
   std::vector<int> min_per_site;
 };
 
-struct PlacementOutcome {
-  StagePlacement placement;
-  double objective = 0.0;  // traffic-weighted delay (ms-weighted tasks)
-};
+// PlacementOutcome lives in physical/placement.h (shared with the cache).
 
 class Scheduler {
  public:
   struct Config {
     double alpha = 0.8;  // bandwidth utilization threshold (§4.1)
+    // Use the original (rescan-pricing simplex, copy-per-node B&B) solver
+    // stack and bypass the placement cache. Kept so tests can assert the
+    // optimized stack returns identical placements and objectives.
+    bool use_reference_solvers = false;
   };
 
   Scheduler() = default;
   explicit Scheduler(Config config) : config_(config) {}
 
   [[nodiscard]] const Config& config() const { return config_; }
+
+  // Starts a new decision epoch: clears the placement memo cache. Network
+  // estimates change between epochs, so cached outcomes are only reused
+  // within one epoch; cache hits within an epoch are guaranteed bit-identical
+  // to a fresh solve (exact-byte keying, see placement_cache.h).
+  void begin_epoch() const { cache_.clear(); }
+  [[nodiscard]] const PlacementCache::Stats& cache_stats() const {
+    return cache_.stats();
+  }
 
   // Solves Eq. 1-5 for one stage. Returns nullopt when no feasible placement
   // exists with the given parallelism (the trigger for operator scaling,
@@ -80,13 +92,22 @@ class Scheduler {
   // placement exists, up to `max_parallelism`; nullopt if none. Implements
   // the scale-out search of §4.2 ("ratio between the stream rate that cannot
   // be handled over the bandwidth availability" -- found constructively by
-  // the ILP feasibility test).
+  // the ILP feasibility test). `extra_slots` is threaded through to every
+  // `place_stage` probe so a stage being re-placed can count its own
+  // soon-to-be-vacated slots at every candidate parallelism.
   [[nodiscard]] std::optional<PlacementOutcome> place_with_min_parallelism(
       const StageContext& context, const NetworkView& view,
-      int min_parallelism, int max_parallelism) const;
+      int min_parallelism, int max_parallelism,
+      const std::vector<int>& extra_slots = {}) const;
 
  private:
   Config config_{};
+  // Per-epoch memo of ILP outcomes; mutable so the const placement API can
+  // populate it (it is invisible in results, only in latency).
+  mutable PlacementCache cache_;
+  // Reused key buffer: probes rebuild the key in place instead of allocating
+  // a fresh string each time.
+  mutable std::string key_scratch_;
 };
 
 }  // namespace wasp::physical

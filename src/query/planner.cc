@@ -302,8 +302,60 @@ std::vector<LogicalPlan> QueryPlanner::enumerate(
   return plans;
 }
 
+namespace {
+
+// Exact textual serialization of a logical plan: every operator field the
+// rewrites and the state-inheritance test read, plus all edges. Two plans
+// with equal serializations enumerate identical candidate sets.
+std::string plan_memo_key(const LogicalPlan& plan) {
+  std::string key;
+  key.reserve(plan.num_operators() * 96);
+  for (const auto& op : plan.operators()) {
+    key += std::to_string(op.id.value());
+    key += '|';
+    key += op.name;
+    key += '|';
+    key += to_string(op.kind);
+    key += '|';
+    key += std::to_string(op.selectivity);
+    key += '|';
+    key += std::to_string(op.output_event_bytes);
+    key += '|';
+    key += std::to_string(op.events_per_sec_per_slot);
+    key += '|';
+    key += std::to_string(op.window.length_sec);
+    key += '|';
+    key += std::to_string(op.state.stateful);
+    key += std::to_string(op.state.base_mb);
+    key += '|';
+    key += std::to_string(op.state.mb_per_kevent);
+    key += '|';
+    key += std::to_string(op.state.fixed_mb);
+    key += '|';
+    key += std::to_string(static_cast<int>(op.output_partitioning));
+    key += std::to_string(op.splittable);
+    for (SiteId s : op.pinned_sites) {
+      key += ',';
+      key += std::to_string(s.value());
+    }
+    key += '>';
+    for (OperatorId d : plan.downstream(op.id)) {
+      key += std::to_string(d.value());
+      key += ',';
+    }
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
 std::vector<ReplanCandidate> QueryPlanner::enumerate_replans(
     const LogicalPlan& current) const {
+  const std::string memo_key = plan_memo_key(current);
+  if (const auto it = replan_memo_.find(memo_key); it != replan_memo_.end()) {
+    return it->second;
+  }
   std::vector<ReplanCandidate> admissible;
   for (auto& candidate : enumerate(current)) {
     // §4.3: every stateful operator of the running plan must either find a
@@ -334,6 +386,7 @@ std::vector<ReplanCandidate> QueryPlanner::enumerate_replans(
       admissible.push_back(ReplanCandidate{std::move(candidate), boundary});
     }
   }
+  replan_memo_.emplace(memo_key, admissible);
   return admissible;
 }
 

@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "query/logical_plan.h"
@@ -83,6 +85,13 @@ class QueryPlanner {
 
  private:
   Options options_{};
+  // Re-plan candidates depend only on the logical plan, and the running plan
+  // changes only when a re-plan is applied -- yet try_replan re-enumerates
+  // every decision epoch a bottleneck persists. Memoized on an exact
+  // serialization of the input plan (rewrites and reordering are
+  // deterministic, so a hit is identical to a fresh enumeration).
+  mutable std::unordered_map<std::string, std::vector<ReplanCandidate>>
+      replan_memo_;
 };
 
 }  // namespace wasp::query

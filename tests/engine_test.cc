@@ -418,6 +418,62 @@ TEST(EngineTest, FailedSiteStopsProcessingUntilRestore) {
   EXPECT_LT(f.engine->source_backlog_events(), 1'000.0);
 }
 
+TEST(EngineTest, RestoreSiteRollsBackToCheckpointAndReplaysLostDelta) {
+  // A failure destroys everything the site accumulated since its last local
+  // checkpoint. restore_site must (a) roll the group's window state back to
+  // the checkpoint snapshot and (b) re-inject the lost delta at the
+  // replayable sources. Pre-fix, the recovered group kept its post-failure
+  // window contents and nothing was replayed -- recovery silently "kept"
+  // state the failure had destroyed.
+  Fixture f;
+  auto& map = f.plan.mutable_op(f.map_id);
+  map.kind = OperatorKind::kWindowAggregate;
+  map.window = query::WindowSpec{1000.0};  // no boundary during the test
+  map.state = query::StateSpec::windowed(/*base_mb=*/1.0,
+                                         /*mb_per_kevent=*/0.1);
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  // Default checkpoint interval is 30 s: a checkpoint lands at t~30 with
+  // ~300k window events. By t=50 the open window holds ~500k.
+  f.run(0.0, 40.0, 10'000.0);
+  const double state_at_40 = f.engine->state_mb(f.map_id, SiteId(1));
+  f.run(40.0, 50.0, 10'000.0);
+  const double state_at_50 = f.engine->state_mb(f.map_id, SiteId(1));
+  ASSERT_GT(state_at_50, state_at_40 + 5.0) << "window state must be growing";
+  const double backlog_before = f.engine->source_backlog_events();
+
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));
+
+  // (a) Rollback: state returns to the t~30 checkpoint, i.e. below even the
+  // t=40 reading -- not the pre-failure t=50 level.
+  EXPECT_LT(f.engine->state_mb(f.map_id, SiteId(1)), state_at_40 + 1e-6);
+  // (b) Replay: the ~200k-event delta re-enters the source backlog.
+  EXPECT_GT(f.engine->source_backlog_events(), backlog_before + 100'000.0);
+}
+
+TEST(EngineTest, ApplyPlacementPreservesInProgressCheckpointReplay) {
+  // Re-placing a stage while one of its groups is mid-way through replaying
+  // a checkpoint must not cancel the replay pause for groups that stay put:
+  // re-placement does not make recovery free. Pre-fix, apply_placement reset
+  // restore_until unconditionally and the group resumed processing at once.
+  Fixture f;
+  f.engine->set_state_override_mb(f.map_id, 2'000.0);  // 10 s restore at 200 MB/s
+  f.run(0.0, 35.0, 10'000.0);  // checkpoint at t~30 records the 2 GB state
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));  // replaying until t=45
+
+  // Same placement re-applied: the map group at site 1 keeps its pause.
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {0, 1, 0}});
+  f.run(35.0, 40.0, 10'000.0);
+  EXPECT_DOUBLE_EQ(f.engine->op_metrics(f.map_id).processed_eps, 0.0)
+      << "group must still be replaying its checkpoint after re-placement";
+
+  // Once the replay deadline passes, processing resumes and drains.
+  f.run(40.0, 120.0, 10'000.0);
+  EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+}
+
 TEST(EngineTest, StragglerSlowsOnlyItsSite) {
   Fixture f(1000.0, 50'000.0);
   f.run(0.0, 20.0, 10'000.0);

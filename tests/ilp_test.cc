@@ -56,7 +56,7 @@ TEST(IlpTest, MixedIntegerKeepsContinuousVarsContinuous) {
   p.add_variable(1.0);
   p.add_variable(1.0);
   p.add_dense_constraint({1.0, 1.0}, lp::RowType::kGe, 2.5);
-  const IlpResult r = solve(p, {0});
+  const IlpResult r = solve(p, std::vector<std::size_t>{0});
   ASSERT_TRUE(r.optimal());
   EXPECT_NEAR(r.objective, 2.5, kTol);
   EXPECT_NEAR(r.values[0], std::round(r.values[0]), kTol);
@@ -95,6 +95,31 @@ TEST(IlpTest, NodeLimitReturnsIterationLimitWithoutIncumbent) {
   EXPECT_EQ(r.status, lp::SolveStatus::kIterationLimit);
 }
 
+TEST(IlpTest, LpIterationLimitIsNotReportedAsInfeasible) {
+  // Cap the simplex at one pivot so every node's relaxation comes back
+  // kIterationLimit. The subtree is dropped unexplored, which is not a proof
+  // of infeasibility: the solver must report kIterationLimit (and count the
+  // dropped nodes), not kInfeasible. Pre-fix, limited relaxations were
+  // silently treated like infeasible ones.
+  lp::Problem p(lp::Sense::kMaximize);
+  p.add_variable(3.0);
+  p.add_variable(5.0);
+  p.add_dense_constraint({1.0, 0.0}, lp::RowType::kLe, 4.0);
+  p.add_dense_constraint({0.0, 2.0}, lp::RowType::kLe, 12.0);
+  p.add_dense_constraint({3.0, 2.0}, lp::RowType::kLe, 18.0);
+  ASSERT_TRUE(solve_all_integer(p).optimal()) << "baseline must be feasible";
+
+  for (const auto algorithm : {IlpOptions::Algorithm::kCopyFree,
+                               IlpOptions::Algorithm::kReference}) {
+    IlpOptions opts;
+    opts.algorithm = algorithm;
+    opts.lp_options.max_iterations = 1;
+    const IlpResult r = solve_all_integer(p, opts);
+    EXPECT_EQ(r.status, lp::SolveStatus::kIterationLimit);
+    EXPECT_GT(r.nodes_dropped_by_limit, 0u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: random small ILPs vs exhaustive enumeration over the
 // integer box.
@@ -129,6 +154,23 @@ TEST_P(IlpRandomProperty, MatchesExhaustiveEnumeration) {
   }
 
   const IlpResult r = solve_all_integer(p);
+
+  // The copy-free search (with maintained-row pricing, bound propagation, and
+  // incumbent seeding) must return exactly what the reference copy-per-node
+  // DFS over rescan-priced relaxations returns.
+  IlpOptions ref_opts;
+  ref_opts.algorithm = IlpOptions::Algorithm::kReference;
+  ref_opts.lp_options.pricing = lp::SimplexOptions::Pricing::kRescan;
+  const IlpResult ref = solve_all_integer(p, ref_opts);
+  ASSERT_EQ(r.status, ref.status) << lp::to_string(r.status) << " vs "
+                                  << lp::to_string(ref.status);
+  if (r.optimal()) {
+    EXPECT_NEAR(r.objective, ref.objective, 1e-9);
+    ASSERT_EQ(r.values.size(), ref.values.size());
+    for (std::size_t i = 0; i < r.values.size(); ++i) {
+      EXPECT_EQ(r.values[i], ref.values[i]) << "var " << i;
+    }
+  }
 
   // Exhaustive enumeration of all integer points in the box.
   double best = minimize ? std::numeric_limits<double>::infinity()

@@ -1,0 +1,194 @@
+// Determinism harness for the optimized placement stack.
+//
+// The fast solver stack (maintained-row simplex pricing, copy-free branch &
+// bound with bound propagation and incumbent seeding, per-epoch placement
+// cache) must return *bit-identical* placements and objectives to the
+// reference stack (rescan pricing, copy-per-node B&B, no cache) -- the seed
+// implementation this PR optimized. The scenarios mirror the paper's
+// evaluation setup: the §8.2 16-site testbed (fig. 7/9 scale) with the
+// Table 3 benchmark queries plus the Fig. 5 four-source join, placed
+// end-to-end via place_plan; plus a randomized per-stage sweep.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/topology.h"
+#include "physical/physical_plan.h"
+#include "physical/placement.h"
+#include "physical/scheduler.h"
+#include "workload/queries.h"
+
+namespace wasp::physical {
+namespace {
+
+// NetworkView over a topology's ground truth (base bandwidth, latency, all
+// slots free) -- a deterministic stand-in for the WAN monitor.
+class TopologyView final : public NetworkView {
+ public:
+  explicit TopologyView(const net::Topology& topo) : topo_(topo) {}
+
+  [[nodiscard]] std::size_t num_sites() const override {
+    return topo_.num_sites();
+  }
+  [[nodiscard]] double available_mbps(SiteId from, SiteId to) const override {
+    return topo_.base_bandwidth(from, to);
+  }
+  [[nodiscard]] double latency_ms(SiteId from, SiteId to) const override {
+    return topo_.latency_ms(from, to);
+  }
+  [[nodiscard]] int available_slots(SiteId site) const override {
+    return topo_.site(site).slots;
+  }
+
+ private:
+  const net::Topology& topo_;
+};
+
+struct Scenario {
+  const char* name;
+  workload::QuerySpec spec;
+  double eps_per_source;
+};
+
+std::vector<Scenario> paper_scenarios(const net::Topology& topo) {
+  std::vector<SiteId> east, west, edges;
+  SiteId sink;
+  for (const auto& site : topo.sites()) {
+    if (site.type == net::SiteType::kEdge) {
+      (east.size() <= west.size() ? east : west).push_back(site.id);
+      edges.push_back(site.id);
+    } else if (!sink.valid()) {
+      sink = site.id;
+    }
+  }
+  std::vector<SiteId> four(edges.begin(), edges.begin() + 4);
+  std::vector<Scenario> out;
+  out.push_back({"ysb", workload::make_ysb_campaign(edges, sink), 5'000.0});
+  out.push_back(
+      {"topk", workload::make_topk_topics(east, west, sink), 3'000.0});
+  out.push_back({"events_of_interest",
+                 workload::make_events_of_interest(edges, sink), 8'000.0});
+  out.push_back({"four_source_join",
+                 workload::make_four_source_join(four, sink, true), 2'000.0});
+  return out;
+}
+
+std::unordered_map<OperatorId, query::OperatorRates> scenario_rates(
+    const Scenario& sc) {
+  std::unordered_map<OperatorId, double> src_rates;
+  for (OperatorId src : sc.spec.sources) src_rates[src] = sc.eps_per_source;
+  return sc.spec.plan.estimate_rates(src_rates);
+}
+
+TEST(SolverDeterminismTest, PaperScenariosPlaceIdenticallyToReference) {
+  Rng rng(7);
+  const net::Topology topo = net::Topology::make_paper_testbed(rng);
+  const TopologyView view(topo);
+
+  const Scheduler fast;  // optimized stack + cache (default config)
+  const Scheduler reference(Scheduler::Config{.use_reference_solvers = true});
+
+  for (const Scenario& sc : paper_scenarios(topo)) {
+    SCOPED_TRACE(sc.name);
+    const auto rates = scenario_rates(sc);
+    for (int p = 1; p <= 3; ++p) {
+      SCOPED_TRACE("parallelism " + std::to_string(p));
+      std::unordered_map<OperatorId, int> parallelism;
+      for (std::size_t id = 0; id < sc.spec.plan.num_operators(); ++id) {
+        parallelism[OperatorId(static_cast<std::int64_t>(id))] = p;
+      }
+      fast.begin_epoch();
+      const auto got = place_plan(sc.spec.plan, rates, parallelism, view, fast,
+                                  /*max_parallelism_fallback=*/4);
+      const auto want = place_plan(sc.spec.plan, rates, parallelism, view,
+                                   reference, /*max_parallelism_fallback=*/4);
+      ASSERT_EQ(got.has_value(), want.has_value());
+      if (!got.has_value()) continue;
+      EXPECT_EQ(got->objective, want->objective);  // bit-identical
+      EXPECT_EQ(got->wan_mbps, want->wan_mbps);
+      ASSERT_EQ(got->plan.num_stages(), want->plan.num_stages());
+      for (std::size_t i = 0; i < got->plan.num_stages(); ++i) {
+        const auto& a = got->plan.stages()[i];
+        const auto& b = want->plan.stages()[i];
+        EXPECT_EQ(a.op, b.op);
+        EXPECT_EQ(a.placement, b.placement) << "stage " << i;
+      }
+    }
+  }
+}
+
+TEST(SolverDeterminismTest, RepeatedEpochsAreSelfConsistent) {
+  // Re-running the same epoch (now served from the cache) must reproduce the
+  // first epoch's placements exactly.
+  Rng rng(7);
+  const net::Topology topo = net::Topology::make_paper_testbed(rng);
+  const TopologyView view(topo);
+  const Scheduler fast;
+
+  for (const Scenario& sc : paper_scenarios(topo)) {
+    SCOPED_TRACE(sc.name);
+    const auto rates = scenario_rates(sc);
+    fast.begin_epoch();
+    const auto first = place_plan(sc.spec.plan, rates, {}, view, fast, 4);
+    const auto again = place_plan(sc.spec.plan, rates, {}, view, fast, 4);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(first->objective, again->objective);
+    for (std::size_t i = 0; i < first->plan.num_stages(); ++i) {
+      EXPECT_EQ(first->plan.stages()[i].placement,
+                again->plan.stages()[i].placement);
+    }
+  }
+}
+
+TEST(SolverDeterminismTest, RandomStageContextsMatchReference) {
+  // Randomized per-stage sweep over a uniform clique: place_stage and the
+  // place_with_min_parallelism scale-out search agree with the reference
+  // solvers on feasibility, placement, and objective.
+  const net::Topology topo = net::Topology::make_uniform(6, 3, 50.0, 20.0);
+  const TopologyView view(topo);
+  const Scheduler fast;
+  const Scheduler reference(Scheduler::Config{.use_reference_solvers = true});
+
+  Rng rng(20260806);
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE(trial);
+    StageContext ctx;
+    ctx.parallelism = static_cast<int>(rng.uniform_int(1, 4));
+    const int ups = static_cast<int>(rng.uniform_int(1, 3));
+    for (int u = 0; u < ups; ++u) {
+      ctx.upstream.push_back(TrafficEndpoint{
+          SiteId(rng.uniform_int(0, 5)), rng.uniform(100.0, 20'000.0),
+          rng.uniform(50.0, 400.0)});
+    }
+    if (rng.uniform() < 0.7) {
+      ctx.downstream.push_back(TrafficEndpoint{
+          SiteId(rng.uniform_int(0, 5)), rng.uniform(100.0, 10'000.0),
+          rng.uniform(50.0, 400.0)});
+    }
+    fast.begin_epoch();
+    const auto got = fast.place_stage(ctx, view);
+    const auto want = reference.place_stage(ctx, view);
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (got.has_value()) {
+      EXPECT_EQ(got->placement, want->placement);
+      EXPECT_EQ(got->objective, want->objective);
+    }
+
+    const auto got_scale =
+        fast.place_with_min_parallelism(ctx, view, ctx.parallelism, 6);
+    const auto want_scale =
+        reference.place_with_min_parallelism(ctx, view, ctx.parallelism, 6);
+    ASSERT_EQ(got_scale.has_value(), want_scale.has_value());
+    if (got_scale.has_value()) {
+      EXPECT_EQ(got_scale->placement, want_scale->placement);
+      EXPECT_EQ(got_scale->objective, want_scale->objective);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wasp::physical
