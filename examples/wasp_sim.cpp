@@ -24,6 +24,8 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_schedule.h"
 #include "obs/trace.h"
 #include "net/bandwidth_model.h"
 #include "net/network.h"
@@ -54,6 +56,7 @@ struct Options {
   std::string workload_trace_file;
   std::string trace_out;
   std::string bench_out;
+  std::string fault_schedule_file;
   std::vector<std::pair<double, double>> workload_steps;
   std::vector<std::pair<double, double>> bandwidth_steps;
   std::optional<std::pair<double, double>> failure;  // (t, duration)
@@ -82,6 +85,9 @@ void print_usage() {
   --workload-trace=FILE            replay a workload-trace CSV
                                    (time_sec,source_name,site,events_per_sec)
   --fail=T:DURATION                revoke all compute at T for DURATION seconds
+  --fault-schedule=FILE            replay a scripted chaos schedule (crash /
+                                   restore / partition / heal / flap /
+                                   straggler / stall lines; see DESIGN.md §8)
   --trace-out=FILE                 write the structured observability trace
                                    (schema-versioned JSONL) to FILE
   --bench-out=FILE                 write a wall-clock benchmark JSON (wall_ms,
@@ -137,6 +143,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->trace_out = *v;
     } else if (auto v = value_of("--bench-out")) {
       opts->bench_out = *v;
+    } else if (auto v = value_of("--fault-schedule")) {
+      opts->fault_schedule_file = *v;
     } else if (auto v = value_of("--workload-step")) {
       std::pair<double, double> step;
       if (!parse_pair(*v, &step)) return false;
@@ -312,6 +320,33 @@ int main(int argc, char** argv) {
   }
   runtime::WaspSystem system(network, std::move(query), *pattern, config);
 
+  // Scripted chaos: the injector applies link faults on the Network directly
+  // and drives site/straggler/stall faults through the system's injection
+  // API. The control plane only ever learns of them via heartbeats.
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!opts.fault_schedule_file.empty()) {
+    faults::FaultSchedule schedule;
+    std::string error;
+    if (!faults::FaultSchedule::parse_file(opts.fault_schedule_file, &schedule,
+                                           &error)) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    injector = std::make_unique<faults::FaultInjector>(
+        network, std::move(schedule), Rng(opts.seed ^ 0xFA17));
+    faults::FaultInjector::Hooks hooks;
+    hooks.crash_site = [&system](SiteId s) { system.fail_sites({s}); };
+    hooks.restore_site = [&system](SiteId s) { system.restore_sites({s}); };
+    hooks.set_straggler = [&system](SiteId s, double f) {
+      system.mutable_engine().set_straggler(s, f);
+    };
+    hooks.stall_control = [&system](double sec) {
+      system.stall_control_for(sec);
+    };
+    injector->set_hooks(std::move(hooks));
+    injector->set_trace(&system.trace());
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
   if (opts.failure.has_value()) {
     system.run_until(opts.failure->first);
@@ -319,7 +354,14 @@ int main(int argc, char** argv) {
     system.run_until(opts.failure->first + opts.failure->second);
     system.restore_all_sites();
   }
-  system.run_until(opts.duration);
+  if (injector != nullptr) {
+    while (system.now() + config.tick_sec <= opts.duration + 1e-9) {
+      injector->tick(system.now());
+      system.step();
+    }
+  } else {
+    system.run_until(opts.duration);
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)
@@ -377,8 +419,41 @@ int main(int argc, char** argv) {
     std::cout << "\nadaptations:\n";
     for (const auto& e : rec.events()) {
       std::cout << "  t=" << e.decided_at << "s " << e.kind << " ("
-                << e.reason << "), transition " << e.transition_sec()
-                << "s, migrated " << e.migrated_mb << " MB\n";
+                << e.reason << "), ";
+      if (e.aborted()) {
+        std::cout << "ABORTED at t=" << e.aborted_at << " (" << e.abort_reason
+                  << "), attempt " << e.attempt << "\n";
+      } else {
+        std::cout << "transition " << e.transition_sec() << "s, migrated "
+                  << e.migrated_mb << " MB\n";
+      }
+    }
+  }
+  if (injector != nullptr) {
+    std::size_t aborted = 0, abandoned = 0;
+    for (const auto& e : rec.events()) {
+      if (e.aborted()) ++aborted;
+    }
+    for (const auto& e : rec.recovery_events()) {
+      if (e.kind == "abandon") ++abandoned;
+    }
+    // One parseable line the chaos-smoke CI job asserts on.
+    std::cout << "\nchaos: recovery_events=" << rec.recovery_events().size()
+              << " orphaned_bulk_flows=" << network.num_bulk_flows()
+              << " aborted_transitions=" << aborted
+              << " abandoned=" << abandoned
+              << " faults_injected=" << injector->applied() << "\n";
+    if (!rec.recovery_events().empty()) {
+      std::cout << "recovery log:\n";
+      for (const auto& e : rec.recovery_events()) {
+        std::cout << "  t=" << e.t << "s " << e.kind;
+        if (e.site >= 0) std::cout << " site=" << e.site;
+        if (e.op >= 0) std::cout << " op=" << e.op;
+        if (e.attempt > 0) std::cout << " attempt=" << e.attempt;
+        if (e.backoff_sec > 0.0) std::cout << " backoff=" << e.backoff_sec;
+        if (!e.detail.empty()) std::cout << " (" << e.detail << ")";
+        std::cout << "\n";
+      }
     }
   }
   return 0;

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Assert the chaos-smoke invariants on a wasp_sim chaos run's output.
+
+Parses the machine-readable summary line
+
+    chaos: recovery_events=N orphaned_bulk_flows=M aborted_transitions=A \
+abandoned=B faults_injected=F
+
+and checks:
+  - every scheduled fault was injected (faults_injected > 0);
+  - the recovery event log is non-empty (the detector saw the faults);
+  - zero orphaned bulk flows at the end of the run (every aborted
+    migration was cleaned up);
+  - every aborted transition was retried to success or explicitly
+    abandoned -- an abort without a matching retry/abandon entry in the
+    recovery log is a leak;
+  - the crashed site's full recovery chain is present:
+    suspect -> confirm_failure -> replan -> stabilized.
+"""
+import re
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <wasp_sim-output-file>", file=sys.stderr)
+        return 2
+    text = open(sys.argv[1]).read()
+
+    m = re.search(
+        r"chaos: recovery_events=(\d+) orphaned_bulk_flows=(\d+)"
+        r" aborted_transitions=(\d+) abandoned=(\d+) faults_injected=(\d+)",
+        text,
+    )
+    if m is None:
+        print("FAIL: no 'chaos:' summary line in output", file=sys.stderr)
+        return 1
+    recovery, orphaned, aborted, abandoned, injected = map(int, m.groups())
+
+    failures = []
+    if injected == 0:
+        failures.append("no faults were injected")
+    if recovery == 0:
+        failures.append("recovery event log is empty")
+    if orphaned != 0:
+        failures.append(f"{orphaned} orphaned bulk flow(s) at end of run")
+
+    retries = len(re.findall(r"^\s*t=\S+ retry\b", text, re.M))
+    if aborted > 0 and retries == 0 and abandoned == 0:
+        failures.append(
+            f"{aborted} aborted transition(s) with no retry or abandon")
+
+    # The canned schedule crashes one site: its chain must appear in order.
+    chain = ["suspect", "confirm_failure", "replan", "stabilized"]
+    positions = [text.find(f" {kind}") for kind in chain]
+    if any(p < 0 for p in positions) or positions != sorted(positions):
+        failures.append(
+            "missing or out-of-order suspect -> confirm_failure -> replan"
+            " -> stabilized chain")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"OK: recovery_events={recovery} orphaned=0 aborted={aborted}"
+          f" abandoned={abandoned} faults_injected={injected}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -807,6 +807,144 @@ AdaptationAction AdaptationPolicy::handle_overprovisioning(
   return none;
 }
 
+std::vector<AdaptationAction> AdaptationPolicy::plan_recovery(
+    const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+    const physical::NetworkView& view,
+    const std::vector<SiteId>& dead_sites) {
+  std::vector<AdaptationAction> actions;
+  if (dead_sites.empty()) return actions;
+  scheduler_.begin_epoch();
+
+  const query::LogicalPlan& logical = engine.logical();
+  std::vector<bool> dead(view.num_sites(), false);
+  std::string dead_list;
+  for (SiteId s : dead_sites) {
+    dead[static_cast<std::size_t>(s.value())] = true;
+    if (!dead_list.empty()) dead_list += ",";
+    dead_list += std::to_string(s.value());
+  }
+
+  // Recovery may fire before the first monitoring window closes: fall back
+  // to the engine's configured source rates when no observations exist yet.
+  std::unordered_map<OperatorId, query::OperatorRates> rates;
+  if (monitor.has_data()) {
+    rates = monitor.estimate_actual_rates(logical);
+  } else {
+    std::unordered_map<OperatorId, double> src_rates;
+    for (OperatorId src : logical.sources()) {
+      src_rates[src] = engine.source_generation_eps(src);
+    }
+    rates = logical.estimate_rates(src_rates);
+  }
+
+  AdjustedSlotsView working_view(view);
+  for (OperatorId id : logical.topological_order()) {
+    const auto& op = logical.op(id);
+    const physical::StagePlacement& current = engine.placement(id);
+    bool affected = false;
+    for (SiteId s : dead_sites) {
+      if (current.at(s) > 0) affected = true;
+    }
+    if (!affected) continue;
+    // Pinned stages (sources, sinks) cannot leave their sites; their tasks
+    // wait for the site to come back. Same for non-splittable stages.
+    if (!op.pinned_sites.empty() || !op.splittable) {
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->event("policy_reject")
+            .str("kind", "recovery")
+            .num("op", static_cast<double>(id.value()))
+            .str("why", "pinned or non-splittable stage on failed site");
+      }
+      continue;
+    }
+
+    const BandwidthAddbackView self_view(working_view,
+                                         engine.adjacent_link_mbps(id));
+    physical::StageContext ctx = stage_context(engine, rates, id);
+    // The vacated slots on *surviving* sites stay usable by the re-placed
+    // stage; slots on the dead site must not be offered back to the ILP.
+    std::vector<int> extra = current.per_site;
+    for (std::size_t s = 0; s < extra.size(); ++s) {
+      if (dead[s]) extra[s] = 0;
+    }
+    // Same parallelism if the surviving sites can host it; otherwise the
+    // largest feasible task count (degraded capacity beats none).
+    const int p = current.parallelism();
+    std::optional<physical::PlacementOutcome> outcome;
+    for (int p_try = p; p_try >= 1 && !outcome.has_value(); --p_try) {
+      ctx.parallelism = p_try;
+      outcome = scheduler_.place_stage(ctx, self_view, extra);
+    }
+    if (!outcome.has_value()) {
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->event("policy_reject")
+            .str("kind", "recovery")
+            .num("op", static_cast<double>(id.value()))
+            .str("why", "no feasible placement on surviving sites");
+      }
+      continue;
+    }
+
+    AdaptationAction action;
+    action.kind = ActionKind::kReassign;
+    action.op = id;
+    action.new_placement = outcome->placement;
+    // Balance the *surviving* state across the new placement. State that
+    // lived on the dead site is not a migration source (nothing to read
+    // there); it is recovered via checkpoint replay when the site returns.
+    if (op.stateful()) {
+      double live_state = 0.0;
+      for (std::size_t s = 0; s < current.per_site.size(); ++s) {
+        if (dead[s]) continue;
+        live_state += engine.state_mb(id, SiteId(static_cast<std::int64_t>(s)));
+      }
+      const int p_to = action.new_placement.parallelism();
+      if (live_state > 1e-9 && p_to > 0) {
+        std::vector<state::StateSource> sources;
+        std::vector<state::StateDestination> destinations;
+        for (std::size_t s = 0; s < current.per_site.size(); ++s) {
+          if (dead[s]) continue;
+          const SiteId site(static_cast<std::int64_t>(s));
+          const double here = engine.state_mb(id, site);
+          const double target =
+              live_state * action.new_placement.per_site[s] / p_to;
+          if (here > target + 1e-9) {
+            sources.push_back(state::StateSource{site, here - target});
+          } else if (target > here + 1e-9) {
+            destinations.push_back(
+                state::StateDestination{site, target - here});
+          }
+        }
+        action.migration =
+            migration_planner_.plan(sources, destinations, self_view);
+      }
+    }
+    action.estimated_transition_sec =
+        action.migration.estimated_transition_sec;
+    action.reason = "failure recovery: site " + dead_list + " confirmed failed";
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->event("policy_action")
+          .str("kind", to_string(action.kind))
+          .num("op", static_cast<double>(id.value()))
+          .str("reason", action.reason)
+          .num("estimated_transition_sec", action.estimated_transition_sec)
+          .num("num_moves",
+               static_cast<double>(action.migration.moves.size()));
+    }
+    // Credit only the slots vacated on *surviving* sites back to the view:
+    // a slot freed on the dead site must not make it look placeable to the
+    // next stranded stage in this same pass.
+    physical::StagePlacement vacated = current;
+    for (std::size_t s = 0; s < vacated.per_site.size(); ++s) {
+      if (dead[s]) vacated.per_site[s] = 0;
+    }
+    working_view.consume(vacated, action.new_placement);
+    last_grown_[id] = now_;
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
 AdaptationAction AdaptationPolicy::consider_replan(
     const engine::Engine& engine, const GlobalMetricMonitor& monitor,
     const physical::NetworkView& view, const std::string& why) {

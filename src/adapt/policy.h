@@ -137,6 +137,21 @@ class AdaptationPolicy {
       const engine::Engine& engine, const GlobalMetricMonitor& monitor,
       const physical::NetworkView& view, std::size_t max_actions = 3);
 
+  // Failure recovery: re-places every unpinned, splittable stage that has
+  // tasks on a site in `dead_sites`, excluding those sites from the new
+  // placements. Keeps the stage's parallelism when the surviving sites can
+  // host it, degrading to fewer tasks when they cannot (partial capacity
+  // beats none while the site is out). The returned migrations move state
+  // only between live sites -- whatever lived on the dead site is recovered
+  // through checkpoint replay, not a bulk transfer. `view` must already
+  // report zero slots at the dead sites (the detector-backed MonitorView
+  // does). Stages that cannot be re-placed at all are skipped: the caller
+  // decides whether to fall back to degrade-mode shedding.
+  [[nodiscard]] std::vector<AdaptationAction> plan_recovery(
+      const engine::Engine& engine, const GlobalMetricMonitor& monitor,
+      const physical::NetworkView& view,
+      const std::vector<SiteId>& dead_sites);
+
   // §6.2 long-term dynamics: evaluates whether a different plan-placement
   // pair would beat the current deployment under the *current* workload,
   // independent of any diagnosed bottleneck. Used by the runtime's periodic

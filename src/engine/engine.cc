@@ -908,6 +908,7 @@ void Engine::apply_replan(query::LogicalPlan logical,
 }
 
 void Engine::fail_site(SiteId site) {
+  if (failed_sites_[static_cast<std::size_t>(site.value())]) return;
   failed_sites_[static_cast<std::size_t>(site.value())] = true;
   if (config_.trace != nullptr && config_.trace->enabled()) {
     config_.trace->event("site_failed")
@@ -920,6 +921,7 @@ void Engine::fail_site(SiteId site) {
 
 void Engine::restore_site(SiteId site) {
   const auto s = static_cast<std::size_t>(site.value());
+  if (!failed_sites_[s]) return;
   failed_sites_[s] = false;
 
   // Rates to convert events lost at an operator back into source units, the

@@ -116,9 +116,19 @@ class Engine {
   // Failure injection: a failed site contributes no processing capacity and
   // accepts no deliveries until restored. Restoration replays the local
   // checkpoint (a restore pause proportional to state size).
+  // fail_site on an already-failed site is a no-op; restore_site on a
+  // healthy site is a no-op (a spurious restore must not roll live state
+  // back to the checkpoint). Neither touches straggler factors: a slow
+  // machine is still slow after it recovers from a crash.
   void fail_site(SiteId site);
   void restore_site(SiteId site);
   [[nodiscard]] bool site_failed(SiteId site) const;
+
+  // Toggles the degrade baseline (shed source events older than the SLO) at
+  // runtime; the control plane flips this on as a graceful fallback when
+  // recovery placement is infeasible.
+  void set_degrade(bool enabled) { config_.degrade = enabled; }
+  [[nodiscard]] bool degrade_enabled() const { return config_.degrade; }
 
   // Pins the total state of `op` to a fixed size (controlled-state
   // experiments, §8.7); negative clears the override.

@@ -1,0 +1,103 @@
+// Heartbeat-timeout failure detection for the control plane.
+//
+// WASP assumes failures are detected, not known (§1, §7): the coordinator
+// does not get to read the engine's ground-truth failure flag. Each site
+// sends a heartbeat to the coordinator every `heartbeat_interval_sec`; a
+// heartbeat is delivered in a tick iff the site is alive *and* the directed
+// link site -> coordinator has non-zero capacity. The detector tracks, per
+// site, the time since the last delivered heartbeat:
+//
+//   gap >= suspect_timeout_sec  -> kSuspected       (trace "suspect")
+//   gap >= confirm_timeout_sec  -> kConfirmedFailed (trace "confirm_failure")
+//   a delivery at any state     -> kTrusted         (trace "trust")
+//
+// This makes detection latency, false suspicion on partitioned/stalled links,
+// and re-trust on recovery observable dynamics instead of implementation
+// shortcuts. The detector is deliberately RNG-free and depends only on the
+// network's capacity view, so same-seed replays produce identical state
+// transition sequences.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/network.h"
+
+namespace wasp::obs {
+class TraceEmitter;
+}  // namespace wasp::obs
+
+namespace wasp::faults {
+
+enum class SiteHealth {
+  kTrusted,
+  kSuspected,
+  kConfirmedFailed,
+};
+
+[[nodiscard]] const char* to_string(SiteHealth health);
+
+// One detector state change, drained via take_transitions() so the runtime
+// can mirror detector activity into its recorder.
+struct HealthTransition {
+  double t = 0.0;
+  SiteId site{-1};
+  SiteHealth from = SiteHealth::kTrusted;
+  SiteHealth to = SiteHealth::kTrusted;
+};
+
+class FailureDetector {
+ public:
+  struct Config {
+    double heartbeat_interval_sec = 2.0;
+    // Gap after which a site is suspected (slots withheld from placement).
+    double suspect_timeout_sec = 6.0;
+    // Gap after which the failure is confirmed (recovery re-plan triggers).
+    double confirm_timeout_sec = 20.0;
+    // Coordinator site; -1 picks the site with the most slots (lowest id
+    // breaking ties), a deterministic stand-in for leader election.
+    SiteId coordinator{-1};
+  };
+
+  FailureDetector(const net::Network& network, Config config);
+
+  // Advances the detector to time `t`. `alive(site)` is the data-plane truth
+  // the heartbeats sample: typically `!engine.site_failed(site)`. The
+  // coordinator trusts itself unconditionally.
+  void tick(double t, const std::function<bool(SiteId)>& alive);
+
+  [[nodiscard]] SiteHealth health(SiteId site) const;
+  [[nodiscard]] bool trusted(SiteId site) const {
+    return health(site) == SiteHealth::kTrusted;
+  }
+  [[nodiscard]] bool confirmed_failed(SiteId site) const {
+    return health(site) == SiteHealth::kConfirmedFailed;
+  }
+  [[nodiscard]] SiteId coordinator() const { return coordinator_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // Seconds since `site`'s last delivered heartbeat, as of the last tick().
+  [[nodiscard]] double heartbeat_gap(SiteId site) const;
+
+  // Returns and clears the state changes accumulated since the last call,
+  // in detection order.
+  std::vector<HealthTransition> take_transitions();
+
+  void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
+
+ private:
+  void transition(double t, SiteId site, SiteHealth to);
+
+  const net::Network& network_;
+  Config config_;
+  SiteId coordinator_{-1};
+  std::vector<SiteHealth> health_;
+  std::vector<double> last_heartbeat_;  // delivery time, per site
+  std::vector<double> next_send_;       // next heartbeat send time, per site
+  std::vector<HealthTransition> pending_;
+  double now_ = 0.0;
+  obs::TraceEmitter* trace_ = nullptr;
+};
+
+}  // namespace wasp::faults

@@ -1,0 +1,96 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace wasp::faults {
+
+FaultInjector::FaultInjector(net::Network& network, FaultSchedule schedule,
+                             Rng rng)
+    : network_(network), rng_(rng) {
+  // Expand flap entries into alternating partition / heal trains. Each
+  // half-period is jittered by +/-20% so flaps from different schedule lines
+  // desynchronize, but the jitter comes from the forked Rng: the expansion
+  // is a pure function of (schedule, seed).
+  for (const FaultEvent& e : schedule.events()) {
+    if (e.kind != FaultKind::kLinkFlap) {
+      events_.push_back(e);
+      if (e.kind == FaultKind::kLinkPartition && e.duration_sec > 0.0) {
+        FaultEvent heal = e;
+        heal.kind = FaultKind::kLinkHeal;
+        heal.t = e.t + e.duration_sec;
+        events_.push_back(heal);
+      }
+      continue;
+    }
+    const double end = e.t + e.duration_sec;
+    double cursor = e.t;
+    bool partitioned = true;
+    while (cursor < end) {
+      FaultEvent phase = e;
+      phase.kind =
+          partitioned ? FaultKind::kLinkPartition : FaultKind::kLinkHeal;
+      phase.t = cursor;
+      events_.push_back(phase);
+      partitioned = !partitioned;
+      cursor += 0.5 * e.period_sec * rng_.uniform(0.8, 1.2);
+    }
+    FaultEvent heal = e;  // a flap always leaves the link healed
+    heal.kind = FaultKind::kLinkHeal;
+    heal.t = end;
+    events_.push_back(heal);
+  }
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.t < b.t; });
+}
+
+void FaultInjector::tick(double now) {
+  while (next_ < events_.size() && events_[next_].t <= now) {
+    apply(events_[next_]);
+    ++next_;
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  if (trace_ != nullptr && trace_->enabled()) {
+    auto ev = trace_->event_at(event.t, "fault_injected");
+    ev.str("kind", to_string(event.kind));
+    if (event.site.valid()) {
+      ev.num("site", static_cast<double>(event.site.value()));
+    }
+    if (event.from.valid()) {
+      ev.num("from_site", static_cast<double>(event.from.value()))
+          .num("to_site", static_cast<double>(event.to.value()));
+    }
+    if (event.kind == FaultKind::kStraggler) ev.num("factor", event.factor);
+    if (event.kind == FaultKind::kControlStall) {
+      ev.num("duration_sec", event.duration_sec);
+    }
+  }
+  switch (event.kind) {
+    case FaultKind::kSiteCrash:
+      if (hooks_.crash_site) hooks_.crash_site(event.site);
+      break;
+    case FaultKind::kSiteRestore:
+      if (hooks_.restore_site) hooks_.restore_site(event.site);
+      break;
+    case FaultKind::kLinkPartition:
+      network_.set_link_partitioned(event.from, event.to, true);
+      break;
+    case FaultKind::kLinkHeal:
+      network_.set_link_partitioned(event.from, event.to, false);
+      break;
+    case FaultKind::kLinkFlap:
+      break;  // expanded at construction
+    case FaultKind::kStraggler:
+      if (hooks_.set_straggler) hooks_.set_straggler(event.site, event.factor);
+      break;
+    case FaultKind::kControlStall:
+      if (hooks_.stall_control) hooks_.stall_control(event.duration_sec);
+      break;
+  }
+}
+
+}  // namespace wasp::faults

@@ -1,0 +1,64 @@
+// FaultInjector: replays a FaultSchedule against the running system.
+//
+// Link-level faults (partition / heal, plus the partition trains a `flap`
+// entry expands into) are applied directly on the Network, which is where
+// partitions live as first-class state. Site crash/restore, stragglers and
+// control-plane stalls go through driver-bound hooks so the injector does not
+// depend on the engine or runtime: the driver (wasp_sim, tests) wires them to
+// `WaspSystem::fail_sites` & friends.
+//
+// Flap expansion draws its half-period jitter from the injector's own Rng
+// (forked from the experiment seed), so a chaos run is bit-reproducible:
+// same schedule + same seed -> identical injection times -> identical
+// recorder / trace logs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/fault_schedule.h"
+#include "net/network.h"
+
+namespace wasp::obs {
+class TraceEmitter;
+}  // namespace wasp::obs
+
+namespace wasp::faults {
+
+class FaultInjector {
+ public:
+  struct Hooks {
+    std::function<void(SiteId)> crash_site;
+    std::function<void(SiteId)> restore_site;
+    std::function<void(SiteId, double)> set_straggler;  // factor; >=1 clears
+    std::function<void(double)> stall_control;          // duration seconds
+  };
+
+  FaultInjector(net::Network& network, FaultSchedule schedule, Rng rng);
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+  void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
+
+  // Applies every not-yet-applied event with time <= now, in order.
+  void tick(double now);
+
+  [[nodiscard]] std::size_t applied() const { return next_; }
+  [[nodiscard]] bool done() const { return next_ >= events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  void apply(const FaultEvent& event);
+
+  net::Network& network_;
+  Rng rng_;
+  Hooks hooks_;
+  std::vector<FaultEvent> events_;  // flap entries pre-expanded, time-sorted
+  std::size_t next_ = 0;
+  obs::TraceEmitter* trace_ = nullptr;
+};
+
+}  // namespace wasp::faults

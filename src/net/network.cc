@@ -10,12 +10,46 @@
 namespace wasp::net {
 
 Network::Network(Topology topology, std::shared_ptr<const BandwidthModel> model)
-    : topology_(std::move(topology)), model_(std::move(model)) {
+    : topology_(std::move(topology)),
+      model_(std::move(model)),
+      link_partitioned_(topology_.num_sites() * topology_.num_sites(), 0),
+      site_down_(topology_.num_sites(), 0) {
   assert(model_ != nullptr);
 }
 
 double Network::capacity(SiteId from, SiteId to, double t) const {
+  if (link_partitioned(from, to) || site_down(from) || site_down(to)) {
+    return 0.0;
+  }
   return topology_.base_bandwidth(from, to) * model_->factor(from, to, t);
+}
+
+void Network::set_link_partitioned(SiteId from, SiteId to, bool partitioned) {
+  const auto n = static_cast<std::size_t>(topology_.num_sites());
+  const auto f = static_cast<std::size_t>(from.value());
+  const auto d = static_cast<std::size_t>(to.value());
+  assert(f < n && d < n);
+  link_partitioned_[f * n + d] = partitioned ? 1 : 0;
+}
+
+bool Network::link_partitioned(SiteId from, SiteId to) const {
+  const auto n = static_cast<std::size_t>(topology_.num_sites());
+  const auto f = static_cast<std::size_t>(from.value());
+  const auto d = static_cast<std::size_t>(to.value());
+  assert(f < n && d < n);
+  return link_partitioned_[f * n + d] != 0;
+}
+
+void Network::set_site_down(SiteId site, bool down) {
+  const auto s = static_cast<std::size_t>(site.value());
+  assert(s < site_down_.size());
+  site_down_[s] = down ? 1 : 0;
+}
+
+bool Network::site_down(SiteId site) const {
+  const auto s = static_cast<std::size_t>(site.value());
+  assert(s < site_down_.size());
+  return site_down_[s] != 0;
 }
 
 FlowId Network::add_stream_flow(SiteId from, SiteId to) {
@@ -95,8 +129,12 @@ void Network::step(double t, double dt) {
       continue;
     }
     if (f.from == f.to) {
-      f.allocated_mbps = f.kind == FlowKind::kStream ? f.demand_mbps
-                                                     : kLocalBandwidthMbps;
+      if (site_down(f.from)) {
+        f.allocated_mbps = 0.0;
+      } else {
+        f.allocated_mbps = f.kind == FlowKind::kStream ? f.demand_mbps
+                                                       : kLocalBandwidthMbps;
+      }
       continue;
     }
     per_link[f.from.value() * n + f.to.value()].push_back(&f);
@@ -138,6 +176,14 @@ void Network::step(double t, double dt) {
       }
     }
   }
+}
+
+std::size_t Network::num_bulk_flows() const {
+  std::size_t count = 0;
+  for (const auto& [id, f] : flows_) {
+    if (f.kind == FlowKind::kBulk && !f.done) ++count;
+  }
+  return count;
 }
 
 double Network::link_allocated(SiteId from, SiteId to) const {

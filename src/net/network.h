@@ -45,8 +45,22 @@ class Network {
 
   [[nodiscard]] const Topology& topology() const { return topology_; }
 
-  // Current capacity of the directed link from -> to (Mbps).
+  // Current capacity of the directed link from -> to (Mbps). A partitioned
+  // link, or a link with a down endpoint, has zero capacity: every stream and
+  // bulk flow crossing it stalls until the partition heals / the site is
+  // restored.
   [[nodiscard]] double capacity(SiteId from, SiteId to, double t) const;
+
+  // --- fault state ---------------------------------------------------------
+
+  // Marks the directed link from -> to as partitioned (capacity 0).
+  void set_link_partitioned(SiteId from, SiteId to, bool partitioned);
+  [[nodiscard]] bool link_partitioned(SiteId from, SiteId to) const;
+
+  // Marks a whole site as down: every link touching it (including local,
+  // same-site transfers) has zero capacity.
+  void set_site_down(SiteId site, bool down);
+  [[nodiscard]] bool site_down(SiteId site) const;
 
   [[nodiscard]] double latency_ms(SiteId from, SiteId to) const {
     return topology_.latency_ms(from, to);
@@ -74,6 +88,10 @@ class Network {
 
   [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
 
+  // Number of unfinished bulk transfers; a clean shutdown (and a clean
+  // chaos run) ends with zero.
+  [[nodiscard]] std::size_t num_bulk_flows() const;
+
   // Optional trace hook (non-owning; may be null). step() emits one
   // "link_alloc" event per active WAN link and a "bulk_done" event when a
   // bulk (migration) transfer completes.
@@ -87,6 +105,8 @@ class Network {
 
   Topology topology_;
   std::shared_ptr<const BandwidthModel> model_;
+  std::vector<char> link_partitioned_;  // num_sites^2, row-major from*n+to
+  std::vector<char> site_down_;         // num_sites
   std::unordered_map<FlowId, Flow> flows_;
   std::int64_t next_flow_id_ = 0;
   obs::TraceEmitter* trace_ = nullptr;

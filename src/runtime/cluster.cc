@@ -70,6 +70,16 @@ void Cluster::run_until(double t_end) {
   while (now_ + 1.0 <= t_end + 1e-9) step();
 }
 
+void Cluster::fail_site(SiteId site) {
+  network_.set_site_down(site, true);
+  for (auto& system : systems_) system->mutable_engine().fail_site(site);
+}
+
+void Cluster::restore_site(SiteId site) {
+  network_.set_site_down(site, false);
+  for (auto& system : systems_) system->mutable_engine().restore_site(site);
+}
+
 std::vector<int> Cluster::slots_in_use() const {
   std::vector<int> used(network_.topology().num_sites(), 0);
   for (const auto& system : systems_) {

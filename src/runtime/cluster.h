@@ -64,6 +64,12 @@ class Cluster {
   // Slots in use across all queries, per site.
   [[nodiscard]] std::vector<int> slots_in_use() const;
 
+  // Cluster-wide failure injection: marks the site down in the shared
+  // Network (stalling every tenant's flows touching it) and fails it in
+  // every query's engine. restore_site reverses both.
+  void fail_site(SiteId site);
+  void restore_site(SiteId site);
+
  private:
   // Pinned slot demand of `spec` per site (sources excluded -- they take no
   // slot).

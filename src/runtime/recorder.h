@@ -30,6 +30,13 @@ struct AdaptationEvent {
   std::int64_t op = -1;           // target operator id; -1 for re-plans
   double estimated_transition_sec = 0.0;
   double migrated_mb = 0.0;
+  // Transactional-migration outcome: set when the transition was aborted
+  // mid-transfer (endpoint failed or its link partitioned).
+  double aborted_at = -1.0;
+  std::string abort_reason;
+  int attempt = 0;  // 0 = first try; >0 = backoff retry number
+
+  [[nodiscard]] bool aborted() const { return aborted_at >= 0.0; }
 
   [[nodiscard]] double transition_sec() const {
     return transition_end >= 0.0 ? transition_end - decided_at : 0.0;
@@ -39,6 +46,22 @@ struct AdaptationEvent {
                ? stabilized_at - transition_end
                : 0.0;
   }
+};
+
+// One entry in the failure-recovery log: the detector's state changes
+// ("suspect", "confirm_failure", "trust"), the transition life-cycle under
+// faults ("transition_abort", "retry", "abandon"), the recovery re-plan
+// ("replan", "stabilized"), and the degrade fallback ("degrade_on",
+// "degrade_off"). Together they give the `suspect -> confirm_failure ->
+// replan -> stabilized` chain the chaos acceptance test asserts on.
+struct RecoveryEvent {
+  double t = 0.0;
+  std::string kind;
+  std::int64_t site = -1;    // subject site, when applicable
+  std::int64_t op = -1;      // subject operator, when applicable
+  int attempt = 0;           // retry number, for retry/abandon
+  double backoff_sec = 0.0;  // wait before the retry fires
+  std::string detail;
 };
 
 class Recorder {
@@ -78,6 +101,13 @@ class Recorder {
     return events_;
   }
 
+  void record_recovery(RecoveryEvent event) {
+    recovery_events_.push_back(std::move(event));
+  }
+  [[nodiscard]] const std::vector<RecoveryEvent>& recovery_events() const {
+    return recovery_events_;
+  }
+
  private:
   TimeSeries delay_;
   TimeSeries ratio_;
@@ -88,6 +118,7 @@ class Recorder {
   double total_processed_ = 0.0;
   double total_dropped_ = 0.0;
   std::vector<AdaptationEvent> events_;
+  std::vector<RecoveryEvent> recovery_events_;
   obs::MetricsRegistry* metrics_ = nullptr;
 };
 

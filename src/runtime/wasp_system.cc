@@ -47,9 +47,11 @@ class WaspSystem::MonitorView final : public physical::NetworkView {
   }
   [[nodiscard]] int available_slots(SiteId site) const override {
     const auto s = static_cast<std::size_t>(site.value());
-    if (system_.engine_ != nullptr && system_.engine_->site_failed(site)) {
-      return 0;
-    }
+    // Suspicion, not ground truth: the control plane withholds a site's
+    // slots once the heartbeat detector distrusts it, and not before --
+    // detection latency is part of the dynamics (the engine's failure flags
+    // are never read here).
+    if (!system_.detector_.trusted(site)) return 0;
     int used = 0;
     if (system_.engine_ != nullptr) {
       used = system_.engine_->slots_in_use()[s];
@@ -73,8 +75,10 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
       config_(config),
       rng_(config.seed),
       wan_monitor_(network, config.wan_monitor, Rng(config.seed ^ 0x9E37)),
+      detector_(network, config.detector),
       scheduler_(config.scheduler),
       planner_() {
+  recovery_abandoned_.assign(network_.topology().num_sites(), false);
   // Map the adaptation mode onto the policy switches (§8.5 baselines).
   adapt::AdaptationPolicy::Config pc = config_.policy;
   switch (config_.mode) {
@@ -110,6 +114,7 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
     network_.set_trace(&trace_);
   }
   policy_->set_trace(&trace_);
+  detector_.set_trace(&trace_);
   recorder_.bind_metrics(&metrics_);
 
   config_.engine.tick_sec = config_.tick_sec;
@@ -245,28 +250,68 @@ void WaspSystem::step(bool drive_network) {
   engine_->tick(now_);
   metric_monitor_.observe(*engine_, now_);
 
-  if (transition_.has_value()) {
-    // Migration complete when every bulk flow has drained and the minimum
-    // redeploy pause elapsed.
-    bool done = now_ - transition_->started_at >= config_.redeploy_sec;
-    for (FlowId f : transition_->bulk_flows) {
-      if (network_.has_flow(f) && !network_.flow(f).done) done = false;
+  // The control plane (detector, adaptation, transition management) freezes
+  // during an injected stall; the data plane above keeps running.
+  if (!control_stalled()) {
+    detector_.tick(now_,
+                   [this](SiteId s) { return !engine_->site_failed(s); });
+    for (const faults::HealthTransition& ht : detector_.take_transitions()) {
+      const char* kind = ht.to == faults::SiteHealth::kTrusted
+                             ? "trust"
+                             : ht.to == faults::SiteHealth::kSuspected
+                                   ? "suspect"
+                                   : "confirm_failure";
+      record_recovery(kind, ht.site.value(), /*op=*/-1, /*attempt=*/0,
+                      /*backoff_sec=*/0.0, to_string(ht.from));
+      if (ht.to == faults::SiteHealth::kTrusted) {
+        // A re-trusted site wipes its abandon flag: recovery may be
+        // attempted afresh if it fails again later.
+        recovery_abandoned_[static_cast<std::size_t>(ht.site.value())] =
+            false;
+        if (recovery_degrade_active_ &&
+            std::none_of(recovery_abandoned_.begin(),
+                         recovery_abandoned_.end(),
+                         [](bool b) { return b; })) {
+          recovery_degrade_active_ = false;
+          if (config_.mode != AdaptationMode::kDegrade &&
+              config_.mode != AdaptationMode::kHybrid) {
+            engine_->set_degrade(false);
+          }
+          record_recovery("degrade_off", ht.site.value(), -1, 0, 0.0,
+                          "all abandoned sites re-trusted");
+        }
+      }
     }
-    if (done) finalize_transition();
-  } else if (pending_boundary_.has_value()) {
-    // A boundary-aligned re-plan waits for the orphaned window's state to
-    // re-initialize (§4.3).
-    const double w = pending_boundary_->boundary_window_sec;
-    if (std::fmod(now_, w) < config_.tick_sec) {
-      std::vector<adapt::AdaptationAction> actions;
-      actions.push_back(std::move(*pending_boundary_));
-      pending_boundary_.reset();
-      begin_transition(std::move(actions));
+
+    if (transition_.has_value()) {
+      std::string why;
+      if (transition_compromised(&why)) {
+        abort_transition(why);
+      } else {
+        // Migration complete when every bulk flow has drained and the
+        // minimum redeploy pause elapsed.
+        bool done = now_ - transition_->started_at >= config_.redeploy_sec;
+        for (FlowId f : transition_->bulk_flows) {
+          if (network_.has_flow(f) && !network_.flow(f).done) done = false;
+        }
+        if (done) finalize_transition();
+      }
+    } else if (pending_boundary_.has_value()) {
+      // A boundary-aligned re-plan waits for the orphaned window's state to
+      // re-initialize (§4.3).
+      const double w = pending_boundary_->boundary_window_sec;
+      if (std::fmod(now_, w) < config_.tick_sec) {
+        std::vector<adapt::AdaptationAction> actions;
+        actions.push_back(std::move(*pending_boundary_));
+        pending_boundary_.reset();
+        begin_transition(std::move(actions));
+      }
+    } else {
+      maybe_recover();
+      if (!transition_.has_value()) maybe_adapt();
     }
-  } else {
-    maybe_adapt();
+    watch_stabilization();
   }
-  watch_stabilization();
 
   const auto& m = engine_->last_tick();
   recorder_.record_tick(
@@ -325,10 +370,13 @@ void WaspSystem::maybe_adapt() {
   begin_transition(std::move(actions));
 }
 
-void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions) {
+void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions,
+                                  bool recovery) {
   assert(!actions.empty());
   Transition transition;
   transition.started_at = now_;
+  transition.recovery = recovery;
+  transition.attempt = retry_.attempts;
   pre_transition_delay_ = engine_->last_tick().delay_sec;
 
   for (adapt::AdaptationAction& action : actions) {
@@ -338,6 +386,7 @@ void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions) 
     event.reason = action.reason;
     event.op = action.op.valid() ? action.op.value() : -1;
     event.estimated_transition_sec = action.estimated_transition_sec;
+    event.attempt = retry_.attempts;
     for (const auto& move : action.migration.moves) {
       event.migrated_mb += move.size_mb;
     }
@@ -405,9 +454,211 @@ void WaspSystem::finalize_transition() {
     }
   }
   stabilizing_event_ = transition_->event_indices.front();
+  stabilizing_recovery_ = transition_->recovery;
+  // A completed recovery / retried transition closes the retry episode.
+  if (transition_->recovery || transition_->attempt > 0) {
+    retry_ = RetryState{};
+  }
   transition_.reset();
   metric_monitor_.reset_window();
   last_decision_ = now_;  // give the new deployment a full interval to settle
+}
+
+bool WaspSystem::transition_compromised(std::string* why) const {
+  if (!transition_.has_value()) return false;
+  // Network truth first: a transfer crossing a partitioned link (or touching
+  // a down site) will never finish. Then the detector's view: once an
+  // endpoint of an in-flight transfer is suspected, the coordinator stops
+  // waiting -- wiring state into a possibly-dead site is worse than a
+  // restart, and rollback is cheap (the placement only applies at
+  // finalization).
+  for (FlowId f : transition_->bulk_flows) {
+    if (!network_.has_flow(f)) continue;
+    const net::Flow& fl = network_.flow(f);
+    if (fl.done) continue;
+    if (network_.link_partitioned(fl.from, fl.to)) {
+      *why = "bulk transfer link " + std::to_string(fl.from.value()) + "->" +
+             std::to_string(fl.to.value()) + " partitioned";
+      return true;
+    }
+    for (SiteId endpoint : {fl.from, fl.to}) {
+      if (network_.site_down(endpoint) || !detector_.trusted(endpoint)) {
+        *why = "bulk transfer endpoint site " +
+               std::to_string(endpoint.value()) + " failed or suspected";
+        return true;
+      }
+    }
+  }
+  // Even a flow-less action is compromised when a destination site of its
+  // new placement is confirmed dead: finalizing would wire tasks into it.
+  for (const adapt::AdaptationAction& action : transition_->actions) {
+    if (action.kind == adapt::ActionKind::kReplan) continue;
+    for (SiteId s : action.new_placement.sites()) {
+      if (network_.site_down(s) || detector_.confirmed_failed(s)) {
+        *why = "destination site " + std::to_string(s.value()) + " failed";
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void WaspSystem::abort_transition(const std::string& why) {
+  assert(transition_.has_value());
+  // Cancel the orphaned transfers and resume the suspended execution.
+  // Rollback is trivial by construction: placements and re-plans only apply
+  // at finalization, so the pre-transition deployment is still live.
+  for (FlowId f : transition_->bulk_flows) {
+    if (network_.has_flow(f)) network_.remove_flow(f);
+  }
+  std::int64_t first_op = -1;
+  for (const adapt::AdaptationAction& action : transition_->actions) {
+    if (action.kind == adapt::ActionKind::kReplan) {
+      engine_->resume_all();
+    } else {
+      engine_->resume_stage(action.op);
+      if (first_op < 0) first_op = action.op.value();
+    }
+  }
+  for (std::size_t index : transition_->event_indices) {
+    AdaptationEvent& event = recorder_.events()[index];
+    event.aborted_at = now_;
+    event.abort_reason = why;
+    if (trace_.enabled()) {
+      trace_.event("transition_abort")
+          .str("kind", event.kind)
+          .num("op", static_cast<double>(event.op))
+          .str("reason", why)
+          .num("attempt", static_cast<double>(event.attempt));
+    }
+  }
+  metrics_.counter("runtime.transition_aborts").inc();
+  record_recovery("transition_abort", /*site=*/-1, first_op,
+                  transition_->attempt, 0.0, why);
+  transition_.reset();
+  metric_monitor_.reset_window();
+  last_decision_ = now_;
+  schedule_retry(why);
+}
+
+void WaspSystem::schedule_retry(const std::string& why) {
+  ++retry_.attempts;
+  if (retry_.attempts > config_.transition_retry_budget) {
+    // Budget exhausted: explicitly abandon. Sites still confirmed dead keep
+    // an abandoned flag so recovery is not re-attempted until they come
+    // back; a later re-trust wipes the flag.
+    bool flagged = false;
+    for (std::size_t s = 0; s < recovery_abandoned_.size(); ++s) {
+      const SiteId site(static_cast<std::int64_t>(s));
+      if (detector_.confirmed_failed(site) && !recovery_abandoned_[s]) {
+        recovery_abandoned_[s] = true;
+        record_recovery("abandon", site.value(), -1, retry_.attempts - 1, 0.0,
+                        why);
+        flagged = true;
+      }
+    }
+    if (!flagged) {
+      record_recovery("abandon", -1, -1, retry_.attempts - 1, 0.0, why);
+    }
+    log(LogLevel::kWarn, "t=", now_, " recovery abandoned after ",
+        retry_.attempts - 1, " retries (", why, ")");
+    metrics_.counter("runtime.recovery_abandoned").inc();
+    retry_ = RetryState{};
+    if (config_.shed_on_recovery_stall && !engine_->degrade_enabled()) {
+      engine_->set_degrade(true);
+      recovery_degrade_active_ = true;
+      record_recovery("degrade_on", -1, -1, 0, 0.0,
+                      "shedding past the SLO while recovery is stalled");
+    }
+    return;
+  }
+  retry_.backoff_sec =
+      retry_.attempts == 1
+          ? config_.transition_backoff_initial_sec
+          : std::min(config_.transition_backoff_max_sec,
+                     2.0 * retry_.backoff_sec);
+  retry_.next_attempt_at = now_ + retry_.backoff_sec;
+  retry_.pending = true;
+  record_recovery("retry", -1, -1, retry_.attempts, retry_.backoff_sec, why);
+  metrics_.counter("runtime.transition_retries").inc();
+}
+
+void WaspSystem::maybe_recover() {
+  if (config_.mode == AdaptationMode::kNoAdapt ||
+      config_.mode == AdaptationMode::kDegrade) {
+    return;
+  }
+  if (transition_.has_value() || pending_boundary_.has_value()) return;
+  if (retry_.pending && now_ < retry_.next_attempt_at) return;
+
+  // Confirmed-dead sites still hosting tasks need a recovery re-plan;
+  // abandoned ones wait for the site to come back.
+  std::vector<SiteId> dead;
+  const auto used = engine_->slots_in_use();
+  for (std::size_t s = 0; s < used.size(); ++s) {
+    const SiteId site(static_cast<std::int64_t>(s));
+    if (detector_.confirmed_failed(site) && !recovery_abandoned_[s] &&
+        used[s] > 0) {
+      dead.push_back(site);
+    }
+  }
+  if (dead.empty()) {
+    if (retry_.pending) {
+      // The abort's cause cleared before the retry fired (site restored,
+      // partition healed): let the regular policy round re-decide now.
+      retry_.pending = false;
+      last_decision_ = now_ - config_.monitoring_interval_sec;
+    }
+    return;
+  }
+
+  // Failure recovery bypasses the monitoring interval: stranded tasks are
+  // re-placed as soon as the failure is confirmed.
+  const MonitorView view(*this);
+  policy_->set_now(now_);
+  std::vector<adapt::AdaptationAction> actions =
+      policy_->plan_recovery(*engine_, metric_monitor_, view, dead);
+  if (actions.empty()) {
+    schedule_retry("recovery placement infeasible with sites " +
+                   std::to_string(dead.front().value()) + "+ down");
+    return;
+  }
+  retry_.pending = false;
+  for (SiteId s : dead) {
+    record_recovery("replan", s.value(), -1, retry_.attempts, 0.0,
+                    actions.front().reason);
+  }
+  log(LogLevel::kInfo, "t=", now_, " failure recovery: re-placing ",
+      actions.size(), " stage(s) off ", dead.size(), " dead site(s)");
+  begin_transition(std::move(actions), /*recovery=*/true);
+}
+
+void WaspSystem::record_recovery(const std::string& kind, std::int64_t site,
+                                 std::int64_t op, int attempt,
+                                 double backoff_sec,
+                                 const std::string& detail) {
+  RecoveryEvent event;
+  event.t = now_;
+  event.kind = kind;
+  event.site = site;
+  event.op = op;
+  event.attempt = attempt;
+  event.backoff_sec = backoff_sec;
+  event.detail = detail;
+  recorder_.record_recovery(std::move(event));
+  metrics_.counter("runtime.recovery_events").inc();
+  // Detector state changes already carry their own trace events; everything
+  // else gets a "recovery" event so the trace holds the full chain too.
+  if (trace_.enabled() && kind != "suspect" && kind != "confirm_failure" &&
+      kind != "trust") {
+    trace_.event("recovery")
+        .str("kind", kind)
+        .num("site", static_cast<double>(site))
+        .num("op", static_cast<double>(op))
+        .num("attempt", static_cast<double>(attempt))
+        .num("backoff_sec", backoff_sec)
+        .str("detail", detail);
+  }
 }
 
 void WaspSystem::watch_stabilization() {
@@ -431,23 +682,51 @@ void WaspSystem::watch_stabilization() {
           .num("decided_at", event.decided_at)
           .num("stabilize_sec", event.stabilize_sec());
     }
+    if (stabilizing_recovery_) {
+      record_recovery("stabilized", -1, event.op, event.attempt, 0.0,
+                      event.reason);
+      stabilizing_recovery_ = false;
+    }
     stabilizing_event_.reset();
   }
 }
 
 void WaspSystem::fail_sites(const std::vector<SiteId>& sites) {
-  for (SiteId s : sites) engine_->fail_site(s);
+  for (SiteId s : sites) {
+    engine_->fail_site(s);
+    // The Network-level flag stalls every flow touching the site -- stream
+    // and bulk alike. An in-flight migration to/from it stops making
+    // progress immediately and is aborted (not silently "delivered") by the
+    // next control tick's compromise check.
+    network_.set_site_down(s, true);
+  }
 }
 
 void WaspSystem::fail_all_sites() {
   for (const auto& site : network_.topology().sites()) {
     engine_->fail_site(site.id);
+    network_.set_site_down(site.id, true);
+  }
+}
+
+void WaspSystem::restore_sites(const std::vector<SiteId>& sites) {
+  for (SiteId s : sites) {
+    engine_->restore_site(s);
+    network_.set_site_down(s, false);
   }
 }
 
 void WaspSystem::restore_all_sites() {
   for (const auto& site : network_.topology().sites()) {
     if (engine_->site_failed(site.id)) engine_->restore_site(site.id);
+    network_.set_site_down(site.id, false);
+  }
+}
+
+void WaspSystem::stall_control_for(double sec) {
+  control_stalled_until_ = std::max(control_stalled_until_, now_ + sec);
+  if (trace_.enabled()) {
+    trace_.event("control_stall").num("until", control_stalled_until_);
   }
 }
 

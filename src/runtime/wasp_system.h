@@ -30,6 +30,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "engine/engine.h"
+#include "faults/failure_detector.h"
 #include "net/network.h"
 #include "net/wan_monitor.h"
 #include "obs/metrics_registry.h"
@@ -77,6 +78,22 @@ struct SystemConfig {
   engine::EngineConfig engine;
   net::WanMonitor::Config wan_monitor;
   state::MigrationStrategy migration = state::MigrationStrategy::kNetworkAware;
+  // Heartbeat failure detection: the control plane learns about failures
+  // through this detector (fed by the network's delivery truth), never by
+  // reading the engine's failure flags directly.
+  faults::FailureDetector::Config detector;
+  // Transactional migrations: an in-flight transition whose bulk-transfer
+  // endpoint fails (or whose link partitions) is aborted and retried with
+  // capped exponential backoff, up to this many retries before the action is
+  // abandoned.
+  int transition_retry_budget = 4;
+  double transition_backoff_initial_sec = 5.0;
+  double transition_backoff_max_sec = 60.0;
+  // Graceful degradation: when recovery placement is infeasible (or the
+  // retry budget is exhausted) with sites suspected, shed events past the
+  // SLO until the sites re-trust. Off by default: modes other than Degrade/
+  // Hybrid promise lossless processing.
+  bool shed_on_recovery_stall = false;
   std::uint64_t seed = 42;
   // Multi-tenant slot accounting: when set, reports the computing slots
   // per site used by *other* queries sharing the deployment; this query's
@@ -123,11 +140,27 @@ class WaspSystem {
   [[nodiscard]] bool transition_in_progress() const {
     return transition_.has_value();
   }
+  [[nodiscard]] const faults::FailureDetector& detector() const {
+    return detector_;
+  }
 
-  // Failure injection (engine-level; the control plane notices via metrics).
+  // Failure injection: fails the site in the engine AND marks it down in
+  // the Network, so flows touching it stall instead of silently draining.
+  // The control plane only learns about it through the heartbeat detector.
   void fail_sites(const std::vector<SiteId>& sites);
   void fail_all_sites();
+  void restore_sites(const std::vector<SiteId>& sites);
   void restore_all_sites();
+
+  // Control-plane stall (chaos): for `sec` seconds the coordinator freezes
+  // -- no detector updates, no adaptation decisions, no transition
+  // management. The data plane keeps running. Heartbeats that arrived while
+  // frozen are processed on resume, so long stalls surface as brief false
+  // suspicion followed by re-trust.
+  void stall_control_for(double sec);
+  [[nodiscard]] bool control_stalled() const {
+    return now_ < control_stalled_until_;
+  }
 
   // Force a one-off migration of `op` to `placement` (used by the §8.7
   // controlled-overhead experiments). Uses the configured migration
@@ -142,6 +175,17 @@ class WaspSystem {
     std::vector<FlowId> bulk_flows;
     double started_at = 0.0;
     std::vector<std::size_t> event_indices;  // one recorder event per action
+    bool recovery = false;  // a failure-recovery re-plan (records the chain)
+    int attempt = 0;        // retry number (0 = first try)
+  };
+
+  // Capped-exponential-backoff retry state shared by transition aborts and
+  // infeasible recovery attempts.
+  struct RetryState {
+    int attempts = 0;
+    double backoff_sec = 0.0;
+    double next_attempt_at = -1.0;
+    bool pending = false;
   };
 
   // NetworkView backed by the WAN monitor + free-slot accounting.
@@ -150,8 +194,22 @@ class WaspSystem {
   void deploy(workload::QuerySpec spec);
   void apply_workload();
   void maybe_adapt();
-  void begin_transition(std::vector<adapt::AdaptationAction> actions);
+  void begin_transition(std::vector<adapt::AdaptationAction> actions,
+                        bool recovery = false);
   void finalize_transition();
+  // Transactional-migration guard: true (with a reason) when an in-flight
+  // bulk transfer's endpoint is dead/suspected or its link is partitioned.
+  [[nodiscard]] bool transition_compromised(std::string* why) const;
+  void abort_transition(const std::string& why);
+  // Escalates the retry state after an abort / infeasible recovery; abandons
+  // (and optionally degrades) past the budget.
+  void schedule_retry(const std::string& why);
+  // Detector-driven recovery: re-plans stages stranded on confirmed-failed
+  // sites, and fires pending backoff retries.
+  void maybe_recover();
+  void record_recovery(const std::string& kind, std::int64_t site,
+                       std::int64_t op, int attempt, double backoff_sec,
+                       const std::string& detail);
   void watch_stabilization();
   [[nodiscard]] std::vector<int> free_slots() const;
 
@@ -160,6 +218,7 @@ class WaspSystem {
   SystemConfig config_;
   Rng rng_;
   net::WanMonitor wan_monitor_;
+  faults::FailureDetector detector_;
   physical::Scheduler scheduler_;
   query::QueryPlanner planner_;
   // Declared before policy_/engine_: both hold raw pointers into these and
@@ -184,6 +243,14 @@ class WaspSystem {
   std::optional<adapt::AdaptationAction> pending_boundary_;
   std::optional<std::size_t> stabilizing_event_;
   double pre_transition_delay_ = 0.0;  // baseline for stabilization
+  bool stabilizing_recovery_ = false;  // stabilizing event is a recovery
+
+  double control_stalled_until_ = -1.0;
+  RetryState retry_;
+  // Sites whose recovery was abandoned after the retry budget; cleared when
+  // the detector re-trusts them.
+  std::vector<bool> recovery_abandoned_;
+  bool recovery_degrade_active_ = false;  // we enabled engine degrade
 };
 
 }  // namespace wasp::runtime

@@ -13,6 +13,7 @@
 #include "net/bandwidth_model.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/metrics_registry.h"
 #include "physical/physical_plan.h"
 #include "query/logical_plan.h"
 
@@ -472,6 +473,87 @@ TEST(EngineTest, ApplyPlacementPreservesInProgressCheckpointReplay) {
   // Once the replay deadline passes, processing resumes and drains.
   f.run(40.0, 120.0, 10'000.0);
   EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
+}
+
+TEST(EngineTest, FailSiteIsIdempotent) {
+  // Chaos schedules (and overlapping injectors) can fail a site that is
+  // already down; the second call must not count a second failure or
+  // otherwise disturb state.
+  obs::MetricsRegistry metrics;
+  EngineConfig config;
+  config.metrics = &metrics;
+  Fixture f(1000.0, 50'000.0, config);
+  f.run(0.0, 10.0, 10'000.0);
+  f.engine->fail_site(SiteId(1));
+  f.engine->fail_site(SiteId(1));
+  EXPECT_TRUE(f.engine->site_failed(SiteId(1)));
+  EXPECT_DOUBLE_EQ(metrics.counter("engine.site_failures").value(), 1.0);
+  // One restore undoes it: fail_site did not "stack".
+  f.engine->restore_site(SiteId(1));
+  EXPECT_FALSE(f.engine->site_failed(SiteId(1)));
+  EXPECT_DOUBLE_EQ(metrics.counter("engine.site_restores").value(), 1.0);
+}
+
+TEST(EngineTest, RestoreOnHealthySiteIsANoOp) {
+  // restore_site on a site that never failed must not roll its window back
+  // to the last checkpoint or re-inject a replay delta.
+  Fixture f;
+  auto& map = f.plan.mutable_op(f.map_id);
+  map.kind = OperatorKind::kWindowAggregate;
+  map.window = query::WindowSpec{1000.0};
+  map.state = query::StateSpec::windowed(1.0, 0.1);
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  f.run(0.0, 50.0, 10'000.0);
+  const double state_before = f.engine->state_mb(f.map_id, SiteId(1));
+  const double backlog_before = f.engine->source_backlog_events();
+  f.engine->restore_site(SiteId(1));
+  EXPECT_DOUBLE_EQ(f.engine->state_mb(f.map_id, SiteId(1)), state_before);
+  EXPECT_DOUBLE_EQ(f.engine->source_backlog_events(), backlog_before);
+  // No replay pause either: processing continues on the next tick.
+  f.run(50.0, 52.0, 10'000.0);
+  EXPECT_GT(f.engine->op_metrics(f.map_id).processed_eps, 0.0);
+}
+
+TEST(EngineTest, StragglerFactorSurvivesFailAndRestore) {
+  // A slow machine does not speed up by crashing: the straggler factor is
+  // orthogonal to failure state and must survive a fail/restore cycle.
+  Fixture f;
+  f.run(0.0, 10.0, 10'000.0);
+  f.engine->set_straggler(SiteId(1), 0.25);
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));
+  EXPECT_DOUBLE_EQ(f.engine->straggler_factor(SiteId(1)), 0.25);
+}
+
+TEST(EngineTest, SecondFailureDuringReplayRerollsWithoutDoubleInject) {
+  // A site that fails again while still replaying its checkpoint re-rolls
+  // to the same snapshot. Since nothing was processed since the first
+  // restore, there is no new delta -- the replay injection must not happen
+  // twice.
+  Fixture f;
+  auto& map = f.plan.mutable_op(f.map_id);
+  map.kind = OperatorKind::kWindowAggregate;
+  map.window = query::WindowSpec{1000.0};
+  map.state = query::StateSpec::windowed(1.0, 0.1);
+  f.engine = std::make_unique<Engine>(f.plan, f.physical, f.network,
+                                      EngineConfig{});
+  f.run(0.0, 50.0, 10'000.0);  // checkpoint at t~30, window keeps growing
+  const double backlog_healthy = f.engine->source_backlog_events();
+
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));
+  const double state_first = f.engine->state_mb(f.map_id, SiteId(1));
+  const double backlog_first = f.engine->source_backlog_events();
+  ASSERT_GT(backlog_first, backlog_healthy + 100'000.0)
+      << "first restore must replay the lost delta";
+
+  // Replay still pending (no tick ran): fail and restore again.
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));
+  EXPECT_DOUBLE_EQ(f.engine->state_mb(f.map_id, SiteId(1)), state_first);
+  EXPECT_NEAR(f.engine->source_backlog_events(), backlog_first, 1.0)
+      << "second restore from the same checkpoint must not re-inject";
 }
 
 TEST(EngineTest, StragglerSlowsOnlyItsSite) {

@@ -236,6 +236,61 @@ TEST(NetworkTest, CompletedBulkFlowFreesCapacity) {
   EXPECT_NEAR(net.flow(stream).allocated_mbps, 80.0, 1e-9);
 }
 
+TEST(NetworkTest, PartitionedLinkZeroesCapacityAndStallsFlows) {
+  Network net = make_net(3, 1, 80.0, 10.0);
+  const FlowId f = net.add_bulk_flow(SiteId(0), SiteId(1), 1000.0);
+  net.step(0.0, 1.0);
+  EXPECT_GT(net.flow(f).allocated_mbps, 0.0);
+
+  net.set_link_partitioned(SiteId(0), SiteId(1), true);
+  EXPECT_TRUE(net.link_partitioned(SiteId(0), SiteId(1)));
+  EXPECT_DOUBLE_EQ(net.capacity(SiteId(0), SiteId(1), 1.0), 0.0);
+  // Partitions are directed: the reverse direction and unrelated links
+  // keep their capacity (this is what distinguishes a partition from a
+  // whole-site crash).
+  EXPECT_GT(net.capacity(SiteId(1), SiteId(0), 1.0), 0.0);
+  EXPECT_GT(net.capacity(SiteId(0), SiteId(2), 1.0), 0.0);
+
+  net.step(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(net.flow(f).allocated_mbps, 0.0);
+  EXPECT_FALSE(net.flow(f).done);
+
+  net.set_link_partitioned(SiteId(0), SiteId(1), false);
+  net.step(2.0, 1.0);
+  EXPECT_GT(net.flow(f).allocated_mbps, 0.0);
+}
+
+TEST(NetworkTest, SiteDownStallsEveryFlowTouchingIt) {
+  Network net = make_net(3, 1, 80.0, 10.0);
+  const FlowId in = net.add_stream_flow(SiteId(0), SiteId(1));
+  const FlowId out = net.add_stream_flow(SiteId(1), SiteId(2));
+  const FlowId local = net.add_stream_flow(SiteId(1), SiteId(1));
+  const FlowId other = net.add_stream_flow(SiteId(0), SiteId(2));
+  for (FlowId f : {in, out, local, other}) net.set_stream_demand(f, 10.0);
+
+  net.set_site_down(SiteId(1), true);
+  EXPECT_TRUE(net.site_down(SiteId(1)));
+  net.step(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(net.flow(in).allocated_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(net.flow(out).allocated_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(net.flow(local).allocated_mbps, 0.0);
+  EXPECT_NEAR(net.flow(other).allocated_mbps, 10.0, 1e-9);
+
+  net.set_site_down(SiteId(1), false);
+  net.step(1.0, 1.0);
+  EXPECT_NEAR(net.flow(in).allocated_mbps, 10.0, 1e-9);
+}
+
+TEST(NetworkTest, NumBulkFlowsTracksOutstandingTransfers) {
+  Network net = make_net(2, 1, 80.0, 10.0);
+  EXPECT_EQ(net.num_bulk_flows(), 0u);
+  const FlowId a = net.add_bulk_flow(SiteId(0), SiteId(1), 1000.0);
+  net.add_stream_flow(SiteId(0), SiteId(1));  // streams never count
+  EXPECT_EQ(net.num_bulk_flows(), 1u);
+  net.remove_flow(a);
+  EXPECT_EQ(net.num_bulk_flows(), 0u);
+}
+
 TEST(NetworkTest, RemoveFlowStopsAccounting) {
   Network net = make_net(2, 1, 80.0, 10.0);
   const FlowId f = net.add_stream_flow(SiteId(0), SiteId(1));
