@@ -10,10 +10,13 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   print_section(std::cout,
                 "Ablation: bandwidth utilization threshold alpha "
@@ -30,8 +33,10 @@ int main() {
     runtime::SystemConfig config;
     config.mode = runtime::AdaptationMode::kWasp;
     config.scheduler.alpha = alpha;
+    config.trace_sink = opts.sink;
     runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
     system.run_until(900.0);
+    opts.write_metrics("alpha=" + TextTable::fmt(alpha, 2), system.metrics());
     const auto& rec = system.recorder();
     double peak_par = 0.0;
     for (const auto& [t, v] : rec.parallelism().points()) {
@@ -45,6 +50,7 @@ int main() {
                    TextTable::fmt(peak_par, 2)});
   }
   table.print(std::cout);
+  opts.flush();
 
   expected_shape(
       "low alpha reserves aggressive headroom: it absorbs the dynamics with "

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
 namespace {
 
@@ -22,7 +23,8 @@ struct Outcome {
   std::size_t adaptations = 0;
 };
 
-Outcome run(wasp::runtime::AdaptationMode mode) {
+Outcome run(wasp::runtime::AdaptationMode mode,
+            const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -34,6 +36,9 @@ Outcome run(wasp::runtime::AdaptationMode mode) {
   runtime::SystemConfig config;
   config.mode = mode;
   config.slo_sec = 10.0;
+  if (mode != runtime::AdaptationMode::kNoAdapt) {
+    config.trace_sink = opts.sink;
+  }
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   // A failure on top of the surge: 60 s of accumulated events that no
   // re-optimization can avoid -- the window where degradation-as-stopgap
@@ -43,6 +48,8 @@ Outcome run(wasp::runtime::AdaptationMode mode) {
   system.run_until(460.0);
   system.restore_all_sites();
   system.run_until(1100.0);
+
+  opts.write_metrics(to_string(mode), system.metrics());
 
   const auto& rec = system.recorder();
   Outcome out;
@@ -60,9 +67,12 @@ Outcome run(wasp::runtime::AdaptationMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE traces the adaptive runs; NoAdapt runs untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   print_section(std::cout,
                 "Ablation: re-optimize vs degrade vs both (Top-K, x2.5 "
@@ -72,7 +82,7 @@ int main() {
   for (auto mode :
        {runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
         runtime::AdaptationMode::kWasp, runtime::AdaptationMode::kHybrid}) {
-    const Outcome o = run(mode);
+    const Outcome o = run(mode, opts);
     table.add_row({to_string(mode), TextTable::fmt(o.avg_delay, 2),
                    TextTable::fmt(o.peak_delay, 1),
                    TextTable::fmt(o.p99_delay, 2),
@@ -80,6 +90,7 @@ int main() {
                    std::to_string(o.adaptations)});
   }
   table.print(std::cout);
+  opts.flush();
 
   expected_shape(
       "NoAdapt diverges; Degrade bounds the delay but sheds events for the "

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
 namespace {
 
@@ -21,7 +22,8 @@ struct Outcome {
   std::size_t adaptations = 0;
 };
 
-Outcome run(wasp::runtime::AdaptationMode mode, double skew) {
+Outcome run(wasp::runtime::AdaptationMode mode, double skew,
+            const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -35,6 +37,9 @@ Outcome run(wasp::runtime::AdaptationMode mode, double skew) {
   pattern.add_step(200.0, 2.0);
   runtime::SystemConfig config;
   config.mode = mode;
+  if (mode != runtime::AdaptationMode::kNoAdapt) {
+    config.trace_sink = opts.sink;
+  }
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   if (skew != 1.0) {
     // Skew every hash-partitioned aggregation in the deployed plan.
@@ -46,6 +51,9 @@ Outcome run(wasp::runtime::AdaptationMode mode, double skew) {
     }
   }
   system.run_until(1000.0);
+  opts.write_metrics(std::string(to_string(mode)) + "/skew=" +
+                         TextTable::fmt(skew, 1),
+                     system.metrics());
 
   Outcome out;
   out.p95 = system.recorder().delay_histogram().percentile(95);
@@ -59,9 +67,12 @@ Outcome run(wasp::runtime::AdaptationMode mode, double skew) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE traces the adaptive runs; NoAdapt runs untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   print_section(std::cout,
                 "Ablation: key skew vs balanced partitioning "
@@ -73,7 +84,7 @@ int main() {
     // rebuild the runtime and clear the injected skew).
     for (auto mode : {runtime::AdaptationMode::kNoAdapt,
                       runtime::AdaptationMode::kScaleOnly}) {
-      const Outcome o = run(mode, skew);
+      const Outcome o = run(mode, skew, opts);
       table.add_row({to_string(mode), TextTable::fmt(skew, 1),
                      TextTable::fmt(o.p95, 2),
                      TextTable::fmt(o.steady_delay, 2),
@@ -82,6 +93,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  opts.flush();
 
   expected_shape(
       "NoAdapt is identical under both skews (skew over a single task is "

@@ -12,11 +12,16 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "runtime/cluster.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE traces both tenants of the adaptive run (one shared
+  // JSONL stream); the no-adapt run is untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   auto run = [&](bool adapt) {
     Testbed bed;
@@ -29,11 +34,16 @@ int main() {
     runtime::SystemConfig cfg;
     cfg.mode = adapt ? runtime::AdaptationMode::kWasp
                      : runtime::AdaptationMode::kNoAdapt;
+    if (adapt) cfg.trace_sink = opts.sink;
     cluster.reserve_pinned(topk);
     cluster.reserve_pinned(ysb);
     cluster.submit(std::move(topk), p_topk, cfg);
     cluster.submit(std::move(ysb), p_ysb, cfg);
     cluster.run_until(900.0);
+    if (adapt) {
+      opts.write_metrics("topk", cluster.query(0).metrics());
+      opts.write_metrics("ysb", cluster.query(1).metrics());
+    }
     return std::make_pair(
         cluster.query(0).recorder().delay().mean_over(600.0, 900.0),
         cluster.query(1).recorder().delay().mean_over(600.0, 900.0));
@@ -50,6 +60,7 @@ int main() {
   table.add_row({"wasp", TextTable::fmt(wasp_run.first, 2),
                  TextTable::fmt(wasp_run.second, 2)});
   table.print(std::cout);
+  opts.flush();
 
   expected_shape(
       "without adaptation the surging Top-K tenant's delay diverges (and "

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
 namespace {
 
@@ -20,7 +21,8 @@ struct Outcome {
   std::size_t adaptations = 0;
 };
 
-Outcome run(wasp::runtime::AdaptationMode mode) {
+Outcome run(wasp::runtime::AdaptationMode mode,
+            const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -29,6 +31,9 @@ Outcome run(wasp::runtime::AdaptationMode mode) {
   auto pattern = uniform_rates(spec, 10'000.0);
   runtime::SystemConfig config;
   config.mode = mode;
+  if (mode != runtime::AdaptationMode::kNoAdapt) {
+    config.trace_sink = opts.sink;
+  }
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   system.run_until(200.0);
   // Victim: the site of the busiest unpinned operator in the *deployed*
@@ -46,6 +51,7 @@ Outcome run(wasp::runtime::AdaptationMode mode) {
   // Slow down every slot at that site by 10x.
   system.mutable_engine().set_straggler(victim, 0.1);
   system.run_until(900.0);
+  opts.write_metrics(to_string(mode), system.metrics());
 
   Outcome out;
   out.delay = bucketed(system.recorder().delay(), 50.0, to_string(mode));
@@ -56,12 +62,16 @@ Outcome run(wasp::runtime::AdaptationMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
 
-  const Outcome noadapt = run(runtime::AdaptationMode::kNoAdapt);
-  const Outcome wasp_run = run(runtime::AdaptationMode::kWasp);
+  // --trace-out=FILE traces the WASP run; the no-adapt baseline is untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+
+  const Outcome noadapt = run(runtime::AdaptationMode::kNoAdapt, opts);
+  const Outcome wasp_run = run(runtime::AdaptationMode::kWasp, opts);
+  opts.flush();
 
   print_section(std::cout,
                 "Ablation: 10x straggler at the aggregation site from t=200");

@@ -1,21 +1,26 @@
 // Shared command-line options for the bench drivers.
 //
 // Every driver is a zero-argument reproduction of one paper figure; the only
-// runtime knob they share is where (whether) to write the structured
-// observability trace:
+// runtime knobs they share are where (whether) to write the structured
+// observability trace and the final metrics snapshot:
 //
-//   fig11_live_environment --trace-out=fig11.jsonl
+//   fig11_live_environment --trace-out=fig11.jsonl --metrics=fig11.metrics.jsonl
 //
 // Drivers pass `opts.sink` into runtime::SystemConfig::trace_sink (null when
-// the flag is absent, which disables tracing entirely) and call
+// the flag is absent, which disables tracing entirely), call
+// `opts.write_metrics(label, system.metrics())` after each run they want
+// snapshotted (one JSON object per line, keyed by the run label), and call
 // `opts.flush()` before exiting.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace wasp::bench {
@@ -23,23 +28,30 @@ namespace wasp::bench {
 struct BenchOptions {
   std::shared_ptr<obs::FileSink> sink;  // null unless --trace-out was given
   std::string trace_out;
+  std::string metrics_out;  // empty unless --metrics was given
 
   // Parses argv; exits with usage on an unknown flag or an unopenable file.
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions opts;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      const std::string prefix = "--trace-out=";
+      const std::string trace_prefix = "--trace-out=";
+      const std::string metrics_prefix = "--metrics=";
       if (arg == "--help" || arg == "-h") {
         std::cout << argv[0]
-                  << " [--trace-out=FILE]   write the observability trace "
+                  << " [--trace-out=FILE] [--metrics=FILE]\n"
+                     "  --trace-out=FILE  write the observability trace "
+                     "(JSONL) to FILE\n"
+                     "  --metrics=FILE    write per-run metrics snapshots "
                      "(JSONL) to FILE\n";
         std::exit(0);
-      } else if (arg.rfind(prefix, 0) == 0) {
-        opts.trace_out = arg.substr(prefix.size());
+      } else if (arg.rfind(trace_prefix, 0) == 0) {
+        opts.trace_out = arg.substr(trace_prefix.size());
+      } else if (arg.rfind(metrics_prefix, 0) == 0) {
+        opts.metrics_out = arg.substr(metrics_prefix.size());
       } else {
         std::cerr << "unknown argument: " << arg
-                  << " (supported: --trace-out=FILE)\n";
+                  << " (supported: --trace-out=FILE --metrics=FILE)\n";
         std::exit(2);
       }
     }
@@ -50,7 +62,29 @@ struct BenchOptions {
         std::exit(1);
       }
     }
+    if (!opts.metrics_out.empty()) {
+      // Truncate up front so write_metrics can append one line per run.
+      std::ofstream out(opts.metrics_out, std::ios::trunc);
+      if (!out) {
+        std::cerr << "cannot open metrics output '" << opts.metrics_out
+                  << "'\n";
+        std::exit(1);
+      }
+    }
     return opts;
+  }
+
+  // Appends one flat JSON object {"run":"<label>", "<metric>":value, ...}
+  // to the --metrics file; a no-op when the flag is absent.
+  void write_metrics(std::string_view label,
+                     const obs::MetricsRegistry& registry) const {
+    if (metrics_out.empty()) return;
+    std::ofstream out(metrics_out, std::ios::app);
+    out << "{\"run\":\"" << label << '"';
+    for (const auto& [name, value] : registry.snapshot()) {
+      out << ",\"" << name << "\":" << value;
+    }
+    out << "}\n";
   }
 
   void flush() const {

@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
       series.push_back(
           bucketed(system.recorder().delay(), 50.0, kModeNames[m]));
       if (kModes[m] == runtime::AdaptationMode::kWasp) {
+        opts.write_metrics(std::string(query_name(q)) + "/Re-opt",
+                           system.metrics());
         std::cout << "Re-opt adaptations:";
         for (const auto& e : system.recorder().events()) {
           std::cout << "  t=" << e.decided_at << ":" << e.kind;

@@ -8,10 +8,14 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE traces the Re-opt runs; the baselines run untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   const runtime::AdaptationMode kModes[] = {
       runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
@@ -34,14 +38,22 @@ int main() {
       runtime::SystemConfig config;
       config.mode = kModes[m];
       config.slo_sec = 10.0;
+      if (kModes[m] == runtime::AdaptationMode::kWasp) {
+        config.trace_sink = opts.sink;
+      }
       runtime::WaspSystem system(bed.network, std::move(spec), pattern,
                                  config);
       system.run_until(1500.0);
+      if (kModes[m] == runtime::AdaptationMode::kWasp) {
+        opts.write_metrics(std::string(query_name(q)) + "/Re-opt",
+                           system.metrics());
+      }
       series.push_back(
           bucketed(system.recorder().ratio(), 50.0, kModeNames[m]));
     }
     print_series(std::cout, "t(s)", series, 3);
   }
+  opts.flush();
 
   expected_shape(
       "NoAdapt and Degrade drop to ~0.8-0.9 during the constrained windows; "

@@ -12,11 +12,15 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "common/histogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // --trace-out=FILE traces the adaptive runs; NoAdapt runs untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   const runtime::AdaptationMode kModes[] = {
       runtime::AdaptationMode::kNoAdapt,
@@ -37,8 +41,12 @@ int main() {
     pattern.add_step(900.0, 1.0);   // back to x1
     runtime::SystemConfig config;
     config.mode = kModes[m];
+    if (kModes[m] != runtime::AdaptationMode::kNoAdapt) {
+      config.trace_sink = opts.sink;
+    }
     runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
     system.run_until(1500.0);
+    opts.write_metrics(kModeNames[m], system.metrics());
 
     delay_series.push_back(
         bucketed(system.recorder().delay(), 50.0, kModeNames[m]));
@@ -73,6 +81,7 @@ int main() {
   print_section(std::cout,
                 "Figure 10(c): parallelism changes over time (x initial)");
   print_series(std::cout, "t(s)", parallelism_series, 2);
+  opts.flush();
 
   expected_shape(
       "All adapting techniques beat NoAdapt. The workload surge at t=300 is "

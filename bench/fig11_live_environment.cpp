@@ -22,6 +22,7 @@ struct LiveRun {
 
 LiveRun run_mode(wasp::runtime::AdaptationMode mode,
                  wasp::TimeSeries* variation_out,
+                 const wasp::bench::BenchOptions* opts = nullptr,
                  std::shared_ptr<wasp::obs::TraceSink> trace_sink = nullptr) {
   using namespace wasp;
   using namespace wasp::bench;
@@ -73,6 +74,10 @@ LiveRun run_mode(wasp::runtime::AdaptationMode mode,
   system.restore_all_sites();
   system.run_until(1800.0);
 
+  if (opts != nullptr) {
+    opts->write_metrics(to_string(mode), system.metrics());
+  }
+
   LiveRun out;
   out.delay = bucketed(system.recorder().delay(), 60.0,
                        to_string(mode));
@@ -94,10 +99,11 @@ int main(int argc, char** argv) {
 
   TimeSeries variations[2];
   const LiveRun noadapt =
-      run_mode(runtime::AdaptationMode::kNoAdapt, variations);
-  const LiveRun degrade = run_mode(runtime::AdaptationMode::kDegrade, nullptr);
+      run_mode(runtime::AdaptationMode::kNoAdapt, variations, &opts);
+  const LiveRun degrade =
+      run_mode(runtime::AdaptationMode::kDegrade, nullptr, &opts);
   const LiveRun wasp_run =
-      run_mode(runtime::AdaptationMode::kWasp, nullptr, opts.sink);
+      run_mode(runtime::AdaptationMode::kWasp, nullptr, &opts, opts.sink);
   opts.flush();
 
   print_section(std::cout,

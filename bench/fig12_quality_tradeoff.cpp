@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "common/histogram.h"
 
 namespace {
@@ -18,7 +19,8 @@ struct QualityRun {
   wasp::WeightedHistogram delay_hist;
 };
 
-QualityRun run_mode(wasp::runtime::AdaptationMode mode) {
+QualityRun run_mode(wasp::runtime::AdaptationMode mode,
+                    const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -44,12 +46,16 @@ QualityRun run_mode(wasp::runtime::AdaptationMode mode) {
   runtime::SystemConfig config;
   config.mode = mode;
   config.slo_sec = 10.0;
+  if (mode != runtime::AdaptationMode::kNoAdapt) {
+    config.trace_sink = opts.sink;
+  }
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   system.run_until(540.0);
   system.fail_all_sites();
   system.run_until(600.0);
   system.restore_all_sites();
   system.run_until(1800.0);
+  opts.write_metrics(to_string(mode), system.metrics());
 
   QualityRun out;
   out.processed_pct = 100.0 * system.recorder().processed_fraction();
@@ -59,13 +65,19 @@ QualityRun run_mode(wasp::runtime::AdaptationMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
 
-  const QualityRun noadapt = run_mode(runtime::AdaptationMode::kNoAdapt);
-  const QualityRun wasp_run = run_mode(runtime::AdaptationMode::kWasp);
-  const QualityRun degrade = run_mode(runtime::AdaptationMode::kDegrade);
+  // --trace-out=FILE traces the adaptive runs; NoAdapt runs untraced.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+
+  const QualityRun noadapt =
+      run_mode(runtime::AdaptationMode::kNoAdapt, opts);
+  const QualityRun wasp_run = run_mode(runtime::AdaptationMode::kWasp, opts);
+  const QualityRun degrade =
+      run_mode(runtime::AdaptationMode::kDegrade, opts);
+  opts.flush();
 
   print_section(std::cout, "Figure 12(a): average processed events (%)");
   {

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "common/units.h"
 
 namespace {
@@ -24,7 +25,8 @@ struct MigrationRun {
 };
 
 MigrationRun run_strategy(wasp::state::MigrationStrategy strategy,
-                          const char* label) {
+                          const char* label,
+                          const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -39,6 +41,7 @@ MigrationRun run_strategy(wasp::state::MigrationStrategy strategy,
   runtime::SystemConfig config;
   config.mode = runtime::AdaptationMode::kNoAdapt;  // controlled experiment
   config.migration = strategy;
+  config.trace_sink = opts.sink;  // forced migrations still emit spans
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   system.mutable_engine().set_state_override_mb(window_op, 60.0);
   system.run_until(180.0);
@@ -114,6 +117,7 @@ MigrationRun run_strategy(wasp::state::MigrationStrategy strategy,
       current.parallelism();
   system.force_reassign(window_op, target);
   system.run_until(500.0);
+  opts.write_metrics(label, system.metrics());
 
   MigrationRun out;
   out.delay = bucketed(system.recorder().delay(), 20.0, label);
@@ -126,18 +130,21 @@ MigrationRun run_strategy(wasp::state::MigrationStrategy strategy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
 
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+
   const MigrationRun none =
-      run_strategy(state::MigrationStrategy::kNone, "NoMigrate");
+      run_strategy(state::MigrationStrategy::kNone, "NoMigrate", opts);
   const MigrationRun aware =
-      run_strategy(state::MigrationStrategy::kNetworkAware, "WASP");
+      run_strategy(state::MigrationStrategy::kNetworkAware, "WASP", opts);
   const MigrationRun random =
-      run_strategy(state::MigrationStrategy::kRandom, "Random");
+      run_strategy(state::MigrationStrategy::kRandom, "Random", opts);
   const MigrationRun distant =
-      run_strategy(state::MigrationStrategy::kDistant, "Distant");
+      run_strategy(state::MigrationStrategy::kDistant, "Distant", opts);
+  opts.flush();
 
   print_section(std::cout,
                 "Figure 13(a): execution delay (s) over time "

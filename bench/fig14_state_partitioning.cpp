@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "common/units.h"
 #include "state/migration.h"
 
@@ -27,7 +28,8 @@ struct Run {
   int partitions = 1;
 };
 
-Run run_case(double state_mb, bool partitioned) {
+Run run_case(double state_mb, bool partitioned,
+             const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -42,6 +44,7 @@ Run run_case(double state_mb, bool partitioned) {
   runtime::SystemConfig config;
   config.mode = runtime::AdaptationMode::kNoAdapt;
   config.migration = state::MigrationStrategy::kNetworkAware;
+  config.trace_sink = opts.sink;  // forced migrations still emit spans
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   system.mutable_engine().set_state_override_mb(window_op, state_mb);
   system.run_until(180.0);
@@ -78,6 +81,9 @@ Run run_case(double state_mb, bool partitioned) {
   }
   system.force_reassign(window_op, target);
   system.run_until(600.0);
+  opts.write_metrics(TextTable::fmt(state_mb, 0) + "MB/" +
+                         (partitioned ? "partitioned" : "default"),
+                     system.metrics());
 
   Run out;
   out.p95_delay = system.recorder().delay_histogram().percentile(95);
@@ -90,9 +96,11 @@ Run run_case(double state_mb, bool partitioned) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   const double kStateSizes[] = {0.0, 32.0, 64.0, 128.0, 256.0, 512.0};
 
@@ -103,8 +111,8 @@ int main() {
                    "default trans(s)", "part trans(s)", "default stab(s)",
                    "part stab(s)", "partitions"});
   for (double mb : kStateSizes) {
-    const Run def = run_case(mb, /*partitioned=*/false);
-    const Run part = run_case(mb, /*partitioned=*/true);
+    const Run def = run_case(mb, /*partitioned=*/false, opts);
+    const Run part = run_case(mb, /*partitioned=*/true, opts);
     table.add_row({TextTable::fmt(mb, 0), TextTable::fmt(def.p95_delay, 1),
                    TextTable::fmt(part.p95_delay, 1),
                    TextTable::fmt(def.transition_sec, 1),
@@ -114,6 +122,7 @@ int main() {
                    std::to_string(part.partitions)});
   }
   table.print(std::cout);
+  opts.flush();
 
   expected_shape(
       "Default's overhead and 95th-percentile delay grow with the state "

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
 namespace {
 
@@ -21,7 +22,8 @@ struct Measured {
   std::string action;
 };
 
-Measured run_mode(wasp::runtime::AdaptationMode mode) {
+Measured run_mode(wasp::runtime::AdaptationMode mode,
+                  const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -37,9 +39,11 @@ Measured run_mode(wasp::runtime::AdaptationMode mode) {
   runtime::SystemConfig config;
   config.mode = mode;
   config.slo_sec = 10.0;
+  config.trace_sink = opts.sink;
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   system.mutable_engine().set_state_override_mb(window_op, 60.0);
   system.run_until(600.0);
+  opts.write_metrics(to_string(mode), system.metrics());
 
   Measured out;
   for (const auto& e : system.recorder().events()) {
@@ -59,14 +63,18 @@ Measured run_mode(wasp::runtime::AdaptationMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
 
-  const Measured reassign = run_mode(runtime::AdaptationMode::kReassignOnly);
-  const Measured scale = run_mode(runtime::AdaptationMode::kScaleOnly);
-  const Measured replan = run_mode(runtime::AdaptationMode::kReplanOnly);
-  const Measured degrade = run_mode(runtime::AdaptationMode::kDegrade);
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+
+  const Measured reassign =
+      run_mode(runtime::AdaptationMode::kReassignOnly, opts);
+  const Measured scale = run_mode(runtime::AdaptationMode::kScaleOnly, opts);
+  const Measured replan = run_mode(runtime::AdaptationMode::kReplanOnly, opts);
+  const Measured degrade = run_mode(runtime::AdaptationMode::kDegrade, opts);
+  opts.flush();
 
   print_section(std::cout,
                 "Table 2: qualitative comparison between adaptation "

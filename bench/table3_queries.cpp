@@ -9,6 +9,7 @@
 #include <set>
 
 #include "bench_common.h"
+#include "bench_options.h"
 
 namespace {
 
@@ -18,7 +19,8 @@ struct QueryInfo {
   int num_operators = 0;
 };
 
-QueryInfo inspect(wasp::bench::Query q) {
+QueryInfo inspect(wasp::bench::Query q,
+                  const wasp::bench::BenchOptions& opts) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -27,11 +29,13 @@ QueryInfo inspect(wasp::bench::Query q) {
   auto pattern = uniform_rates(spec, 10'000.0);
   runtime::SystemConfig config;
   config.mode = runtime::AdaptationMode::kNoAdapt;
+  config.trace_sink = opts.sink;
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   // Sample late in an open window (both 10 s and 30 s windows are ~90%
   // full at t=118) so the reported state reflects the working footprint,
   // not the instant after a tumbling reset.
   system.run_until(118.0);
+  opts.write_metrics(query_name(q), system.metrics());
 
   QueryInfo info;
   std::set<std::string> kinds;
@@ -59,15 +63,17 @@ QueryInfo inspect(wasp::bench::Query q) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
 
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+
   print_section(std::cout, "Table 3: location-based query details");
   TextTable table({"application", "state (MB)", "operators", "dataset"});
-  const QueryInfo ysb = inspect(Query::kYsb);
-  const QueryInfo topk = inspect(Query::kTopk);
-  const QueryInfo interest = inspect(Query::kEventsOfInterest);
+  const QueryInfo ysb = inspect(Query::kYsb, opts);
+  const QueryInfo topk = inspect(Query::kTopk, opts);
+  const QueryInfo interest = inspect(Query::kEventsOfInterest, opts);
   table.add_row({"Advertising Campaign", TextTable::fmt(ysb.state_mb, 1),
                  ysb.operators, "YSB (synthetic)"});
   table.add_row({"Top-K Topics", TextTable::fmt(topk.state_mb, 1),
@@ -75,6 +81,7 @@ int main() {
   table.add_row({"Events of Interest", TextTable::fmt(interest.state_mb, 1),
                  interest.operators, "Twitter trace (synthetic, geo-tagged)"});
   table.print(std::cout);
+  opts.flush();
 
   expected_shape(
       "Advertising Campaign holds < 10 MB of windowed state (filter, map, "

@@ -47,6 +47,7 @@ struct Options {
   double rate = 10'000.0;
   std::uint64_t seed = 7;
   double slo = 10.0;
+  std::string slo_spec;  // --slo=key=value,... (watchdog form)
   double alpha = 0.8;
   bool live_bandwidth = false;
   bool live_workload = false;
@@ -55,6 +56,7 @@ struct Options {
   std::string trace_file;
   std::string workload_trace_file;
   std::string trace_out;
+  std::string metrics_out;
   std::string bench_out;
   std::string fault_schedule_file;
   std::vector<std::pair<double, double>> workload_steps;
@@ -73,6 +75,14 @@ void print_usage() {
   --rate=EPS                       base events/s per source site (default 10000)
   --seed=N                         master seed (default 7)
   --slo=SECONDS                    degrade/hybrid SLO (default 10)
+  --slo=SPEC                       declarative SLO watchdog instead: comma-
+                                   separated bounds evaluated per tick over a
+                                   sliding window, e.g.
+                                   --slo=delay_p99=5s,ratio_min=0.9,window=30s
+                                   (keys: delay_p99 delay_p95 delay_max
+                                   ratio_min window). Violation episodes
+                                   appear as slo_violation trace spans and
+                                   slo.* metrics.
   --alpha=X                        bandwidth utilization threshold (default 0.8)
   --workload-step=T:FACTOR         scale the workload by FACTOR at time T
                                    (repeatable)
@@ -90,6 +100,8 @@ void print_usage() {
                                    straggler / stall lines; see DESIGN.md §8)
   --trace-out=FILE                 write the structured observability trace
                                    (schema-versioned JSONL) to FILE
+  --metrics=FILE                   write the final metrics-registry snapshot
+                                   (flat JSON object) to FILE
   --bench-out=FILE                 write a wall-clock benchmark JSON (wall_ms,
                                    ticks, ticks_per_sec) to FILE
   --csv                            print t,delay_s,ratio,parallelism_x as CSV
@@ -132,7 +144,13 @@ bool parse_args(int argc, char** argv, Options* opts) {
     } else if (auto v = value_of("--seed")) {
       opts->seed = std::stoull(*v);
     } else if (auto v = value_of("--slo")) {
-      opts->slo = std::stod(*v);
+      // Two forms: a plain number is the legacy degrade/hybrid SLO seconds;
+      // anything with '=' is a declarative watchdog spec.
+      if (v->find('=') != std::string::npos) {
+        opts->slo_spec = *v;
+      } else {
+        opts->slo = std::stod(*v);
+      }
     } else if (auto v = value_of("--alpha")) {
       opts->alpha = std::stod(*v);
     } else if (auto v = value_of("--trace")) {
@@ -141,6 +159,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->workload_trace_file = *v;
     } else if (auto v = value_of("--trace-out")) {
       opts->trace_out = *v;
+    } else if (auto v = value_of("--metrics")) {
+      opts->metrics_out = *v;
     } else if (auto v = value_of("--bench-out")) {
       opts->bench_out = *v;
     } else if (auto v = value_of("--fault-schedule")) {
@@ -309,6 +329,15 @@ int main(int argc, char** argv) {
   config.slo_sec = opts.slo;
   config.scheduler.alpha = opts.alpha;
   config.seed = opts.seed;
+  if (!opts.slo_spec.empty()) {
+    std::string error;
+    const auto spec = runtime::SloSpec::parse(opts.slo_spec, &error);
+    if (!spec.has_value()) {
+      std::cerr << "bad --slo spec: " << error << "\n";
+      return 2;
+    }
+    config.slo = *spec;
+  }
   std::shared_ptr<obs::FileSink> trace_sink;
   if (!opts.trace_out.empty()) {
     trace_sink = std::make_shared<obs::FileSink>(opts.trace_out);
@@ -388,6 +417,21 @@ int main(int argc, char** argv) {
           << "\n}\n";
   }
 
+  if (!opts.metrics_out.empty()) {
+    std::ofstream metrics(opts.metrics_out);
+    if (!metrics) {
+      std::cerr << "cannot open metrics output '" << opts.metrics_out << "'\n";
+      return 1;
+    }
+    metrics << "{\n";
+    const auto snap = system.metrics().snapshot();
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      metrics << "  \"" << snap[i].first << "\": " << snap[i].second
+              << (i + 1 < snap.size() ? ",\n" : "\n");
+    }
+    metrics << "}\n";
+  }
+
   // --- report ---------------------------------------------------------------------
   const auto& rec = system.recorder();
   if (opts.csv) {
@@ -415,6 +459,14 @@ int main(int argc, char** argv) {
   table.add_row({"dropped events", TextTable::fmt(rec.total_dropped(), 0)});
   table.add_row({"adaptations", std::to_string(rec.events().size())});
   table.print(std::cout);
+  if (const auto* watchdog = system.slo_watchdog()) {
+    // One parseable line (mirrors the chaos: line) for scripts and CI.
+    std::cout << "\nslo: spec=" << watchdog->spec().to_string()
+              << " violations=" << watchdog->violations()
+              << " violation_seconds=" << watchdog->violation_seconds()
+              << " in_violation=" << (watchdog->in_violation() ? 1 : 0)
+              << "\n";
+  }
   if (!rec.events().empty()) {
     std::cout << "\nadaptations:\n";
     for (const auto& e : rec.events()) {

@@ -16,14 +16,49 @@ and checks:
     recovery log is a leak;
   - the crashed site's full recovery chain is present:
     suspect -> confirm_failure -> replan -> stabilized.
+
+With an optional second argument (the --trace-out JSONL file) it also
+cross-checks the span stream: every span_begin has a matching span_end
+and the run produced at least one adaptation or recovery span.
 """
+import json
 import re
 import sys
 
 
+def check_trace(path: str, failures: list) -> None:
+    begins, ends, names = {}, set(), set()
+    for lineno, line in enumerate(open(path), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            failures.append(f"trace line {lineno}: invalid JSON ({exc})")
+            return
+        if event.get("type") == "span_begin":
+            begins[event["span_id"]] = event.get("name", "?")
+            names.add(event.get("name", "?"))
+        elif event.get("type") == "span_end":
+            ends.add(event["span_id"])
+    unclosed = set(begins) - ends
+    if unclosed:
+        sample = ", ".join(
+            f"{i} ({begins[i]})" for i in sorted(unclosed)[:5])
+        failures.append(
+            f"{len(unclosed)} unclosed span(s) in trace: {sample}")
+    orphans = ends - set(begins)
+    if orphans:
+        failures.append(f"{len(orphans)} span_end(s) without a span_begin")
+    if not names & {"adaptation", "recovery"}:
+        failures.append("trace has no adaptation or recovery spans")
+
+
 def main() -> int:
-    if len(sys.argv) != 2:
-        print(f"usage: {sys.argv[0]} <wasp_sim-output-file>", file=sys.stderr)
+    if len(sys.argv) not in (2, 3):
+        print(f"usage: {sys.argv[0]} <wasp_sim-output-file> [trace.jsonl]",
+              file=sys.stderr)
         return 2
     text = open(sys.argv[1]).read()
 
@@ -57,6 +92,9 @@ def main() -> int:
         failures.append(
             "missing or out-of-order suspect -> confirm_failure -> replan"
             " -> stabilized chain")
+
+    if len(sys.argv) == 3:
+        check_trace(sys.argv[2], failures)
 
     if failures:
         for f in failures:

@@ -83,6 +83,7 @@ bool query_is_stateless(const query::LogicalPlan& plan) {
 void AdaptationPolicy::set_trace(obs::TraceEmitter* trace) {
   trace_ = trace;
   migration_planner_.set_trace(trace);
+  scheduler_.set_trace(trace);
 }
 
 void AdaptationPolicy::on_replan_applied(const query::LogicalPlan& old_plan,
@@ -270,7 +271,17 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
   // at the next round (the WAN estimates will have moved by then).
   scheduler_.begin_epoch();
 
-  std::vector<OpDiagnosis> diags = diagnose_all(engine, monitor);
+  std::vector<OpDiagnosis> diags;
+  {
+    obs::TraceEmitter::SpanScope diagnose_span(trace_, "diagnose");
+    diags = diagnose_all(engine, monitor);
+    std::size_t unhealthy = 0;
+    for (const auto& d : diags) {
+      if (d.diagnosis.health != Health::kHealthy) ++unhealthy;
+    }
+    diagnose_span.num("operators", static_cast<double>(diags.size()))
+        .num("unhealthy", static_cast<double>(unhealthy));
+  }
 
   // Most severe bottleneck first.
   std::vector<const OpDiagnosis*> bottlenecks;
@@ -321,10 +332,17 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
   auto run_handlers = [&](const std::vector<const OpDiagnosis*>& list) {
     for (const OpDiagnosis* d : list) {
       if (actions.size() >= max_actions) break;
-      AdaptationAction action =
-          d->diagnosis.health == Health::kComputeBottleneck
-              ? handle_compute_bottleneck(engine, monitor, working_view, *d)
-              : handle_network_bottleneck(engine, monitor, working_view, *d);
+      AdaptationAction action;
+      {
+        obs::TraceEmitter::SpanScope plan_span(trace_, "plan");
+        plan_span.num("op", static_cast<double>(d->op.value()))
+            .str("health", to_string(d->diagnosis.health));
+        action =
+            d->diagnosis.health == Health::kComputeBottleneck
+                ? handle_compute_bottleneck(engine, monitor, working_view, *d)
+                : handle_network_bottleneck(engine, monitor, working_view, *d);
+        plan_span.str("result", to_string(action.kind));
+      }
       if (action.kind == ActionKind::kNone) continue;
       if (tracing) {
         trace_->event("policy_action")
@@ -417,8 +435,14 @@ std::vector<AdaptationAction> AdaptationPolicy::decide_all(
         engine.source_backlog_events() >
         config_.scale_down_max_backlog_sec * std::max(source_eps, 1.0);
     if (!cooling && !backlogged) {
-      AdaptationAction action =
-          handle_overprovisioning(engine, monitor, working_view, *waste);
+      AdaptationAction action;
+      {
+        obs::TraceEmitter::SpanScope plan_span(trace_, "plan");
+        plan_span.num("op", static_cast<double>(waste->op.value()))
+            .str("health", to_string(waste->diagnosis.health));
+        action = handle_overprovisioning(engine, monitor, working_view, *waste);
+        plan_span.str("result", to_string(action.kind));
+      }
       if (action.kind != ActionKind::kNone) {
         if (tracing) {
           trace_->event("policy_action")
@@ -846,9 +870,13 @@ std::vector<AdaptationAction> AdaptationPolicy::plan_recovery(
       if (current.at(s) > 0) affected = true;
     }
     if (!affected) continue;
+    obs::TraceEmitter::SpanScope plan_span(trace_, "plan");
+    plan_span.num("op", static_cast<double>(id.value()))
+        .str("health", "recovery");
     // Pinned stages (sources, sinks) cannot leave their sites; their tasks
     // wait for the site to come back. Same for non-splittable stages.
     if (!op.pinned_sites.empty() || !op.splittable) {
+      plan_span.str("result", "skipped-pinned");
       if (trace_ != nullptr && trace_->enabled()) {
         trace_->event("policy_reject")
             .str("kind", "recovery")
@@ -876,6 +904,7 @@ std::vector<AdaptationAction> AdaptationPolicy::plan_recovery(
       outcome = scheduler_.place_stage(ctx, self_view, extra);
     }
     if (!outcome.has_value()) {
+      plan_span.str("result", "infeasible");
       if (trace_ != nullptr && trace_->enabled()) {
         trace_->event("policy_reject")
             .str("kind", "recovery")
@@ -884,6 +913,7 @@ std::vector<AdaptationAction> AdaptationPolicy::plan_recovery(
       }
       continue;
     }
+    plan_span.str("result", to_string(ActionKind::kReassign));
 
     AdaptationAction action;
     action.kind = ActionKind::kReassign;
@@ -959,6 +989,8 @@ AdaptationAction AdaptationPolicy::try_replan(const engine::Engine& engine,
                                               const physical::NetworkView& view,
                                               const std::string& why) {
   AdaptationAction none;
+  obs::TraceEmitter::SpanScope span(trace_, "replan_search");
+  span.str("why", why);
   const query::LogicalPlan& current_logical = engine.logical();
 
   // Rates for the current plan, and source rates by name to transplant into
@@ -999,9 +1031,11 @@ AdaptationAction AdaptationPolicy::try_replan(const engine::Engine& engine,
   std::optional<physical::PhysicalPlan> best_physical;
   double best_boundary = 0.0;
   double best_cost = current_cost * config_.replan_improvement;
+  std::size_t candidates = 0;
 
   for (query::ReplanCandidate& rc :
        planner_.enumerate_replans(current_logical)) {
+    ++candidates;
     query::LogicalPlan& candidate = rc.plan;
     std::unordered_map<OperatorId, double> src_rates;
     for (OperatorId src : candidate.sources()) {
@@ -1027,7 +1061,11 @@ AdaptationAction AdaptationPolicy::try_replan(const engine::Engine& engine,
       best_boundary = rc.boundary_window_sec;
     }
   }
+  span.num("candidates", static_cast<double>(candidates))
+      .num("current_cost", current_cost)
+      .flag("accepted", best_logical.has_value());
   if (!best_logical.has_value()) return none;
+  span.num("best_cost", best_cost);
 
   // State migration for matched stateful operators whose placement moves.
   AdaptationAction action;

@@ -29,6 +29,20 @@ double TimeSeries::max_over(double t0, double t1) const {
   return best;
 }
 
+double TimeSeries::percentile_over(double t0, double t1, double pct) const {
+  std::vector<double> window;
+  for (const auto& [t, v] : points_) {
+    if (t >= t0 && t < t1) window.push_back(v);
+  }
+  if (window.empty()) return 0.0;
+  std::sort(window.begin(), window.end());
+  const double clamped = std::min(100.0, std::max(0.0, pct));
+  // Nearest-rank: the smallest value with at least pct% of samples <= it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(window.size())));
+  return window[rank == 0 ? 0 : rank - 1];
+}
+
 double TimeSeries::value_at(double t, double fallback) const {
   double result = fallback;
   for (const auto& [pt, v] : points_) {

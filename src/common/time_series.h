@@ -33,6 +33,10 @@ class TimeSeries {
   // Maximum value with t in [t0, t1); 0 if the window is empty.
   [[nodiscard]] double max_over(double t0, double t1) const;
 
+  // `pct`-th percentile (0..100, nearest-rank) of values with t in [t0, t1);
+  // 0 if the window is empty.
+  [[nodiscard]] double percentile_over(double t0, double t1, double pct) const;
+
   // Last recorded value at or before time `t`; `fallback` if none.
   [[nodiscard]] double value_at(double t, double fallback = 0.0) const;
 

@@ -47,6 +47,8 @@ FailureDetector::FailureDetector(const net::Network& network, Config config)
   health_.assign(n, SiteHealth::kTrusted);
   last_heartbeat_.assign(n, 0.0);
   next_send_.assign(n, config_.heartbeat_interval_sec);
+  suspicion_span_.assign(n, obs::kNoSpan);
+  suspicion_since_.assign(n, 0.0);
 }
 
 void FailureDetector::tick(double t, const std::function<bool(SiteId)>& alive) {
@@ -108,19 +110,52 @@ std::vector<HealthTransition> FailureDetector::take_transitions() {
   return out;
 }
 
+void FailureDetector::close_open_spans(double t) {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  for (std::size_t i = 0; i < suspicion_span_.size(); ++i) {
+    if (suspicion_span_[i] == obs::kNoSpan) continue;
+    trace_->end_span_at(t, suspicion_span_[i])
+        .str("status", "unresolved")
+        .num("site", static_cast<double>(i))
+        .num("duration_sec", t - suspicion_since_[i]);
+    suspicion_span_[i] = obs::kNoSpan;
+  }
+}
+
 void FailureDetector::transition(double t, SiteId site, SiteHealth to) {
   const auto i = static_cast<std::size_t>(site.value());
   const SiteHealth from = health_[i];
   health_[i] = to;
   pending_.push_back(HealthTransition{t, site, from, to});
   if (trace_ != nullptr && trace_->enabled()) {
+    // A suspicion episode is a span (root: detector activity is causally
+    // independent of any in-flight adaptation): opened at trusted->suspected,
+    // held open through confirmation, closed at re-trust. The flat
+    // suspect/confirm_failure/trust events nest inside it.
+    if (from == SiteHealth::kTrusted && to == SiteHealth::kSuspected) {
+      trace_
+          ->begin_span_event_at(t, "suspicion", &suspicion_span_[i],
+                                /*parent=*/obs::kNoSpan)
+          .num("site", static_cast<double>(site.value()));
+      suspicion_since_[i] = t;
+    }
     const char* type = to == SiteHealth::kTrusted          ? "trust"
                        : to == SiteHealth::kSuspected      ? "suspect"
                                                            : "confirm_failure";
+    obs::TraceEmitter::ParentScope in_episode(trace_, suspicion_span_[i]);
     trace_->event_at(t, type)
         .num("site", static_cast<double>(site.value()))
         .num("gap_sec", t - last_heartbeat_[i])
         .str("from_state", to_string(from));
+    if (to == SiteHealth::kTrusted && suspicion_span_[i] != obs::kNoSpan) {
+      const char* status = from == SiteHealth::kSuspected ? "false_alarm"
+                                                          : "recovered";
+      trace_->end_span_at(t, suspicion_span_[i])
+          .str("status", status)
+          .num("site", static_cast<double>(site.value()))
+          .num("duration_sec", t - suspicion_since_[i]);
+      suspicion_span_[i] = obs::kNoSpan;
+    }
   }
 }
 

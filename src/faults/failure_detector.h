@@ -18,6 +18,7 @@
 // transition sequences.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -86,6 +87,11 @@ class FailureDetector {
 
   void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
 
+  // Closes any suspicion spans still open (status "unresolved") -- the
+  // runtime calls this at shutdown so traces stay begin/end balanced even
+  // when the run ends mid-suspicion.
+  void close_open_spans(double t);
+
  private:
   void transition(double t, SiteId site, SiteHealth to);
 
@@ -96,6 +102,11 @@ class FailureDetector {
   std::vector<double> last_heartbeat_;  // delivery time, per site
   std::vector<double> next_send_;       // next heartbeat send time, per site
   std::vector<HealthTransition> pending_;
+  // Open "suspicion" span per site (0 = none): opened at trusted->suspected,
+  // closed at re-trust or close_open_spans(). `suspicion_since_` is the span
+  // open time, for the episode duration on close.
+  std::vector<std::uint64_t> suspicion_span_;
+  std::vector<double> suspicion_since_;
   double now_ = 0.0;
   obs::TraceEmitter* trace_ = nullptr;
 };

@@ -112,6 +112,7 @@ class Solver {
       }
 
       const lp::Solution relax = lp::solve(work, options_.lp_options);
+      result.lp_iterations += relax.iterations;
       if (relax.status == lp::SolveStatus::kUnbounded) {
         result.status = lp::SolveStatus::kUnbounded;
         return result;
@@ -189,6 +190,7 @@ class Solver {
       if (!consistent) continue;
 
       const lp::Solution relax = lp::solve(sub, options_.lp_options);
+      result.lp_iterations += relax.iterations;
       if (relax.status == lp::SolveStatus::kUnbounded) {
         // An unbounded relaxation at the root means the ILP itself is
         // unbounded (or would need deeper analysis); report it.

@@ -45,6 +45,9 @@ struct IlpResult {
   double objective = 0.0;
   std::vector<double> values;  // integral entries for integer variables
   std::size_t nodes_explored = 0;
+  // Simplex pivots summed over every LP relaxation solved during the search
+  // (root + nodes) -- solver-cost attribution for trace spans.
+  std::size_t lp_iterations = 0;
   // Nodes whose LP relaxation hit the iteration limit and had to be dropped.
   // When any were dropped and no incumbent exists, the search was truncated
   // rather than exhausted, and `status` reports kIterationLimit instead of

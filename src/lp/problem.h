@@ -80,6 +80,9 @@ struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> values;
+  // Simplex pivots performed across both phases (solver-cost attribution for
+  // trace spans; 0 when the solve failed before pivoting).
+  std::size_t iterations = 0;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
 };

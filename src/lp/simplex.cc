@@ -205,9 +205,9 @@ class Tableau {
     }
     if (any_artificial) {
       const SolveStatus s1 = optimize(cost_);
-      if (s1 == SolveStatus::kIterationLimit) return Solution{.status = s1, .objective = 0.0, .values = {}};
+      if (s1 == SolveStatus::kIterationLimit) return Solution{.status = s1, .objective = 0.0, .values = {}, .iterations = pivots_};
       if (phase_objective(cost_) > feas_tol_) {
-        return Solution{.status = SolveStatus::kInfeasible, .objective = 0.0, .values = {}};
+        return Solution{.status = SolveStatus::kInfeasible, .objective = 0.0, .values = {}, .iterations = pivots_};
       }
       drop_artificials();
     }
@@ -216,7 +216,7 @@ class Tableau {
     cost_.assign(num_cols_, 0.0);
     for (std::size_t c = 0; c < sf_.num_structural; ++c) cost_[c] = sf_.cost[c];
     const SolveStatus s2 = optimize(cost_);
-    if (s2 != SolveStatus::kOptimal) return Solution{.status = s2, .objective = 0.0, .values = {}};
+    if (s2 != SolveStatus::kOptimal) return Solution{.status = s2, .objective = 0.0, .values = {}, .iterations = pivots_};
 
     // Recover original variable values.
     std::vector<double> y(num_cols_, 0.0);
@@ -225,6 +225,7 @@ class Tableau {
     }
     Solution sol;
     sol.status = SolveStatus::kOptimal;
+    sol.iterations = pivots_;
     sol.values.resize(sf_.mapping.size(), 0.0);
     for (std::size_t i = 0; i < sf_.mapping.size(); ++i) {
       const VarMap& m = sf_.mapping[i];
@@ -312,6 +313,7 @@ class Tableau {
   }
 
   void pivot(std::size_t prow, std::size_t col) {
+    ++pivots_;
     double* pr = row(prow);
     const double p = pr[col];
     assert(std::abs(p) > 0.0);
@@ -372,6 +374,7 @@ class Tableau {
   std::size_t num_rows_ = 0;
   std::size_t stride_ = 0;
   std::size_t max_iters_ = 0;
+  std::size_t pivots_ = 0;  // total pivots across both phases
   std::vector<double> a_;  // row-major, `stride_` doubles per row (rhs last)
   std::vector<std::size_t> basis_;
   std::vector<char> is_artificial_;

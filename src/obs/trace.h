@@ -11,13 +11,24 @@
 //   - no sink:    the emitter is disabled and every call is a cheap no-op.
 //
 // Event layout (see DESIGN.md §6 for the per-type field tables):
-//   {"schema":1,"seq":N,"t":<sim seconds>,"type":"...", ...fields}
+//   {"schema":2,"seq":N,"t":<sim seconds>,"type":"...", ...fields}
+//
+// Schema v2 adds causal spans on top of the flat event stream: a span is a
+// pair of ordinary events, "span_begin" (fields: name, span_id, parent_id)
+// and "span_end" (field: span_id), so every sink and consumer of the flat
+// stream keeps working unchanged. Spans form a forest via parent_id; nesting
+// is either explicit (the caller passes a parent id) or ambient (SpanScope /
+// ParentScope push a parent onto a stack that begin_span consults). Spans do
+// NOT have to close in LIFO order -- long-lived spans (an adaptation waiting
+// for a window boundary, a suspicion episode, an SLO violation) may overlap
+// arbitrarily; only begin/end balance and parent-before-child are required.
 //
 // Producers hold a non-owning TraceEmitter* and guard hot paths with
 // `enabled()`; fields are attached through a small RAII builder that commits
 // the event when it goes out of scope.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -30,7 +41,11 @@
 
 namespace wasp::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = 2;
+
+// Span id 0 means "no span": a root span's parent_id, or the id returned by
+// every span call on a disabled emitter.
+inline constexpr std::uint64_t kNoSpan = 0;
 
 // One trace record: a type tag, a simulated-time stamp, and flat fields.
 struct TraceEvent {
@@ -48,7 +63,9 @@ struct TraceEvent {
 };
 
 // Serializes one event as a single JSON line (no trailing newline). Numbers
-// that JSON cannot represent (NaN, infinities) are emitted as null.
+// that JSON cannot represent (NaN, infinities) are emitted as null; string
+// fields are escaped per RFC 8259 (quotes, backslashes, control characters)
+// and invalid UTF-8 bytes are replaced with U+FFFD so the line always parses.
 [[nodiscard]] std::string to_json_line(const TraceEvent& event);
 
 class TraceSink {
@@ -59,6 +76,11 @@ class TraceSink {
 };
 
 // Bounded ring of structured events; the oldest are dropped once full.
+//
+// Iterator/reference stability: `events()` exposes the live deque, so any
+// reference or iterator into it is invalidated by the next write once the
+// ring is at capacity (eviction pops the front). Accessors that outlive
+// further writes -- `of_type` -- therefore return copies, not pointers.
 class MemorySink final : public TraceSink {
  public:
   explicit MemorySink(std::size_t capacity = 1 << 16)
@@ -69,8 +91,9 @@ class MemorySink final : public TraceSink {
   [[nodiscard]] const std::deque<TraceEvent>& events() const {
     return events_;
   }
-  [[nodiscard]] std::vector<const TraceEvent*> of_type(
-      std::string_view type) const;
+  // Copies of every retained event with the given type, in arrival order.
+  // Safe to hold across later writes (unlike pointers into events()).
+  [[nodiscard]] std::vector<TraceEvent> of_type(std::string_view type) const;
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
  private:
@@ -141,16 +164,95 @@ class TraceEmitter {
     return Event(enabled() ? this : nullptr, t, type);
   }
 
+  // ---- Spans (schema v2) ----------------------------------------------
+  // Sentinel parent: "use the current ambient parent" (top of the stack
+  // pushed by SpanScope/ParentScope, or no parent if the stack is empty).
+  static constexpr std::uint64_t kAmbientParent = ~std::uint64_t{0};
+
+  // Opens a span: emits a "span_begin" event carrying name/span_id/parent_id
+  // and returns the fresh id (kNoSpan when disabled). The span stays open
+  // until end_span(id) -- spans are not required to close in LIFO order.
+  std::uint64_t begin_span(std::string_view name,
+                           std::uint64_t parent = kAmbientParent);
+  // Same, but returns the builder so the caller can attach extra begin-time
+  // fields; *id_out receives the new id before the builder commits.
+  [[nodiscard]] Event begin_span_event(std::string_view name,
+                                       std::uint64_t* id_out,
+                                       std::uint64_t parent = kAmbientParent);
+  // Same with an explicit timestamp (producers that record transition times
+  // mid-tick, e.g. the failure detector).
+  [[nodiscard]] Event begin_span_event_at(
+      double t, std::string_view name, std::uint64_t* id_out,
+      std::uint64_t parent = kAmbientParent);
+  // Closes a span: emits a "span_end" event with span_id; attach end-time
+  // fields (status, durations, counters) to the returned builder. A kNoSpan
+  // id is a no-op.
+  Event end_span(std::uint64_t span_id);
+  Event end_span_at(double t, std::uint64_t span_id);
+
+  // Number of begin_span calls without a matching end_span yet.
+  [[nodiscard]] std::uint64_t open_spans() const { return open_spans_; }
+
+  // RAII span covering a synchronous scope: the constructor emits span_begin
+  // (ambient parent) and makes the new span the ambient parent; the
+  // destructor emits span_end with the collected end fields plus "wall_us"
+  // (wall-clock microseconds spent inside the scope). Null/disabled emitter
+  // makes every method a no-op.
+  class SpanScope {
+   public:
+    SpanScope(TraceEmitter* emitter, std::string_view name);
+    ~SpanScope();
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+    // Fields attached to the span_end event.
+    SpanScope& num(std::string_view key, double value);
+    SpanScope& str(std::string_view key, std::string_view value);
+    SpanScope& flag(std::string_view key, bool value) {
+      return str(key, value ? "true" : "false");
+    }
+    [[nodiscard]] std::uint64_t id() const { return id_; }
+    [[nodiscard]] bool active() const { return id_ != kNoSpan; }
+
+   private:
+    TraceEmitter* emitter_ = nullptr;
+    std::uint64_t id_ = kNoSpan;
+    std::chrono::steady_clock::time_point start_{};
+    std::vector<std::pair<std::string, double>> end_nums_;
+    std::vector<std::pair<std::string, std::string>> end_strs_;
+  };
+
+  // Makes an already-open span the ambient parent for the current scope
+  // without emitting anything -- used to nest synchronous work (diagnose,
+  // plan, solver calls) under a long-lived span the caller keeps open.
+  class ParentScope {
+   public:
+    ParentScope(TraceEmitter* emitter, std::uint64_t span_id);
+    ~ParentScope();
+    ParentScope(const ParentScope&) = delete;
+    ParentScope& operator=(const ParentScope&) = delete;
+
+   private:
+    TraceEmitter* emitter_ = nullptr;  // null when nothing was pushed
+  };
+
   void flush() {
     if (sink_ != nullptr) sink_->flush();
   }
 
  private:
   void commit(TraceEvent event);
+  [[nodiscard]] std::uint64_t resolve_parent(std::uint64_t parent) const {
+    if (parent != kAmbientParent) return parent;
+    return ambient_.empty() ? kNoSpan : ambient_.back();
+  }
 
   std::shared_ptr<TraceSink> sink_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_span_id_ = 1;
+  std::uint64_t open_spans_ = 0;
+  std::vector<std::uint64_t> ambient_;
 };
 
 }  // namespace wasp::obs

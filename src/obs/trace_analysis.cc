@@ -1,0 +1,693 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace wasp::obs {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[nodiscard]] bool eof() const { return i >= s.size(); }
+  [[nodiscard]] char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+  }
+};
+
+void encode_utf8(std::string& out, std::uint32_t cp) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) cp = 0xFFFD;
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool parse_hex4(Cursor& c, std::uint32_t* out) {
+  if (c.i + 4 > c.s.size()) return false;
+  std::uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) {
+    const char ch = c.s[c.i + static_cast<std::size_t>(k)];
+    v <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      v |= static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      v |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else if (ch >= 'A' && ch <= 'F') {
+      v |= static_cast<std::uint32_t>(ch - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  c.i += 4;
+  *out = v;
+  return true;
+}
+
+bool parse_json_string(Cursor& c, std::string* out, std::string* error) {
+  if (c.eof() || c.peek() != '"') {
+    *error = "expected string";
+    return false;
+  }
+  ++c.i;
+  out->clear();
+  while (true) {
+    if (c.eof()) {
+      *error = "unterminated string";
+      return false;
+    }
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out->push_back(ch);
+      continue;
+    }
+    if (c.eof()) {
+      *error = "unterminated escape";
+      return false;
+    }
+    const char esc = c.s[c.i++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        std::uint32_t cp = 0;
+        if (!parse_hex4(c, &cp)) {
+          *error = "bad \\u escape";
+          return false;
+        }
+        if (cp >= 0xD800 && cp <= 0xDBFF && c.i + 1 < c.s.size() &&
+            c.s[c.i] == '\\' && c.s[c.i + 1] == 'u') {
+          // Surrogate pair.
+          Cursor save = c;
+          c.i += 2;
+          std::uint32_t lo = 0;
+          if (parse_hex4(c, &lo) && lo >= 0xDC00 && lo <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            c = save;  // lone high surrogate -> U+FFFD below
+          }
+        }
+        encode_utf8(*out, cp);
+        break;
+      }
+      default:
+        *error = "bad escape character";
+        return false;
+    }
+  }
+}
+
+bool parse_json_number(Cursor& c, double* out, std::string* error) {
+  const std::size_t start = c.i;
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if ((ch >= '0' && ch <= '9') || ch == '+' || ch == '-' || ch == '.' ||
+        ch == 'e' || ch == 'E') {
+      ++c.i;
+    } else {
+      break;
+    }
+  }
+  if (c.i == start) {
+    *error = "expected number";
+    return false;
+  }
+  char buf[64];
+  const std::size_t len = std::min(c.i - start, sizeof(buf) - 1);
+  std::memcpy(buf, c.s.data() + start, len);
+  buf[len] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  if (end == buf) {
+    *error = "malformed number";
+    return false;
+  }
+  return true;
+}
+
+bool expect(Cursor& c, char ch, std::string* error) {
+  c.skip_ws();
+  if (c.eof() || c.peek() != ch) {
+    *error = std::string("expected '") + ch + "'";
+    return false;
+  }
+  ++c.i;
+  return true;
+}
+
+void json_escape_to(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out += buf;
+}
+
+}  // namespace
+
+bool parse_trace_line(std::string_view line, TraceEvent* out, int* schema,
+                      std::string* error) {
+  *out = TraceEvent{};
+  if (schema != nullptr) *schema = 0;
+  Cursor c{line};
+  std::string err;
+  if (!expect(c, '{', &err)) {
+    *error = err;
+    return false;
+  }
+  c.skip_ws();
+  bool first = true;
+  std::string key, sval;
+  while (true) {
+    c.skip_ws();
+    if (!c.eof() && c.peek() == '}') {
+      ++c.i;
+      break;
+    }
+    if (!first && !expect(c, ',', &err)) {
+      *error = err;
+      return false;
+    }
+    first = false;
+    c.skip_ws();
+    if (!parse_json_string(c, &key, &err)) {
+      *error = "key: " + err;
+      return false;
+    }
+    if (!expect(c, ':', &err)) {
+      *error = err;
+      return false;
+    }
+    c.skip_ws();
+    if (c.eof()) {
+      *error = "truncated value";
+      return false;
+    }
+    const char ch = c.peek();
+    if (ch == '"') {
+      if (!parse_json_string(c, &sval, &err)) {
+        *error = "value of '" + key + "': " + err;
+        return false;
+      }
+      if (key == "type") {
+        out->type = sval;
+      } else {
+        out->strs.emplace_back(key, sval);
+      }
+    } else if (ch == 't' || ch == 'f') {
+      const std::string_view lit = ch == 't' ? "true" : "false";
+      if (c.s.substr(c.i, lit.size()) != lit) {
+        *error = "bad literal for '" + key + "'";
+        return false;
+      }
+      c.i += lit.size();
+      out->strs.emplace_back(key, std::string(lit));
+    } else if (ch == 'n') {
+      if (c.s.substr(c.i, 4) != "null") {
+        *error = "bad literal for '" + key + "'";
+        return false;
+      }
+      c.i += 4;
+      out->nums.emplace_back(key, kNan);
+    } else {
+      double v = 0.0;
+      if (!parse_json_number(c, &v, &err)) {
+        *error = "value of '" + key + "': " + err;
+        return false;
+      }
+      if (key == "schema") {
+        if (schema != nullptr) *schema = static_cast<int>(v);
+      } else if (key == "seq") {
+        out->seq = static_cast<std::uint64_t>(v);
+      } else if (key == "t") {
+        out->t = v;
+      } else {
+        out->nums.emplace_back(key, v);
+      }
+    }
+  }
+  c.skip_ws();
+  if (!c.eof()) {
+    *error = "trailing characters after object";
+    return false;
+  }
+  if (out->type.empty()) {
+    *error = "missing \"type\" field";
+    return false;
+  }
+  return true;
+}
+
+TraceFile load_trace(std::istream& in) {
+  TraceFile file;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = line;
+    while (!sv.empty() && (sv.back() == '\r' || sv.back() == ' ')) {
+      sv.remove_suffix(1);
+    }
+    if (sv.empty()) continue;
+    ++file.lines;
+    TraceEvent event;
+    int schema = 0;
+    std::string error;
+    if (parse_trace_line(sv, &event, &schema, &error)) {
+      file.events.push_back(std::move(event));
+      file.schemas.push_back(schema);
+    } else {
+      file.errors.push_back("line " + std::to_string(line_no) + ": " + error);
+    }
+  }
+  return file;
+}
+
+TraceFile load_trace_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return {};
+  }
+  if (error != nullptr) error->clear();
+  return load_trace(in);
+}
+
+// ---- Span reconstruction ----------------------------------------------
+
+SpanIndex SpanIndex::build(const std::vector<TraceEvent>& events) {
+  SpanIndex index;
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  bool have_seq = false;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const TraceEvent& event = events[e];
+    // Each emitter numbers seq (and span ids) from 0, so a restart marks the
+    // next run appended to the same file: its ids live in a fresh namespace.
+    if (have_seq && event.seq == 0) {
+      ++index.segments;
+      by_id.clear();
+    }
+    have_seq = true;
+    if (event.type == "span_begin") {
+      const auto id = static_cast<std::uint64_t>(event.num("span_id"));
+      const auto parent = static_cast<std::uint64_t>(event.num("parent_id"));
+      if (id == 0) {
+        index.errors.push_back("seq " + std::to_string(event.seq) +
+                               ": span_begin without span_id");
+        continue;
+      }
+      if (by_id.count(id) != 0) {
+        index.errors.push_back("seq " + std::to_string(event.seq) +
+                               ": duplicate span_id " + std::to_string(id));
+        continue;
+      }
+      SpanNode node;
+      node.id = id;
+      node.parent = parent;
+      node.name = std::string(event.str("name"));
+      node.begin_t = event.t;
+      node.begin_event = e;
+      const std::size_t node_index = index.nodes.size();
+      by_id.emplace(id, node_index);
+      if (parent == 0) {
+        index.roots.push_back(node_index);
+      } else {
+        auto it = by_id.find(parent);
+        if (it == by_id.end()) {
+          index.errors.push_back("seq " + std::to_string(event.seq) +
+                                 ": span " + std::to_string(id) +
+                                 " references unknown parent " +
+                                 std::to_string(parent));
+          index.roots.push_back(node_index);
+        } else if (index.nodes[it->second].closed) {
+          index.errors.push_back("seq " + std::to_string(event.seq) +
+                                 ": span " + std::to_string(id) +
+                                 " begins under already-closed parent " +
+                                 std::to_string(parent));
+          index.nodes[it->second].children.push_back(node_index);
+        } else {
+          index.nodes[it->second].children.push_back(node_index);
+        }
+      }
+      index.nodes.push_back(std::move(node));
+    } else if (event.type == "span_end") {
+      const auto id = static_cast<std::uint64_t>(event.num("span_id"));
+      auto it = by_id.find(id);
+      if (it == by_id.end()) {
+        ++index.orphan_ends;
+        index.errors.push_back("seq " + std::to_string(event.seq) +
+                               ": span_end for unknown span " +
+                               std::to_string(id));
+        continue;
+      }
+      SpanNode& node = index.nodes[it->second];
+      if (node.closed) {
+        ++index.orphan_ends;
+        index.errors.push_back("seq " + std::to_string(event.seq) +
+                               ": duplicate span_end for span " +
+                               std::to_string(id));
+        continue;
+      }
+      node.closed = true;
+      node.end_t = event.t;
+      node.end_event = e;
+    }
+  }
+  for (const SpanNode& node : index.nodes) {
+    if (!node.closed) {
+      ++index.unclosed;
+      index.errors.push_back("span " + std::to_string(node.id) + " ('" +
+                             node.name + "', begun at t=" +
+                             std::to_string(node.begin_t) + ") never closed");
+    }
+  }
+  return index;
+}
+
+const SpanNode* SpanIndex::find(std::uint64_t id) const {
+  for (const SpanNode& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+std::vector<std::size_t> SpanIndex::critical_path(
+    std::size_t node_index) const {
+  std::vector<std::size_t> path;
+  if (node_index >= nodes.size()) return path;
+  std::size_t cur = node_index;
+  path.push_back(cur);
+  while (true) {
+    const SpanNode& node = nodes[cur];
+    std::size_t best = nodes.size();
+    for (std::size_t child : node.children) {
+      const SpanNode& c = nodes[child];
+      if (!c.closed) continue;
+      if (best == nodes.size() || c.end_t > nodes[best].end_t ||
+          (c.end_t == nodes[best].end_t && c.begin_t > nodes[best].begin_t)) {
+        best = child;
+      }
+    }
+    if (best == nodes.size()) break;
+    path.push_back(best);
+    cur = best;
+  }
+  return path;
+}
+
+// ---- Validation --------------------------------------------------------
+
+ValidationReport validate_trace(const TraceFile& file) {
+  ValidationReport report;
+  report.events = file.events.size();
+  report.errors = file.errors;
+  bool have_prev_seq = false;
+  std::uint64_t prev_seq = 0;
+  for (std::size_t i = 0; i < file.events.size(); ++i) {
+    const TraceEvent& event = file.events[i];
+    const int schema = file.schemas[i];
+    if (schema != 1 && schema != 2) {
+      report.errors.push_back("seq " + std::to_string(event.seq) +
+                              ": unsupported schema version " +
+                              std::to_string(schema));
+    }
+    const bool is_span =
+        event.type == "span_begin" || event.type == "span_end";
+    if (is_span && schema < 2) {
+      report.errors.push_back("seq " + std::to_string(event.seq) + ": " +
+                              event.type + " event on schema " +
+                              std::to_string(schema) +
+                              " (spans require schema 2)");
+    }
+    if (have_prev_seq && event.seq <= prev_seq && event.seq != 0) {
+      // A restart at 0 is the boundary between concatenated emitter
+      // streams (multi-run bench traces), not a violation.
+      report.errors.push_back("seq " + std::to_string(event.seq) +
+                              " not strictly increasing (previous " +
+                              std::to_string(prev_seq) + ")");
+    }
+    prev_seq = event.seq;
+    have_prev_seq = true;
+  }
+  const SpanIndex spans = SpanIndex::build(file.events);
+  report.spans = spans.nodes.size();
+  report.unclosed = spans.unclosed;
+  report.orphan_ends = spans.orphan_ends;
+  report.segments = spans.segments;
+  report.errors.insert(report.errors.end(), spans.errors.begin(),
+                       spans.errors.end());
+  return report;
+}
+
+// ---- Field-level diff --------------------------------------------------
+
+namespace {
+
+bool key_ignored(std::string_view key, const DiffOptions& options) {
+  if (options.ignore_wall_keys && key.rfind("wall_", 0) == 0) return true;
+  for (const std::string& k : options.ignore_keys) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool nums_equal(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return a == b;
+}
+
+std::string describe(const TraceEvent& event, std::size_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "event %zu (t=%.6g, type=%s)", index,
+                event.t, event.type.c_str());
+  return buf;
+}
+
+// Returns the first differing field between two events, or empty string.
+std::string first_field_difference(const TraceEvent& a, const TraceEvent& b,
+                                   const DiffOptions& options) {
+  if (a.type != b.type) return "type '" + a.type + "' vs '" + b.type + "'";
+  if (!nums_equal(a.t, b.t)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "t %.12g vs %.12g", a.t, b.t);
+    return buf;
+  }
+  for (const auto& [key, value] : a.strs) {
+    if (key_ignored(key, options)) continue;
+    const std::string_view other = b.str(key, "\x01<absent>");
+    if (other == "\x01<absent>") return "field '" + key + "' only in A";
+    if (other != value) {
+      return "field '" + key + "': '" + value + "' vs '" +
+             std::string(other) + "'";
+    }
+  }
+  for (const auto& [key, value] : b.strs) {
+    if (key_ignored(key, options)) continue;
+    if (a.str(key, "\x01<absent>") == "\x01<absent>") {
+      return "field '" + key + "' only in B";
+    }
+  }
+  for (const auto& [key, value] : a.nums) {
+    if (key_ignored(key, options)) continue;
+    const double other = b.num(key, kNan);
+    const bool present = !std::isnan(other) ||
+                         std::isnan(b.num(key, 0.0));  // NaN field vs absent
+    if (!present) return "field '" + key + "' only in A";
+    if (!nums_equal(value, other)) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "field '%s': %.12g vs %.12g",
+                    key.c_str(), value, other);
+      return buf;
+    }
+  }
+  for (const auto& [key, value] : b.nums) {
+    if (key_ignored(key, options)) continue;
+    const bool present = !std::isnan(a.num(key, kNan)) ||
+                         std::isnan(a.num(key, 0.0));
+    if (!present) return "field '" + key + "' only in B";
+  }
+  return {};
+}
+
+}  // namespace
+
+TraceDiff diff_traces(const std::vector<TraceEvent>& a,
+                      const std::vector<TraceEvent>& b,
+                      const DiffOptions& options) {
+  TraceDiff diff;
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const std::string delta = first_field_difference(a[i], b[i], options);
+    if (delta.empty()) continue;
+    ++diff.differing_events;
+    if (diff.reports.size() < options.max_reports) {
+      diff.reports.push_back(describe(a[i], i) + ": " + delta);
+    }
+  }
+  for (std::size_t i = common; i < a.size(); ++i) {
+    ++diff.differing_events;
+    if (diff.reports.size() < options.max_reports) {
+      diff.reports.push_back(describe(a[i], i) + ": only in A");
+    }
+  }
+  for (std::size_t i = common; i < b.size(); ++i) {
+    ++diff.differing_events;
+    if (diff.reports.size() < options.max_reports) {
+      diff.reports.push_back(describe(b[i], i) + ": only in B");
+    }
+  }
+  return diff;
+}
+
+// ---- Chrome trace-event export ----------------------------------------
+
+void export_chrome_trace(const std::vector<TraceEvent>& events,
+                         std::ostream& out) {
+  const SpanIndex spans = SpanIndex::build(events);
+  // Map begin-event index -> span node for argument merging.
+  std::unordered_map<std::size_t, const SpanNode*> begin_of;
+  for (const SpanNode& node : spans.nodes) begin_of[node.begin_event] = &node;
+
+  std::string line;
+  auto append_args = [&line](const TraceEvent& event) {
+    bool first = true;
+    for (const auto& [key, value] : event.strs) {
+      if (key == "name") continue;
+      if (!first) line += ",";
+      first = false;
+      json_escape_to(line, key);
+      line += ":";
+      json_escape_to(line, value);
+    }
+    for (const auto& [key, value] : event.nums) {
+      if (key == "span_id" || key == "parent_id") continue;
+      if (!first) line += ",";
+      first = false;
+      json_escape_to(line, key);
+      line += ":";
+      append_json_number(line, value);
+    }
+    return !first;
+  };
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first_record = true;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const TraceEvent& event = events[e];
+    if (event.type == "span_end") continue;  // folded into the begin record
+    line.clear();
+    if (!first_record) line += ",\n";
+    first_record = false;
+    const double ts_us = event.t * 1e6;
+    if (event.type == "span_begin") {
+      auto it = begin_of.find(e);
+      const SpanNode* node = it == begin_of.end() ? nullptr : it->second;
+      const std::string name(event.str("name", "span"));
+      if (node != nullptr && node->closed) {
+        line += "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":";
+        json_escape_to(line, name);
+        line += ",\"cat\":\"span\",\"ts\":";
+        append_json_number(line, ts_us);
+        line += ",\"dur\":";
+        append_json_number(line, (node->end_t - node->begin_t) * 1e6);
+        line += ",\"args\":{";
+        bool any = append_args(event);
+        if (node->end_event < events.size()) {
+          const TraceEvent& end_event = events[node->end_event];
+          for (const auto& [key, value] : end_event.strs) {
+            if (any) line += ",";
+            any = true;
+            json_escape_to(line, key);
+            line += ":";
+            json_escape_to(line, value);
+          }
+          for (const auto& [key, value] : end_event.nums) {
+            if (key == "span_id") continue;
+            if (any) line += ",";
+            any = true;
+            json_escape_to(line, key);
+            line += ":";
+            append_json_number(line, value);
+          }
+        }
+        line += "}}";
+      } else {
+        line += "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"g\",\"name\":";
+        json_escape_to(line, name + " (unclosed)");
+        line += ",\"cat\":\"span\",\"ts\":";
+        append_json_number(line, ts_us);
+        line += ",\"args\":{";
+        append_args(event);
+        line += "}}";
+      }
+    } else {
+      line += "{\"ph\":\"i\",\"pid\":1,\"tid\":2,\"s\":\"t\",\"name\":";
+      json_escape_to(line, event.type);
+      line += ",\"cat\":\"event\",\"ts\":";
+      append_json_number(line, ts_us);
+      line += ",\"args\":{";
+      append_args(event);
+      line += "}}";
+    }
+    out << line;
+  }
+  out << "]}\n";
+}
+
+}  // namespace wasp::obs

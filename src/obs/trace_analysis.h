@@ -1,0 +1,139 @@
+// Offline analysis of JSONL traces: parsing, span-tree reconstruction,
+// validation and field-level diffing.
+//
+// This is the library behind the `wasp_trace` CLI (tools/wasp_trace.cpp); it
+// lives in wasp_obs so tests can exercise the exact logic CI relies on. It
+// reads the schema-v1/v2 lines produced by to_json_line() back into
+// TraceEvent records (the parser accepts any flat JSON object with string /
+// number / bool / null values) and rebuilds the schema-v2 span forest from
+// span_begin/span_end pairs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace wasp::obs {
+
+// ---- JSONL parsing -----------------------------------------------------
+
+// Parses one trace line into *out. On success returns true and sets *schema
+// to the line's "schema" field (0 when absent). On failure returns false and
+// describes the problem in *error. Booleans become string fields
+// "true"/"false" (matching Event::flag), null numbers become NaN.
+[[nodiscard]] bool parse_trace_line(std::string_view line, TraceEvent* out,
+                                    int* schema, std::string* error);
+
+struct TraceFile {
+  std::vector<TraceEvent> events;  // successfully parsed lines, in file order
+  std::vector<int> schemas;        // per-event schema version
+  std::vector<std::string> errors;  // "line N: ..." parse failures
+  std::size_t lines = 0;            // non-empty lines seen
+};
+
+// Reads every non-empty line of `in`; parse failures are collected, not
+// fatal, so validation can report all of them.
+[[nodiscard]] TraceFile load_trace(std::istream& in);
+[[nodiscard]] TraceFile load_trace_file(const std::string& path,
+                                        std::string* error);
+
+// ---- Span reconstruction ----------------------------------------------
+
+struct SpanNode {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  double begin_t = 0.0;
+  double end_t = 0.0;   // meaningful only when closed
+  bool closed = false;
+  std::size_t begin_event = 0;  // index into the source event vector
+  std::size_t end_event = 0;    // meaningful only when closed
+  std::vector<std::size_t> children;  // indices into SpanIndex::nodes
+
+  [[nodiscard]] double duration() const {
+    return closed ? end_t - begin_t : 0.0;
+  }
+};
+
+// The reconstructed span forest plus every structural violation found while
+// building it. Spans need not close in LIFO order; the only requirements are
+// begin/end balance, unique ids, and parents that are open at begin time.
+// Bench drivers append several runs (one emitter each) to a single file;
+// each seq restart at 0 starts a new segment with its own span-id namespace.
+struct SpanIndex {
+  std::vector<SpanNode> nodes;       // in span_begin order
+  std::vector<std::size_t> roots;    // nodes with parent 0 (or missing)
+  std::vector<std::string> errors;   // structural violations
+  std::size_t unclosed = 0;          // span_begin without span_end
+  std::size_t orphan_ends = 0;       // span_end without a matching begin
+  std::size_t segments = 1;          // emitter streams (seq restarts + 1)
+
+  [[nodiscard]] static SpanIndex build(const std::vector<TraceEvent>& events);
+
+  [[nodiscard]] const SpanNode* find(std::uint64_t id) const;
+  [[nodiscard]] bool balanced() const {
+    return unclosed == 0 && orphan_ends == 0;
+  }
+
+  // The chain from `node` to the leaf that determines its end time: at each
+  // level, the closed child with the latest end_t (ties: latest begin).
+  // Includes `node` itself; empty for an out-of-range index.
+  [[nodiscard]] std::vector<std::size_t> critical_path(
+      std::size_t node_index) const;
+};
+
+// ---- Validation --------------------------------------------------------
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t unclosed = 0;
+  std::size_t orphan_ends = 0;
+  std::size_t segments = 1;
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+// Checks parse errors, schema versions (1 or 2 only; span events require 2),
+// strictly increasing seq, and span-forest structure (balance, unique ids,
+// open parents). seq restarting at 0 is not an error: it marks the boundary
+// between concatenated emitter streams (multi-run bench traces).
+[[nodiscard]] ValidationReport validate_trace(const TraceFile& file);
+
+// ---- Field-level diff --------------------------------------------------
+
+struct DiffOptions {
+  // Keys compared by name; any key starting with "wall_" is also ignored by
+  // default since wall-clock durations are nondeterministic run to run.
+  std::vector<std::string> ignore_keys;
+  bool ignore_wall_keys = true;
+  std::size_t max_reports = 25;  // cap on human-readable difference lines
+};
+
+struct TraceDiff {
+  std::size_t differing_events = 0;  // event pairs (or unmatched tails)
+  std::vector<std::string> reports;  // first max_reports differences
+  [[nodiscard]] bool identical() const { return differing_events == 0; }
+};
+
+// Compares two event streams pairwise in order: type, t, and every field
+// not ignored. Extra trailing events in either stream count as differences.
+// seq is compared implicitly by position, not value.
+[[nodiscard]] TraceDiff diff_traces(const std::vector<TraceEvent>& a,
+                                    const std::vector<TraceEvent>& b,
+                                    const DiffOptions& options = {});
+
+// ---- Chrome trace-event export ----------------------------------------
+
+// Writes a Chrome trace-event JSON array (loadable in Perfetto or
+// chrome://tracing): closed spans become "X" complete events, unclosed spans
+// and plain events become "i" instants. Sim seconds map to microseconds.
+void export_chrome_trace(const std::vector<TraceEvent>& events,
+                         std::ostream& out);
+
+}  // namespace wasp::obs

@@ -11,12 +11,15 @@
 namespace wasp::physical {
 namespace {
 
-// Builds and solves the Eq. 1-5 ILP. One integer variable per site.
+// Builds and solves the Eq. 1-5 ILP. One integer variable per site. When
+// `stats` is non-null (tracing) it receives the raw solver result for
+// cost-attribution fields; early infeasibility leaves it default-initialized.
 std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
                                           const NetworkView& view,
                                           double alpha,
                                           const std::vector<int>& extra_slots,
-                                          const ilp::IlpOptions& ilp_options) {
+                                          const ilp::IlpOptions& ilp_options,
+                                          ilp::IlpResult* stats = nullptr) {
   const std::size_t m = view.num_sites();
   const double p = static_cast<double>(ctx.parallelism);
   assert(ctx.parallelism >= 1);
@@ -101,6 +104,7 @@ std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
   }
 
   const ilp::IlpResult result = ilp::solve(problem, vars, ilp_options);
+  if (stats != nullptr) *stats = result;
   if (!result.optimal()) return std::nullopt;
 
   PlacementOutcome outcome;
@@ -136,15 +140,37 @@ std::optional<PlacementOutcome> Scheduler::place_stage(
     }
     return outcome;
   }
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  obs::TraceEmitter::SpanScope span(tracing ? trace_ : nullptr,
+                                    "placement_ilp");
+  if (tracing) span.num("parallelism", context.parallelism);
+  auto record = [&](const std::optional<PlacementOutcome>& outcome,
+                    bool cache_hit, const ilp::IlpResult& stats) {
+    if (!tracing) return;
+    span.flag("cache_hit", cache_hit)
+        .flag("feasible", outcome.has_value())
+        .num("bb_nodes", static_cast<double>(stats.nodes_explored))
+        .num("lp_iterations", static_cast<double>(stats.lp_iterations));
+    if (outcome.has_value()) span.num("objective", outcome->objective);
+  };
   if (config_.use_reference_solvers) {
-    return solve_ilp(context, view, config_.alpha, extra_slots,
-                     reference_ilp_options());
+    ilp::IlpResult stats;
+    auto outcome = solve_ilp(context, view, config_.alpha, extra_slots,
+                             reference_ilp_options(),
+                             tracing ? &stats : nullptr);
+    record(outcome, /*cache_hit=*/false, stats);
+    return outcome;
   }
   placement_cache_key(key_scratch_, context, view, config_.alpha, extra_slots);
   const auto [slot, hit] = cache_.find_or_reserve(key_scratch_);
-  if (hit) return *slot;
+  if (hit) {
+    record(*slot, /*cache_hit=*/true, ilp::IlpResult{});
+    return *slot;
+  }
+  ilp::IlpResult stats;
   *slot = solve_ilp(context, view, config_.alpha, extra_slots,
-                    ilp::IlpOptions{});
+                    ilp::IlpOptions{}, tracing ? &stats : nullptr);
+  record(*slot, /*cache_hit=*/false, stats);
   return *slot;
 }
 

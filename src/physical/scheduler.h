@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/trace.h"
 #include "physical/placement.h"
 #include "physical/placement_cache.h"
 
@@ -71,6 +72,11 @@ class Scheduler {
 
   [[nodiscard]] const Config& config() const { return config_; }
 
+  // Observability: when set, every non-pinned place_stage call emits a
+  // "placement_ilp" span (cache hit/miss, B&B nodes, LP iterations, wall
+  // time) nested under the caller's ambient span. Null disables.
+  void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
+
   // Starts a new decision epoch: clears the placement memo cache. Network
   // estimates change between epochs, so cached outcomes are only reused
   // within one epoch; cache hits within an epoch are guaranteed bit-identical
@@ -102,6 +108,7 @@ class Scheduler {
 
  private:
   Config config_{};
+  obs::TraceEmitter* trace_ = nullptr;  // non-owning; see set_trace
   // Per-epoch memo of ILP outcomes; mutable so the const placement API can
   // populate it (it is invisible in results, only in latency).
   mutable PlacementCache cache_;

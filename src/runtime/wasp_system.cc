@@ -115,7 +115,11 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
   }
   policy_->set_trace(&trace_);
   detector_.set_trace(&trace_);
+  scheduler_.set_trace(&trace_);  // deploy-time placement spans
   recorder_.bind_metrics(&metrics_);
+  if (config_.slo.has_value() && config_.slo->any()) {
+    slo_watchdog_.emplace(*config_.slo, &trace_, &metrics_);
+  }
 
   config_.engine.tick_sec = config_.tick_sec;
   config_.engine.degrade = config_.mode == AdaptationMode::kDegrade ||
@@ -131,6 +135,22 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
 }
 
 WaspSystem::~WaspSystem() {
+  if (slo_watchdog_.has_value()) slo_watchdog_->finish(now_);
+  // Close every span the run left open so the emitted trace stays begin/end
+  // balanced (wasp_trace validate asserts this). Must happen in the body:
+  // trace_ is destroyed before detector_ by member ordering.
+  if (trace_.enabled()) {
+    if (transition_.has_value()) {
+      for (std::uint64_t span : transition_->transfer_spans) {
+        trace_.end_span(span).str("status", "unfinished");
+      }
+      trace_.end_span(transition_->root_span).str("status", "unfinished");
+    }
+    trace_.end_span(adaptation_span_).str("status", "unfinished");
+    trace_.end_span(stabilize_span_).str("status", "unfinished");
+    trace_.end_span(stabilizing_root_).str("status", "unfinished");
+    detector_.close_open_spans(now_);
+  }
   // The Network may be shared across systems (runtime::Cluster); only detach
   // the trace hook if it still points at this system's emitter.
   if (network_.trace() == &trace_) network_.set_trace(nullptr);
@@ -322,6 +342,7 @@ void WaspSystem::step(bool drive_network) {
           : 1.0,
       engine_->source_backlog_events(), m.generated_eps * config_.tick_sec,
       m.admitted_eps * config_.tick_sec, m.dropped_eps * config_.tick_sec);
+  if (slo_watchdog_.has_value()) slo_watchdog_->tick(now_, recorder_);
 }
 
 void WaspSystem::run_until(double t_end) {
@@ -336,26 +357,43 @@ void WaspSystem::maybe_adapt() {
   if (now_ - last_decision_ < config_.monitoring_interval_sec) return;
   last_decision_ = now_;
 
+  // Root span of the decision episode: diagnose/plan/solver spans nest under
+  // it. Closed right away on a no-action round; otherwise it stays open
+  // through the transition until stabilization (or abort).
+  std::uint64_t root = obs::kNoSpan;
+  if (trace_.enabled()) {
+    trace_.begin_span_event("adaptation", &root, /*parent=*/obs::kNoSpan)
+        .str("mode", to_string(config_.mode));
+  }
+
   const MonitorView view(*this);
   policy_->set_now(now_);
-  std::vector<adapt::AdaptationAction> actions =
-      policy_->decide_all(*engine_, metric_monitor_, view);
+  std::vector<adapt::AdaptationAction> actions;
+  {
+    obs::TraceEmitter::ParentScope in_episode(&trace_, root);
+    actions = policy_->decide_all(*engine_, metric_monitor_, view);
 
-  // §6.2 long-term dynamics: with nothing broken, periodically check in the
-  // background whether a different plan-placement pair now fits the (slowly
-  // shifting) workload better.
-  if (actions.empty() && config_.background_replan_interval_sec > 0.0 &&
-      now_ - last_background_replan_ >=
-          config_.background_replan_interval_sec) {
-    last_background_replan_ = now_;
-    adapt::AdaptationAction replan = policy_->consider_replan(
-        *engine_, metric_monitor_, view, "periodic background re-evaluation");
-    if (replan.kind != adapt::ActionKind::kNone) {
-      actions.push_back(std::move(replan));
+    // §6.2 long-term dynamics: with nothing broken, periodically check in the
+    // background whether a different plan-placement pair now fits the (slowly
+    // shifting) workload better.
+    if (actions.empty() && config_.background_replan_interval_sec > 0.0 &&
+        now_ - last_background_replan_ >=
+            config_.background_replan_interval_sec) {
+      last_background_replan_ = now_;
+      adapt::AdaptationAction replan = policy_->consider_replan(
+          *engine_, metric_monitor_, view, "periodic background re-evaluation");
+      if (replan.kind != adapt::ActionKind::kNone) {
+        actions.push_back(std::move(replan));
+      }
     }
   }
   metric_monitor_.reset_window();
-  if (actions.empty()) return;
+  if (actions.empty()) {
+    trace_.end_span(root).str("status", "no-action");
+    return;
+  }
+  adaptation_span_ = root;  // consumed by begin_transition (possibly later,
+                            // when the action waits for a window boundary)
   for (const auto& action : actions) {
     log(LogLevel::kInfo, "t=", now_, " adaptation: ", to_string(action.kind),
         " (", action.reason, "), est transition ",
@@ -378,6 +416,19 @@ void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions,
   transition.recovery = recovery;
   transition.attempt = retry_.attempts;
   pre_transition_delay_ = engine_->last_tick().delay_sec;
+
+  // Adopt the decision episode's root span (opened by maybe_adapt /
+  // maybe_recover / force_reassign); open a fresh root if the transition has
+  // none yet. The flat adaptation events and transfer spans nest under it.
+  transition.root_span = adaptation_span_;
+  adaptation_span_ = obs::kNoSpan;
+  if (transition.root_span == obs::kNoSpan && trace_.enabled()) {
+    trace_
+        .begin_span_event(recovery ? "recovery" : "adaptation",
+                          &transition.root_span, /*parent=*/obs::kNoSpan)
+        .str("mode", to_string(config_.mode));
+  }
+  obs::TraceEmitter::ParentScope in_episode(&trace_, transition.root_span);
 
   for (adapt::AdaptationAction& action : actions) {
     AdaptationEvent event;
@@ -415,6 +466,17 @@ void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions,
     for (const auto& move : action.migration.moves) {
       transition.bulk_flows.push_back(
           network_.add_bulk_flow(move.from, move.to, move.size_mb));
+      // One "transfer" span per bulk flow, closed at finalize/abort.
+      std::uint64_t span = obs::kNoSpan;
+      if (trace_.enabled()) {
+        trace_.begin_span_event("transfer", &span)
+            .num("op", static_cast<double>(event.op))
+            .num("from", static_cast<double>(move.from.value()))
+            .num("to", static_cast<double>(move.to.value()))
+            .num("size_mb", move.size_mb)
+            .num("attempt", static_cast<double>(retry_.attempts));
+      }
+      transition.transfer_spans.push_back(span);
     }
   }
   transition.actions = std::move(actions);
@@ -424,6 +486,9 @@ void WaspSystem::begin_transition(std::vector<adapt::AdaptationAction> actions,
 void WaspSystem::finalize_transition() {
   assert(transition_.has_value());
 
+  for (std::uint64_t span : transition_->transfer_spans) {
+    trace_.end_span(span).str("status", "done");
+  }
   for (FlowId f : transition_->bulk_flows) {
     if (network_.has_flow(f)) network_.remove_flow(f);
   }
@@ -452,6 +517,21 @@ void WaspSystem::finalize_transition() {
           .num("decided_at", event.decided_at)
           .num("transition_sec", event.transition_sec());
     }
+  }
+  // A new transition finishing supersedes any still-settling previous one
+  // (stabilizing_event_ is overwritten below): close its spans first.
+  if (stabilize_span_ != obs::kNoSpan) {
+    trace_.end_span(stabilize_span_).str("status", "superseded");
+    trace_.end_span(stabilizing_root_).str("status", "superseded");
+    stabilize_span_ = stabilizing_root_ = obs::kNoSpan;
+  }
+  // The episode root stays open while the deployment settles, with a
+  // "stabilize" child covering the settling window.
+  stabilizing_root_ = transition_->root_span;
+  if (trace_.enabled() && stabilizing_root_ != obs::kNoSpan) {
+    trace_.begin_span_event("stabilize", &stabilize_span_,
+                            /*parent=*/stabilizing_root_)
+        .num("pre_transition_delay_sec", pre_transition_delay_);
   }
   stabilizing_event_ = transition_->event_indices.front();
   stabilizing_recovery_ = transition_->recovery;
@@ -508,6 +588,9 @@ void WaspSystem::abort_transition(const std::string& why) {
   // Cancel the orphaned transfers and resume the suspended execution.
   // Rollback is trivial by construction: placements and re-plans only apply
   // at finalization, so the pre-transition deployment is still live.
+  for (std::uint64_t span : transition_->transfer_spans) {
+    trace_.end_span(span).str("status", "aborted").str("reason", why);
+  }
   for (FlowId f : transition_->bulk_flows) {
     if (network_.has_flow(f)) network_.remove_flow(f);
   }
@@ -535,6 +618,10 @@ void WaspSystem::abort_transition(const std::string& why) {
   metrics_.counter("runtime.transition_aborts").inc();
   record_recovery("transition_abort", /*site=*/-1, first_op,
                   transition_->attempt, 0.0, why);
+  trace_.end_span(transition_->root_span)
+      .str("status", "aborted")
+      .str("reason", why)
+      .num("attempt", static_cast<double>(transition_->attempt));
   transition_.reset();
   metric_monitor_.reset_window();
   last_decision_ = now_;
@@ -614,15 +701,26 @@ void WaspSystem::maybe_recover() {
 
   // Failure recovery bypasses the monitoring interval: stranded tasks are
   // re-placed as soon as the failure is confirmed.
+  std::uint64_t root = obs::kNoSpan;
+  if (trace_.enabled()) {
+    trace_.begin_span_event("recovery", &root, /*parent=*/obs::kNoSpan)
+        .num("dead_sites", static_cast<double>(dead.size()))
+        .num("attempt", static_cast<double>(retry_.attempts));
+  }
   const MonitorView view(*this);
   policy_->set_now(now_);
-  std::vector<adapt::AdaptationAction> actions =
-      policy_->plan_recovery(*engine_, metric_monitor_, view, dead);
+  std::vector<adapt::AdaptationAction> actions;
+  {
+    obs::TraceEmitter::ParentScope in_episode(&trace_, root);
+    actions = policy_->plan_recovery(*engine_, metric_monitor_, view, dead);
+  }
   if (actions.empty()) {
+    trace_.end_span(root).str("status", "infeasible");
     schedule_retry("recovery placement infeasible with sites " +
                    std::to_string(dead.front().value()) + "+ down");
     return;
   }
+  adaptation_span_ = root;  // begin_transition adopts it below
   retry_.pending = false;
   for (SiteId s : dead) {
     record_recovery("replan", s.value(), -1, retry_.attempts, 0.0,
@@ -687,6 +785,14 @@ void WaspSystem::watch_stabilization() {
                       event.reason);
       stabilizing_recovery_ = false;
     }
+    trace_.end_span(stabilize_span_)
+        .str("status", "stabilized")
+        .num("stabilize_sec", event.stabilize_sec());
+    trace_.end_span(stabilizing_root_)
+        .str("status", "stabilized")
+        .str("kind", event.kind)
+        .num("op", static_cast<double>(event.op));
+    stabilize_span_ = stabilizing_root_ = obs::kNoSpan;
     stabilizing_event_.reset();
   }
 }
@@ -737,6 +843,15 @@ void WaspSystem::force_reassign(OperatorId op,
   state::MigrationPlanner planner(config_.migration, rng_.fork());
   planner.set_trace(&trace_);
 
+  // Forced reassignments get an episode root too, so their migration-planning
+  // and transfer spans nest like a policy-decided adaptation's.
+  std::uint64_t root = obs::kNoSpan;
+  if (trace_.enabled()) {
+    trace_.begin_span_event("adaptation", &root, /*parent=*/obs::kNoSpan)
+        .str("mode", "forced");
+  }
+  obs::TraceEmitter::ParentScope in_episode(&trace_, root);
+
   // Build the source/destination state inventory exactly as the policy does.
   adapt::AdaptationAction action;
   action.kind = adapt::ActionKind::kReassign;
@@ -765,6 +880,7 @@ void WaspSystem::force_reassign(OperatorId op,
   action.reason = "forced re-assignment (experiment)";
   std::vector<adapt::AdaptationAction> actions;
   actions.push_back(std::move(action));
+  adaptation_span_ = root;
   begin_transition(std::move(actions));
 }
 

@@ -38,6 +38,7 @@
 #include "physical/scheduler.h"
 #include "query/planner.h"
 #include "runtime/recorder.h"
+#include "runtime/slo_watchdog.h"
 #include "state/migration.h"
 #include "workload/patterns.h"
 #include "workload/queries.h"
@@ -104,6 +105,10 @@ struct SystemConfig {
   // emits its own "adaptation"/"transition_end"/"stabilized" events. Null
   // (the default) disables tracing entirely. See DESIGN.md §6.
   std::shared_ptr<obs::TraceSink> trace_sink;
+  // Declarative SLO watchdog (wasp_sim --slo): evaluated over the recorder's
+  // series each tick; violation episodes become "slo_violation" spans and
+  // slo.* metrics. Unset (or a spec with no bound) disables the watchdog.
+  std::optional<SloSpec> slo;
 };
 
 class WaspSystem {
@@ -143,6 +148,10 @@ class WaspSystem {
   [[nodiscard]] const faults::FailureDetector& detector() const {
     return detector_;
   }
+  // Null when no SLO spec was configured.
+  [[nodiscard]] const SloWatchdog* slo_watchdog() const {
+    return slo_watchdog_.has_value() ? &*slo_watchdog_ : nullptr;
+  }
 
   // Failure injection: fails the site in the engine AND marks it down in
   // the Network, so flows touching it stall instead of silently draining.
@@ -177,6 +186,11 @@ class WaspSystem {
     std::vector<std::size_t> event_indices;  // one recorder event per action
     bool recovery = false;  // a failure-recovery re-plan (records the chain)
     int attempt = 0;        // retry number (0 = first try)
+    // Root span of this adaptation/recovery episode and the per-bulk-flow
+    // "transfer" child spans (parallel to bulk_flows). Closed at finalize
+    // ("done"), abort ("aborted"), or shutdown ("unfinished").
+    std::uint64_t root_span = obs::kNoSpan;
+    std::vector<std::uint64_t> transfer_spans;
   };
 
   // Capped-exponential-backoff retry state shared by transition aborts and
@@ -229,6 +243,7 @@ class WaspSystem {
   std::unique_ptr<adapt::AdaptationPolicy> policy_;
   std::unique_ptr<engine::Engine> engine_;
   Recorder recorder_;
+  std::optional<SloWatchdog> slo_watchdog_;
 
   // Original source ids by name: workload patterns are keyed by the ids of
   // the query spec as built; re-planning renumbers operators.
@@ -244,6 +259,17 @@ class WaspSystem {
   std::optional<std::size_t> stabilizing_event_;
   double pre_transition_delay_ = 0.0;  // baseline for stabilization
   bool stabilizing_recovery_ = false;  // stabilizing event is a recovery
+
+  // Causal-span bookkeeping (schema v2, DESIGN.md §6). `adaptation_span_` is
+  // a decision-episode root opened by maybe_adapt/maybe_recover and handed to
+  // begin_transition (it outlives the decision scope when an action waits for
+  // a window boundary). After finalize the episode root moves to
+  // `stabilizing_root_` with a "stabilize" child span until the deployment
+  // settles. All of these are closed by the destructor if the run ends
+  // mid-episode, so traces stay begin/end balanced.
+  std::uint64_t adaptation_span_ = obs::kNoSpan;
+  std::uint64_t stabilizing_root_ = obs::kNoSpan;
+  std::uint64_t stabilize_span_ = obs::kNoSpan;
 
   double control_stalled_until_ = -1.0;
   RetryState retry_;

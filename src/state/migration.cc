@@ -68,9 +68,17 @@ MigrationPlan MigrationPlanner::plan(
   assert(total_dst > 0.0);
   for (auto& d : dsts) d.share_mb *= total_src / total_dst;
 
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  obs::TraceEmitter::SpanScope span(tracing ? trace_ : nullptr, "migration_lp");
+  if (tracing) {
+    span.str("strategy", to_string(strategy_))
+        .num("sources", static_cast<double>(srcs.size()))
+        .num("destinations", static_cast<double>(dsts.size()));
+  }
+  std::size_t lp_iterations = 0;
   switch (strategy_) {
     case MigrationStrategy::kNetworkAware:
-      out = plan_network_aware(srcs, dsts, view);
+      out = plan_network_aware(srcs, dsts, view, &lp_iterations);
       break;
     case MigrationStrategy::kRandom:
       out = plan_greedy(srcs, dsts, view, /*prefer_slow_links=*/false);
@@ -82,9 +90,14 @@ MigrationPlan MigrationPlanner::plan(
       break;
   }
 
-  if (trace_ != nullptr && trace_->enabled()) {
+  if (tracing) {
     double total_mb = 0.0;
     for (const Move& m : out.moves) total_mb += m.size_mb;
+    span.num("lp_iterations", static_cast<double>(lp_iterations))
+        .num("num_moves", static_cast<double>(out.moves.size()))
+        .num("total_mb", total_mb)
+        .num("estimated_transition_sec", out.estimated_transition_sec);
+    // Flat summary event kept for older consumers; nests inside the span.
     trace_->event("migration_plan")
         .str("strategy", to_string(strategy_))
         .num("num_moves", static_cast<double>(out.moves.size()))
@@ -97,7 +110,7 @@ MigrationPlan MigrationPlanner::plan(
 MigrationPlan MigrationPlanner::plan_network_aware(
     const std::vector<StateSource>& sources,
     const std::vector<StateDestination>& destinations,
-    const physical::NetworkView& view) const {
+    const physical::NetworkView& view, std::size_t* lp_iterations) const {
   const std::size_t ns = sources.size();
   const std::size_t nd = destinations.size();
 
@@ -155,6 +168,7 @@ MigrationPlan MigrationPlanner::plan_network_aware(
   }
 
   const lp::Solution sol = lp::solve(problem);
+  if (lp_iterations != nullptr) *lp_iterations = sol.iterations;
   MigrationPlan out;
   if (!sol.optimal()) {
     // No feasible routing (e.g. all links dead): fall back to a greedy plan

@@ -21,6 +21,7 @@
 // (drop the state -- the lossy NoMigrate baseline).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/ids.h"
@@ -84,10 +85,14 @@ class MigrationPlanner {
       const std::vector<Move>& moves, const physical::NetworkView& view);
 
  private:
+  // `lp_iterations` (optional) receives the simplex pivot count of the
+  // makespan LP, for trace cost attribution; untouched on the greedy
+  // fallback path.
   [[nodiscard]] MigrationPlan plan_network_aware(
       const std::vector<StateSource>& sources,
       const std::vector<StateDestination>& destinations,
-      const physical::NetworkView& view) const;
+      const physical::NetworkView& view,
+      std::size_t* lp_iterations = nullptr) const;
 
   [[nodiscard]] MigrationPlan plan_greedy(
       const std::vector<StateSource>& sources,

@@ -9,12 +9,15 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "net/bandwidth_model.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "obs/trace_analysis.h"
 #include "runtime/wasp_system.h"
 #include "workload/patterns.h"
 #include "workload/queries.h"
@@ -127,6 +130,23 @@ TEST(TraceEmitterTest, MemorySinkDropsOldestWhenFull) {
   EXPECT_TRUE(sink->of_type("absent").empty());
 }
 
+TEST(TraceEmitterTest, OfTypeResultsSurviveEviction) {
+  // Regression: of_type used to return pointers into the evicting deque;
+  // filling the ring after the call left them dangling. Copies must stay
+  // valid no matter how much is written afterwards.
+  auto sink = std::make_shared<MemorySink>(/*capacity=*/4);
+  TraceEmitter emitter(sink);
+  emitter.event("keep").num("i", 1.0);
+  const auto kept = sink->of_type("keep");
+  ASSERT_EQ(kept.size(), 1u);
+  for (int i = 0; i < 64; ++i) {
+    emitter.event("churn").num("i", static_cast<double>(i));
+  }
+  EXPECT_TRUE(sink->of_type("keep").empty());  // evicted from the ring...
+  EXPECT_EQ(kept[0].type, "keep");             // ...but the copy is intact
+  EXPECT_DOUBLE_EQ(kept[0].num("i"), 1.0);
+}
+
 TEST(TraceJsonTest, LineHasSchemaOrderingAndEscaping) {
   TraceEvent event;
   event.seq = 7;
@@ -136,7 +156,7 @@ TEST(TraceJsonTest, LineHasSchemaOrderingAndEscaping) {
   event.nums.emplace_back("op", 3.0);
 
   const std::string line = to_json_line(event);
-  EXPECT_EQ(line.rfind("{\"schema\":1,\"seq\":7,\"t\":1.5,"
+  EXPECT_EQ(line.rfind("{\"schema\":2,\"seq\":7,\"t\":1.5,"
                        "\"type\":\"policy_action\"",
                        0),
             0u)
@@ -147,6 +167,32 @@ TEST(TraceJsonTest, LineHasSchemaOrderingAndEscaping) {
   EXPECT_NE(line.find("\"op\":3"), std::string::npos) << line;
   EXPECT_EQ(line.back(), '}');
   EXPECT_EQ(line.find('\n'), std::string::npos);  // JSONL: one line per event
+}
+
+TEST(TraceJsonTest, Rfc8259EscapingCoversControlCharsAndBadUtf8) {
+  TraceEvent event;
+  event.type = "x";
+  event.strs.emplace_back("ctl", std::string("a\x01" "b\x1f" "\t"));
+  event.strs.emplace_back("utf8", "caf\xC3\xA9 \xE2\x82\xAC");  // café €
+  event.strs.emplace_back("bad", "a\xFFz\xC3");      // stray byte + truncated
+  event.strs.emplace_back("overlong", "\xC0\xAF");   // overlong '/'
+  event.strs.emplace_back("surrogate", "\xED\xA0\x80");  // UTF-16 surrogate
+
+  const std::string line = to_json_line(event);
+  EXPECT_NE(line.find("\"ctl\":\"a\\u0001b\\u001f\\t\""), std::string::npos)
+      << line;
+  // Valid multi-byte sequences pass through verbatim.
+  EXPECT_NE(line.find("caf\xC3\xA9 \xE2\x82\xAC"), std::string::npos) << line;
+  // Every invalid byte becomes U+FFFD, so the line stays parseable UTF-8.
+  EXPECT_NE(line.find("\"bad\":\"a\xEF\xBF\xBDz\xEF\xBF\xBD\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"overlong\":\"\xEF\xBF\xBD\xEF\xBF\xBD\""),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"surrogate\":\"\xEF\xBF\xBD\xEF\xBF\xBD\xEF\xBF\xBD\""),
+            std::string::npos)
+      << line;
 }
 
 TEST(TraceJsonTest, NonFiniteNumbersSerializeAsNull) {
@@ -208,12 +254,12 @@ TEST(TraceIntegrationTest, AdaptationEventsMatchRecorderOneToOne) {
   const auto traced = sink->of_type("adaptation");
   ASSERT_EQ(traced.size(), recorded.size());
   for (std::size_t i = 0; i < recorded.size(); ++i) {
-    EXPECT_EQ(traced[i]->str("kind"), recorded[i].kind) << "event " << i;
-    EXPECT_DOUBLE_EQ(traced[i]->num("op"),
+    EXPECT_EQ(traced[i].str("kind"), recorded[i].kind) << "event " << i;
+    EXPECT_DOUBLE_EQ(traced[i].num("op"),
                      static_cast<double>(recorded[i].op))
         << "event " << i;
-    EXPECT_DOUBLE_EQ(traced[i]->t, recorded[i].decided_at) << "event " << i;
-    EXPECT_EQ(traced[i]->str("reason"), recorded[i].reason) << "event " << i;
+    EXPECT_DOUBLE_EQ(traced[i].t, recorded[i].decided_at) << "event " << i;
+    EXPECT_EQ(traced[i].str("reason"), recorded[i].reason) << "event " << i;
   }
 
   // The stream as a whole: seq strictly increasing, timestamps monotone
@@ -241,10 +287,192 @@ TEST(TraceIntegrationTest, AdaptationEventsMatchRecorderOneToOne) {
   // Per-tick engine events are present and well-formed.
   EXPECT_FALSE(sink->of_type("tick").empty());
   EXPECT_FALSE(sink->of_type("op_tick").empty());
-  for (const TraceEvent* e : sink->of_type("op_tick")) {
-    EXPECT_GE(e->num("op"), 0.0);
-    EXPECT_FALSE(e->str("name").empty());
+  for (const TraceEvent& e : sink->of_type("op_tick")) {
+    EXPECT_GE(e.num("op"), 0.0);
+    EXPECT_FALSE(e.str("name").empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Span reconstruction over live runs: every adaptation/recovery episode must
+// produce a balanced, correctly-nested span forest once the system shuts
+// down (the destructor closes anything still open).
+
+TEST(SpanIntegrationTest, AdaptationRunYieldsBalancedNestedForest) {
+  auto sink = std::make_shared<MemorySink>(1 << 20);
+  {
+    Testbed bed;
+    auto spec = workload::make_topk_topics(bed.east, bed.west, bed.sink);
+    workload::SteppedWorkload pattern;
+    for (OperatorId src : spec.sources) {
+      for (SiteId s : spec.plan.op(src).pinned_sites) {
+        pattern.set_base_rate(src, s, 10'000.0);
+      }
+    }
+    pattern.add_step(100.0, 2.0);  // overload: force the policy to act
+
+    runtime::SystemConfig config;
+    config.mode = runtime::AdaptationMode::kWasp;
+    config.trace_sink = sink;
+    runtime::WaspSystem system(bed.network, std::move(spec), pattern,
+                               config);
+    system.run_until(600.0);
+    ASSERT_FALSE(system.recorder().events().empty());
+    EXPECT_EQ(system.trace().open_spans(), 0u)
+        << "no episode should remain open in steady state";
+  }
+  ASSERT_EQ(sink->dropped(), 0u);
+
+  std::vector<TraceEvent> events(sink->events().begin(),
+                                 sink->events().end());
+  const SpanIndex index = SpanIndex::build(events);
+  EXPECT_TRUE(index.balanced())
+      << (index.errors.empty() ? "" : index.errors[0]);
+  EXPECT_TRUE(index.errors.empty());
+  ASSERT_FALSE(index.roots.empty());
+
+  // Each adaptation root nests the control loop: a diagnose child and (for
+  // acted-on decisions) plan/migration work, all within the root's episode.
+  bool saw_adaptation = false, saw_diagnose = false, saw_transfer = false,
+       saw_stabilize = false;
+  for (const SpanNode& node : index.nodes) {
+    if (node.name == "adaptation") {
+      saw_adaptation = true;
+      EXPECT_EQ(node.parent, kNoSpan) << "episodes are root spans";
+    }
+    if (node.name == "diagnose" || node.name == "plan") {
+      saw_diagnose = true;
+      ASSERT_NE(node.parent, kNoSpan);
+      const SpanNode* parent = index.find(node.parent);
+      ASSERT_NE(parent, nullptr);
+      EXPECT_TRUE(parent->name == "adaptation" || parent->name == "recovery")
+          << parent->name;
+    }
+    if (node.name == "transfer") {
+      saw_transfer = true;
+      EXPECT_NE(node.parent, kNoSpan);
+    }
+    if (node.name == "stabilize") {
+      saw_stabilize = true;
+      EXPECT_NE(node.parent, kNoSpan);
+    }
+  }
+  EXPECT_TRUE(saw_adaptation);
+  EXPECT_TRUE(saw_diagnose);
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_TRUE(saw_stabilize);
+
+  // The serialized JSONL stream passes the same validation the CLI runs.
+  std::stringstream jsonl;
+  for (const TraceEvent& e : events) jsonl << to_json_line(e) << '\n';
+  const ValidationReport report = validate_trace(load_trace(jsonl));
+  EXPECT_TRUE(report.ok())
+      << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.unclosed, 0u);
+  EXPECT_EQ(report.orphan_ends, 0u);
+}
+
+TEST(SpanIntegrationTest, MidMigrationAbortAndRetryStayBalanced) {
+  auto sink = std::make_shared<MemorySink>(1 << 20);
+  std::size_t recorded_events = 0;
+  {
+    Testbed bed;
+    auto spec = workload::make_topk_topics(bed.east, bed.west, bed.sink);
+    OperatorId window_op;
+    for (const auto& op : spec.plan.operators()) {
+      if (op.kind == query::OperatorKind::kWindowAggregate) {
+        window_op = op.id;
+      }
+    }
+    ASSERT_TRUE(window_op.valid());
+    workload::SteppedWorkload pattern;
+    for (OperatorId src : spec.sources) {
+      for (SiteId s : spec.plan.op(src).pinned_sites) {
+        pattern.set_base_rate(src, s, 10'000.0);
+      }
+    }
+
+    runtime::SystemConfig config;
+    config.mode = runtime::AdaptationMode::kNoAdapt;  // only the forced move
+    config.trace_sink = sink;
+    runtime::WaspSystem system(bed.network, std::move(spec), pattern,
+                               config);
+    system.mutable_engine().set_state_override_mb(window_op, 200.0);
+    system.run_until(100.0);
+
+    // Force the window stage onto a fresh DC, then kill that DC while the
+    // 200 MB bulk transfer is still in flight (the faults_test abort
+    // scenario) so the transfer spans end via the abort path.
+    const auto before = system.engine().placement(window_op);
+    physical::StagePlacement target;
+    target.per_site.assign(bed.topology.num_sites(), 0);
+    SiteId dest;
+    for (const auto& site : bed.topology.sites()) {
+      if (site.type == net::SiteType::kDataCenter &&
+          before.at(site.id) == 0 && site.id != bed.sink) {
+        dest = site.id;
+        target.per_site[static_cast<std::size_t>(site.id.value())] =
+            before.parallelism();
+        break;
+      }
+    }
+    ASSERT_TRUE(dest.valid());
+    system.force_reassign(window_op, target);
+    system.run_until(103.0);
+    ASSERT_TRUE(system.transition_in_progress());
+    system.fail_sites({dest});
+    system.run_until(140.0);  // abort lands, backoff retry fires
+    recorded_events = system.recorder().events().size();
+    EXPECT_GE(recorded_events, 1u);
+  }
+
+  std::vector<TraceEvent> events(sink->events().begin(),
+                                 sink->events().end());
+  const SpanIndex index = SpanIndex::build(events);
+  EXPECT_TRUE(index.balanced())
+      << (index.errors.empty() ? "" : index.errors[0]);
+
+  // The aborted episode: an "adaptation" root whose end event carries the
+  // abort status, with at least one "transfer" child that was aborted too.
+  bool saw_aborted_root = false, saw_aborted_transfer = false;
+  for (const SpanNode& node : index.nodes) {
+    if (!node.closed) continue;
+    const TraceEvent& end = events[node.end_event];
+    if (node.name == "adaptation" && end.str("status") == "aborted") {
+      saw_aborted_root = true;
+      EXPECT_FALSE(end.str("reason").empty());
+    }
+    if (node.name == "transfer" && end.str("status") == "aborted") {
+      saw_aborted_transfer = true;
+      const SpanNode* parent = index.find(node.parent);
+      ASSERT_NE(parent, nullptr);
+      EXPECT_EQ(parent->name, "adaptation");
+    }
+  }
+  EXPECT_TRUE(saw_aborted_root);
+  EXPECT_TRUE(saw_aborted_transfer);
+
+  // The abort's backoff retry shows up in the flat recovery stream, nested
+  // chronologically between the span markers.
+  bool saw_retry_event = false;
+  for (const TraceEvent& e : events) {
+    if (e.type == "recovery" && e.str("kind") == "retry") {
+      saw_retry_event = true;
+      EXPECT_GT(e.num("backoff_sec"), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_retry_event);
+
+  // The detector's suspicion episode for the killed site is also balanced
+  // (closed at shutdown if the site never recovered).
+  bool saw_suspicion = false;
+  for (const SpanNode& node : index.nodes) {
+    if (node.name == "suspicion") {
+      saw_suspicion = true;
+      EXPECT_TRUE(node.closed);
+    }
+  }
+  EXPECT_TRUE(saw_suspicion);
 }
 
 TEST(TraceIntegrationTest, UntracedRunEmitsNothing) {
