@@ -8,9 +8,11 @@
 // DESIGN.md calls out.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_options.h"
+#include "exec/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace wasp;
@@ -24,7 +26,16 @@ int main(int argc, char** argv) {
   TextTable table({"alpha", "avg delay 300-900 (s)", "p95 delay (s)",
                    "steady delay 700-900 (s)", "adaptations",
                    "peak parallelism (x)"});
-  for (double alpha : {0.5, 0.65, 0.8, 0.9, 0.99}) {
+  // The 5 alpha runs are independent; --jobs=N fans them out shared-nothing
+  // with per-index result slots, so the table is identical for any N.
+  const std::vector<double> kAlphas = {0.5, 0.65, 0.8, 0.9, 0.99};
+  struct Cell {
+    std::vector<std::string> row;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::vector<Cell> cells(kAlphas.size());
+  exec::parallel_for(opts.jobs, cells.size(), [&](std::size_t i) {
+    const double alpha = kAlphas[i];
     Testbed bed(std::make_shared<net::SteppedBandwidth>(
         std::vector<std::pair<double, double>>{{450.0, 0.6}}));
     auto spec = make_query(bed, Query::kTopk);
@@ -33,21 +44,26 @@ int main(int argc, char** argv) {
     runtime::SystemConfig config;
     config.mode = runtime::AdaptationMode::kWasp;
     config.scheduler.alpha = alpha;
-    config.trace_sink = opts.sink;
+    config.trace_sink = opts.sink_for("alpha=" + TextTable::fmt(alpha, 2));
     runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
     system.run_until(900.0);
-    opts.write_metrics("alpha=" + TextTable::fmt(alpha, 2), system.metrics());
+    cells[i].metrics = system.metrics().snapshot();
     const auto& rec = system.recorder();
     double peak_par = 0.0;
     for (const auto& [t, v] : rec.parallelism().points()) {
       peak_par = std::max(peak_par, v);
     }
-    table.add_row({TextTable::fmt(alpha, 2),
-                   TextTable::fmt(rec.delay().mean_over(300.0, 900.0), 2),
-                   TextTable::fmt(rec.delay_histogram().percentile(95), 2),
-                   TextTable::fmt(rec.delay().mean_over(700.0, 900.0), 2),
-                   std::to_string(rec.events().size()),
-                   TextTable::fmt(peak_par, 2)});
+    cells[i].row = {TextTable::fmt(alpha, 2),
+                    TextTable::fmt(rec.delay().mean_over(300.0, 900.0), 2),
+                    TextTable::fmt(rec.delay_histogram().percentile(95), 2),
+                    TextTable::fmt(rec.delay().mean_over(700.0, 900.0), 2),
+                    std::to_string(rec.events().size()),
+                    TextTable::fmt(peak_par, 2)};
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.add_row(cells[i].row);
+    opts.write_metrics("alpha=" + TextTable::fmt(kAlphas[i], 2),
+                       cells[i].metrics);
   }
   table.print(std::cout);
   opts.flush();

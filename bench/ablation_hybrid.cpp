@@ -9,9 +9,11 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_options.h"
+#include "exec/thread_pool.h"
 
 namespace {
 
@@ -21,6 +23,7 @@ struct Outcome {
   double p99_delay = 0.0;
   double processed_pct = 0.0;
   std::size_t adaptations = 0;
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 Outcome run(wasp::runtime::AdaptationMode mode,
@@ -37,7 +40,7 @@ Outcome run(wasp::runtime::AdaptationMode mode,
   config.mode = mode;
   config.slo_sec = 10.0;
   if (mode != runtime::AdaptationMode::kNoAdapt) {
-    config.trace_sink = opts.sink;
+    config.trace_sink = opts.sink_for(to_string(mode));
   }
   runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
   // A failure on top of the surge: 60 s of accumulated events that no
@@ -49,10 +52,9 @@ Outcome run(wasp::runtime::AdaptationMode mode,
   system.restore_all_sites();
   system.run_until(1100.0);
 
-  opts.write_metrics(to_string(mode), system.metrics());
-
   const auto& rec = system.recorder();
   Outcome out;
+  out.metrics = system.metrics().snapshot();
   // Exclude the dead failure window (delay is the capped estimate
   // while nothing runs); measure recovery behaviour after the restore.
   out.avg_delay = rec.delay().mean_over(460.0, 1100.0);
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
   using namespace wasp::bench;
 
   // --trace-out=FILE traces the adaptive runs; NoAdapt runs untraced.
+  // --jobs=N fans the four independent mode runs across N workers with
+  // per-index result slots; output is identical to the serial run.
   const BenchOptions opts = BenchOptions::parse(argc, argv);
 
   print_section(std::cout,
@@ -79,11 +83,16 @@ int main(int argc, char** argv) {
                 "surge during t=[200, 800), full failure t=[400, 460))");
   TextTable table({"mode", "avg delay post-restore (s)", "peak delay (s)", "p99 delay (s)",
                    "processed (%)", "adaptations"});
-  for (auto mode :
-       {runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
-        runtime::AdaptationMode::kWasp, runtime::AdaptationMode::kHybrid}) {
-    const Outcome o = run(mode, opts);
-    table.add_row({to_string(mode), TextTable::fmt(o.avg_delay, 2),
+  const runtime::AdaptationMode kModes[] = {
+      runtime::AdaptationMode::kNoAdapt, runtime::AdaptationMode::kDegrade,
+      runtime::AdaptationMode::kWasp, runtime::AdaptationMode::kHybrid};
+  std::vector<Outcome> outcomes(4);
+  exec::parallel_for(opts.jobs, outcomes.size(),
+                     [&](std::size_t i) { outcomes[i] = run(kModes[i], opts); });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    opts.write_metrics(to_string(kModes[i]), o.metrics);
+    table.add_row({to_string(kModes[i]), TextTable::fmt(o.avg_delay, 2),
                    TextTable::fmt(o.peak_delay, 1),
                    TextTable::fmt(o.p99_delay, 2),
                    TextTable::fmt(o.processed_pct, 1),

@@ -1,24 +1,41 @@
 // Shared command-line options for the bench drivers.
 //
-// Every driver is a zero-argument reproduction of one paper figure; the only
+// Every driver is a zero-argument reproduction of one paper figure; the
 // runtime knobs they share are where (whether) to write the structured
-// observability trace and the final metrics snapshot:
+// observability trace and the final metrics snapshot, plus how many worker
+// threads to fan the driver's independent simulation runs across:
 //
-//   fig11_live_environment --trace-out=fig11.jsonl --metrics=fig11.metrics.jsonl
+//   fig11_live_environment --jobs=4 --trace-out=fig11.jsonl --metrics=fig11.metrics.jsonl
 //
-// Drivers pass `opts.sink` into runtime::SystemConfig::trace_sink (null when
-// the flag is absent, which disables tracing entirely), call
-// `opts.write_metrics(label, system.metrics())` after each run they want
-// snapshotted (one JSON object per line, keyed by the run label), and call
+// Parallel drivers follow the sweep determinism contract (DESIGN.md §9):
+// each run is shared-nothing (its own Testbed/WaspSystem), runs write only
+// to per-index result slots, and all printing / metrics writing happens
+// after the fan-in, walking the runs in their declaration order -- so the
+// stdout tables and the --metrics file are byte-identical for any --jobs.
+//
+// Tracing composes with --jobs via sink_for(label): at --jobs=1 every traced
+// run shares the single --trace-out sink (the historical layout); at
+// --jobs>1 each label gets a private file ("fig09.jsonl" ->
+// "fig09.<label>.jsonl") so concurrent runs never interleave, mixing
+// neither lines nor seq streams.
+//
+// Drivers pass the sink into runtime::SystemConfig::trace_sink (null when
+// the flag is absent, which disables tracing entirely), collect
+// `system.metrics().snapshot()` into their per-run slot, call
+// `opts.write_metrics(label, snapshot)` per run after the fan-in, and call
 // `opts.flush()` before exiting.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -29,6 +46,7 @@ struct BenchOptions {
   std::shared_ptr<obs::FileSink> sink;  // null unless --trace-out was given
   std::string trace_out;
   std::string metrics_out;  // empty unless --metrics was given
+  int jobs = 1;             // worker threads for the driver's independent runs
 
   // Parses argv; exits with usage on an unknown flag or an unopenable file.
   static BenchOptions parse(int argc, char** argv) {
@@ -37,11 +55,19 @@ struct BenchOptions {
       const std::string arg = argv[i];
       const std::string trace_prefix = "--trace-out=";
       const std::string metrics_prefix = "--metrics=";
+      const std::string jobs_prefix = "--jobs=";
       if (arg == "--help" || arg == "-h") {
         std::cout << argv[0]
-                  << " [--trace-out=FILE] [--metrics=FILE]\n"
+                  << " [--jobs=N] [--trace-out=FILE] [--metrics=FILE]\n"
+                     "  --jobs=N          fan independent runs across N "
+                     "worker threads\n"
+                     "                    (results identical for any N)\n"
                      "  --trace-out=FILE  write the observability trace "
-                     "(JSONL) to FILE\n"
+                     "(JSONL) to FILE;\n"
+                     "                    with --jobs>1 each traced run gets "
+                     "FILE with its\n"
+                     "                    label inserted before the "
+                     "extension\n"
                      "  --metrics=FILE    write per-run metrics snapshots "
                      "(JSONL) to FILE\n";
         std::exit(0);
@@ -49,13 +75,20 @@ struct BenchOptions {
         opts.trace_out = arg.substr(trace_prefix.size());
       } else if (arg.rfind(metrics_prefix, 0) == 0) {
         opts.metrics_out = arg.substr(metrics_prefix.size());
+      } else if (arg.rfind(jobs_prefix, 0) == 0) {
+        opts.jobs = std::max(1, std::atoi(arg.substr(jobs_prefix.size()).c_str()));
       } else {
         std::cerr << "unknown argument: " << arg
-                  << " (supported: --trace-out=FILE --metrics=FILE)\n";
+                  << " (supported: --jobs=N --trace-out=FILE "
+                     "--metrics=FILE)\n";
         std::exit(2);
       }
     }
-    if (!opts.trace_out.empty()) {
+    // The shared sink exists only in the single-file --jobs=1 layout; at
+    // --jobs>1 every traced run opens its own per-label file in sink_for()
+    // (which also reports unopenable paths), so opening FILE here would
+    // just leave an empty stray file.
+    if (!opts.trace_out.empty() && opts.jobs <= 1) {
       opts.sink = std::make_shared<obs::FileSink>(opts.trace_out);
       if (!opts.sink->ok()) {
         std::cerr << "cannot open trace output '" << opts.trace_out << "'\n";
@@ -74,17 +107,50 @@ struct BenchOptions {
     return opts;
   }
 
+  // The trace sink a run labelled `label` should use: null when tracing is
+  // off; the shared --trace-out sink at --jobs=1 (historical single-file
+  // layout); a private per-label file at --jobs>1 so concurrently running
+  // emitters never share a sink. Call once per run, before the run starts.
+  [[nodiscard]] std::shared_ptr<obs::FileSink> sink_for(
+      std::string_view label) const {
+    if (trace_out.empty()) return nullptr;
+    if (jobs <= 1) return sink;
+    std::string tag;
+    for (char c : label) {
+      tag.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+    }
+    const auto dot = trace_out.rfind('.');
+    const std::string path =
+        dot == std::string::npos
+            ? trace_out + "." + tag
+            : trace_out.substr(0, dot) + "." + tag + trace_out.substr(dot);
+    auto private_sink = std::make_shared<obs::FileSink>(path);
+    if (!private_sink->ok()) {
+      std::cerr << "cannot open trace output '" << path << "'\n";
+      std::exit(1);
+    }
+    return private_sink;
+  }
+
   // Appends one flat JSON object {"run":"<label>", "<metric>":value, ...}
-  // to the --metrics file; a no-op when the flag is absent.
-  void write_metrics(std::string_view label,
-                     const obs::MetricsRegistry& registry) const {
+  // to the --metrics file; a no-op when the flag is absent. Parallel drivers
+  // collect snapshots during the fan-out and call this after the fan-in, in
+  // run-declaration order, so the file is identical for any --jobs.
+  void write_metrics(
+      std::string_view label,
+      const std::vector<std::pair<std::string, double>>& snapshot) const {
     if (metrics_out.empty()) return;
     std::ofstream out(metrics_out, std::ios::app);
     out << "{\"run\":\"" << label << '"';
-    for (const auto& [name, value] : registry.snapshot()) {
+    for (const auto& [name, value] : snapshot) {
       out << ",\"" << name << "\":" << value;
     }
     out << "}\n";
+  }
+
+  void write_metrics(std::string_view label,
+                     const obs::MetricsRegistry& registry) const {
+    write_metrics(label, registry.snapshot());
   }
 
   void flush() const {

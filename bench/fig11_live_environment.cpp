@@ -8,9 +8,11 @@
 // (b) average delay over time, (c) parallelism changes.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_options.h"
+#include "exec/thread_pool.h"
 
 namespace {
 
@@ -18,11 +20,11 @@ struct LiveRun {
   wasp::TimeSeries delay;
   wasp::TimeSeries parallelism;
   std::size_t adaptations = 0;
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 LiveRun run_mode(wasp::runtime::AdaptationMode mode,
                  wasp::TimeSeries* variation_out,
-                 const wasp::bench::BenchOptions* opts = nullptr,
                  std::shared_ptr<wasp::obs::TraceSink> trace_sink = nullptr) {
   using namespace wasp;
   using namespace wasp::bench;
@@ -74,11 +76,8 @@ LiveRun run_mode(wasp::runtime::AdaptationMode mode,
   system.restore_all_sites();
   system.run_until(1800.0);
 
-  if (opts != nullptr) {
-    opts->write_metrics(to_string(mode), system.metrics());
-  }
-
   LiveRun out;
+  out.metrics = system.metrics().snapshot();
   out.delay = bucketed(system.recorder().delay(), 60.0,
                        to_string(mode));
   out.parallelism = bucketed(system.recorder().parallelism(), 60.0,
@@ -94,16 +93,30 @@ int main(int argc, char** argv) {
   using namespace wasp::bench;
 
   // --trace-out=FILE captures the full WASP run (the interesting one) as a
-  // structured JSONL trace; the baselines run untraced.
+  // structured JSONL trace; the baselines run untraced. --jobs=N fans the
+  // three independent mode runs across N workers; each fills only its own
+  // slot and all output happens after the fan-in, so the result is
+  // identical to the serial run.
   const BenchOptions opts = BenchOptions::parse(argc, argv);
 
+  const runtime::AdaptationMode kModes[] = {runtime::AdaptationMode::kNoAdapt,
+                                            runtime::AdaptationMode::kDegrade,
+                                            runtime::AdaptationMode::kWasp};
   TimeSeries variations[2];
-  const LiveRun noadapt =
-      run_mode(runtime::AdaptationMode::kNoAdapt, variations, &opts);
-  const LiveRun degrade =
-      run_mode(runtime::AdaptationMode::kDegrade, nullptr, &opts);
-  const LiveRun wasp_run =
-      run_mode(runtime::AdaptationMode::kWasp, nullptr, &opts, opts.sink);
+  std::vector<LiveRun> runs(3);
+  exec::parallel_for(opts.jobs, runs.size(), [&](std::size_t i) {
+    const auto mode = kModes[i];
+    runs[i] = run_mode(
+        mode, mode == runtime::AdaptationMode::kNoAdapt ? variations : nullptr,
+        mode == runtime::AdaptationMode::kWasp ? opts.sink_for("wasp")
+                                               : nullptr);
+  });
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    opts.write_metrics(to_string(kModes[i]), runs[i].metrics);
+  }
+  const LiveRun& noadapt = runs[0];
+  const LiveRun& degrade = runs[1];
+  const LiveRun& wasp_run = runs[2];
   opts.flush();
 
   print_section(std::cout,

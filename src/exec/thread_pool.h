@@ -1,0 +1,105 @@
+// Deterministic parallel execution substrate for simulation sweeps.
+//
+// WASP simulations are embarrassingly parallel across configurations: every
+// run owns its whole world (Rng, Topology, Network, WaspSystem, Recorder,
+// MetricsRegistry, TraceEmitter) and touches nothing shared, so a grid of
+// runs can fan out across cores with no synchronization beyond the task
+// queue. What must NOT vary with the fan-out is the *result*: the sweep
+// contract (DESIGN.md §9) is that `--jobs N` produces byte-identical merged
+// output to `--jobs 1`. The executor is therefore deliberately boring:
+//
+//   - a fixed worker count decided at construction (no elastic growth);
+//   - one FIFO task queue (no work stealing, no per-worker deques) -- tasks
+//     are *started* in submission order even though they may *finish* in any
+//     order;
+//   - no executor-provided randomness or time: anything a task needs that
+//     could differ between schedules (seeds above all) is derived from the
+//     task's index via `fork_seed`, never from which worker ran it or when.
+//
+// Determinism then reduces to a caller-side rule: tasks write only to
+// per-index slots (results[i]) and the merge walks indices in order.
+//
+// Threading guarantees:
+//   - ThreadPool is externally synchronized: submit()/wait_idle() may be
+//     called from one controller thread (typically main). Tasks run on
+//     worker threads and must be shared-nothing with respect to each other.
+//   - parallel_for is a self-contained fork/join: it returns only after
+//     every index ran (or the first captured exception is rethrown), so the
+//     caller's vectors are safe to read immediately after it returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wasp::exec {
+
+// Splits `base_seed` into the seed for run `index`. Pure function of
+// (base_seed, index) -- scheduling order, worker identity, and the number of
+// workers cannot perturb it. Uses the splitmix64 finalizer (the same mixer
+// wasp::Rng seeds through), so adjacent indices land in decorrelated streams.
+[[nodiscard]] std::uint64_t fork_seed(std::uint64_t base_seed,
+                                      std::uint64_t index);
+
+// Fixed-size worker pool over one FIFO queue.
+//
+// Lifecycle: constructing starts the workers; the destructor drains every
+// already-submitted task, then joins. A task that throws does not kill the
+// pool: the first exception (in completion order) is captured and rethrown
+// from the next wait_idle() call; subsequent tasks still run.
+class ThreadPool {
+ public:
+  // `workers` is clamped to >= 1.
+  explicit ThreadPool(int workers);
+
+  // Drains the queue (runs every submitted task) and joins the workers.
+  // Exceptions still pending from tasks are swallowed here -- call
+  // wait_idle() first if you need them.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; tasks are started strictly in submission order.
+  void submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle. If any task
+  // threw since the last wait_idle(), rethrows the first captured exception
+  // (the pool remains usable afterwards).
+  void wait_idle();
+
+  [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
+
+  // max(1, std::thread::hardware_concurrency()) -- the default --jobs.
+  [[nodiscard]] static int hardware_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> threads_;
+};
+
+// Fork/join helper: runs fn(0) .. fn(n-1) across up to `jobs` workers and
+// returns when all are done. jobs <= 1 (or n <= 1) runs inline on the
+// calling thread -- the serial and parallel paths execute the same code, so
+// a shared-nothing fn gives identical per-index results either way. If one
+// or more calls throw, the exception of the *lowest index* is rethrown after
+// every index has run (lowest-index, not first-in-time, so the error too is
+// schedule-independent).
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace wasp::exec

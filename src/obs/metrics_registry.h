@@ -7,6 +7,13 @@
 // naming convention is dotted lower-case paths such as
 // `engine.ticks`, `runtime.delay_sec`, `policy.actions.scale_out`
 // (see DESIGN.md §6).
+//
+// Thread safety: none, by design -- the no-locking hot path is the point.
+// One registry belongs to one simulation run (WaspSystem owns it), and a run
+// executes on a single thread; the parallel sweep harness (src/exec) gives
+// every run its own registry and merges *after* the runs join, so the
+// registry is never read or written concurrently. Do not share a registry
+// across concurrently running systems.
 #pragma once
 
 #include <cstdint>

@@ -154,8 +154,18 @@ std::vector<TraceEvent> MemorySink::of_type(std::string_view type) const {
 }
 
 void FileSink::write(const TraceEvent& event) {
+  // Serialize outside the lock; emit the complete line in one locked write
+  // so concurrent writers can interleave lines but never bytes.
+  std::string line = to_json_line(event);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mu_);
   if (!out_.good()) return;
-  out_ << to_json_line(event) << '\n';
+  out_ << line;
+}
+
+void FileSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
 }
 
 TraceEmitter::Event::Event(TraceEmitter* emitter, double t,

@@ -26,6 +26,19 @@
 // Producers hold a non-owning TraceEmitter* and guard hot paths with
 // `enabled()`; fields are attached through a small RAII builder that commits
 // the event when it goes out of scope.
+//
+// Threading model (audited for the parallel sweep harness, DESIGN.md §9):
+//   - TraceEmitter is NOT thread-safe: seq numbering, the span-id counter,
+//     open-span accounting, and the ambient-parent stack are plain state. One
+//     emitter belongs to one simulation run, and a run executes on exactly
+//     one thread (the sweep worker that owns it); never share an emitter
+//     across threads.
+//   - MemorySink is NOT thread-safe; it is confined to the run that owns its
+//     emitter (tests, embedding).
+//   - FileSink IS safe to share across runs: write()/flush() are serialized
+//     and each JSON line is written atomically (see below). Deterministic
+//     sweeps still prefer a private FileSink per run, because interleaving
+//     order across concurrent runs is scheduling-dependent.
 #pragma once
 
 #include <chrono>
@@ -34,6 +47,7 @@
 #include <deque>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -76,6 +90,8 @@ class TraceSink {
 };
 
 // Bounded ring of structured events; the oldest are dropped once full.
+// Not thread-safe: confine to the (single-threaded) run that owns the
+// emitter writing to it.
 //
 // Iterator/reference stability: `events()` exposes the live deque, so any
 // reference or iterator into it is invalidated by the next write once the
@@ -104,15 +120,25 @@ class MemorySink final : public TraceSink {
 
 // JSONL file sink. Check ok() after construction; a sink that failed to open
 // swallows writes.
+//
+// Thread safety: write() and flush() serialize on an internal mutex, and a
+// line is fully serialized before the lock is taken, so each JSON line lands
+// atomically even when several emitters share one sink (e.g. the traced runs
+// of a parallel bench driver). Note that sharing a sink across concurrently
+// running emitters interleaves *lines* nondeterministically and mixes their
+// independent `seq` streams -- deterministic sweeps give every run a private
+// sink instead (exec::SweepOptions::trace_dir); the lock is a safety net,
+// not an ordering guarantee.
 class FileSink final : public TraceSink {
  public:
   explicit FileSink(const std::string& path) : out_(path) {}
 
   [[nodiscard]] bool ok() const { return out_.good(); }
   void write(const TraceEvent& event) override;
-  void flush() override { out_.flush(); }
+  void flush() override;
 
  private:
+  std::mutex mu_;
   std::ofstream out_;
 };
 

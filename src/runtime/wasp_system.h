@@ -16,6 +16,25 @@
 //
 // The adaptation mode selects the paper's baselines: NoAdapt, Degrade (shed
 // events past the SLO), full WASP, or the single-technique variants of §8.5.
+//
+// Lifecycle: construction deploys the query (planner -> scheduler -> engine)
+// over the caller's Network; step()/run_until() advance simulated time; the
+// destructor closes any episode still open (transition, stabilization, SLO
+// violation) so emitted traces stay span-balanced even when a run is
+// truncated mid-adaptation. The Network must outlive the system, and the
+// WorkloadPattern must outlive every step() call.
+//
+// Threading: a WaspSystem is single-threaded ("tick-thread-only") -- every
+// member, including the Recorder, MetricsRegistry and TraceEmitter it owns,
+// must be touched only by the thread driving step()/run_until(), and
+// accessors (recorder(), metrics(), engine(), detector()) are safe to read
+// only while that thread is not inside step(). Parallelism across *runs* is
+// the supported model: the sweep harness (src/exec, DESIGN.md §9) builds one
+// fully private Network + WaspSystem + sinks per grid cell and joins the
+// worker before reading results. The one shared-state exception is
+// SystemConfig::trace_sink: a FileSink may be shared across concurrently
+// running systems (its writes are line-atomic), everything else must be
+// per-system.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,345 @@
+// src/exec: the deterministic parallel execution substrate.
+//
+// Covers the three layers the sweep harness stacks: the thread pool's
+// lifecycle (start / drain / destruct, including under task exceptions),
+// grid parsing + row-major expansion + index-based seed forking, and the
+// headline determinism contract -- a 16-cell grid merged at --jobs 1 and
+// --jobs 8 must be byte-identical (DESIGN.md §9).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+#include "obs/trace_analysis.h"
+
+namespace wasp::exec {
+namespace {
+
+// ---- fork_seed ---------------------------------------------------------
+
+TEST(ForkSeed, PureFunctionOfBaseAndIndex) {
+  EXPECT_EQ(fork_seed(42, 0), fork_seed(42, 0));
+  EXPECT_EQ(fork_seed(42, 31), fork_seed(42, 31));
+  EXPECT_NE(fork_seed(42, 0), fork_seed(42, 1));
+  EXPECT_NE(fork_seed(42, 0), fork_seed(43, 0));
+}
+
+TEST(ForkSeed, DistinctAcrossAWideGrid) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base : {0ULL, 7ULL, 42ULL}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(fork_seed(base, i));
+  }
+  EXPECT_EQ(seeds.size(), 3000u);
+}
+
+// ---- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  std::vector<int> order;
+  ThreadPool pool(1);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool survived the exception: later tasks ran and new ones still run.
+  EXPECT_EQ(count.load(), 10);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();  // no pending exception now
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, DestructsCleanlyWithUnretrievedException) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never retrieved"); });
+    pool.submit([&count] { count.fetch_add(1); });
+    // Destructor must swallow the stored exception, not terminate.
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WorkerCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// ---- parallel_for ------------------------------------------------------
+
+TEST(ParallelFor, FillsEveryIndexSlotForAnyJobCount) {
+  for (int jobs : {1, 2, 8, 16}) {
+    std::vector<int> slots(64, -1);
+    parallel_for(jobs, slots.size(),
+                 [&slots](std::size_t i) { slots[i] = static_cast<int>(i); });
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_EQ(slots[i], static_cast<int>(i)) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  // Indices 3 and 7 throw; every index still runs, and the lowest-index
+  // error is the one surfaced regardless of completion order.
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(4, 10, [&ran](std::size_t i) {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("seven");
+      if (i == 3) throw std::runtime_error("three");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "three");
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ParallelFor, InlineWhenSerialOrEmpty) {
+  std::vector<int> slots(4, -1);
+  parallel_for(1, 4, [&slots](std::size_t i) { slots[i] = 1; });
+  EXPECT_EQ(slots, std::vector<int>({1, 1, 1, 1}));
+  parallel_for(8, 0, [](std::size_t) { FAIL(); });
+}
+
+// ---- GridSpec parsing --------------------------------------------------
+
+TEST(GridSpec, ParsesListsRangesAndAliases) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("seeds=1..3,10", &error)) << error;
+  ASSERT_TRUE(grid.parse_arg("mode=wasp,static", &error)) << error;  // alias
+  ASSERT_EQ(grid.axes.size(), 2u);
+  EXPECT_EQ(grid.axes[0].name, "seeds");
+  EXPECT_EQ(grid.axes[0].values,
+            std::vector<std::string>({"1", "2", "3", "10"}));
+  EXPECT_EQ(grid.axes[1].name, "policy");  // canonicalized
+  EXPECT_EQ(grid.num_cells(), 8u);
+  EXPECT_EQ(grid.to_string(), "seeds=1,2,3,10 policy=wasp,static");
+}
+
+TEST(GridSpec, RepeatedAxisReplacesValues) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("seeds=1..8", &error));
+  ASSERT_TRUE(grid.parse_arg("seeds=5", &error));
+  ASSERT_EQ(grid.axes.size(), 1u);
+  EXPECT_EQ(grid.axes[0].values, std::vector<std::string>({"5"}));
+}
+
+TEST(GridSpec, RejectsUnknownAxesAndBadRanges) {
+  GridSpec grid;
+  std::string error;
+  EXPECT_FALSE(grid.parse_arg("frobnicate=1", &error));
+  EXPECT_NE(error.find("unknown grid axis"), std::string::npos);
+  EXPECT_FALSE(grid.parse_arg("seeds=9..3", &error));
+  EXPECT_FALSE(grid.parse_arg("noequals", &error));
+}
+
+TEST(GridSpec, ParsesSweepFileWithComments) {
+  const std::string path = testing::TempDir() + "/exec_test_grid.sweep";
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\nseeds=1..2\n  policy=wasp,degrade  \n";
+  }
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_file(path, &error)) << error;
+  EXPECT_EQ(grid.num_cells(), 4u);
+  EXPECT_FALSE(grid.parse_file(path + ".missing", &error));
+}
+
+// ---- expand_grid -------------------------------------------------------
+
+TEST(ExpandGrid, RowMajorLastAxisFastest) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("seeds=1,2", &error));
+  ASSERT_TRUE(grid.parse_arg("policy=wasp,degrade", &error));
+  const auto cells = expand_grid(grid, SweepDefaults{}, &error);
+  ASSERT_TRUE(cells.has_value()) << error;
+  ASSERT_EQ(cells->size(), 4u);
+  EXPECT_EQ((*cells)[0].seed, 1u);
+  EXPECT_EQ((*cells)[0].mode, "wasp");
+  EXPECT_EQ((*cells)[1].seed, 1u);
+  EXPECT_EQ((*cells)[1].mode, "degrade");
+  EXPECT_EQ((*cells)[2].seed, 2u);
+  EXPECT_EQ((*cells)[2].mode, "wasp");
+  EXPECT_EQ((*cells)[3].index, 3u);
+  EXPECT_FALSE((*cells)[0].seed_forked);
+}
+
+TEST(ExpandGrid, ForksSeedByCellIndexWithoutSeedsAxis) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("policy=wasp,degrade,hybrid", &error));
+  SweepDefaults defaults;
+  defaults.base_seed = 99;
+  const auto cells = expand_grid(grid, defaults, &error);
+  ASSERT_TRUE(cells.has_value()) << error;
+  ASSERT_EQ(cells->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*cells)[i].seed_forked);
+    EXPECT_EQ((*cells)[i].seed, fork_seed(99, i));
+  }
+}
+
+TEST(ExpandGrid, RejectsBadValues) {
+  for (const char* axis :
+       {"policy=warp", "query=nope", "duration=abc", "workload-step=xyz"}) {
+    GridSpec grid;
+    std::string error;
+    ASSERT_TRUE(grid.parse_arg(axis, &error)) << axis;
+    EXPECT_FALSE(expand_grid(grid, SweepDefaults{}, &error).has_value())
+        << axis;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ExpandGrid, StepsAndStaticAliasApply) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("policy=static", &error));
+  ASSERT_TRUE(grid.parse_arg("workload-step=300:2+600:1", &error));
+  const auto cells = expand_grid(grid, SweepDefaults{}, &error);
+  ASSERT_TRUE(cells.has_value()) << error;
+  EXPECT_EQ((*cells)[0].mode, "no-adapt");
+  ASSERT_EQ((*cells)[0].workload_steps.size(), 2u);
+  EXPECT_DOUBLE_EQ((*cells)[0].workload_steps[0].first, 300.0);
+  EXPECT_DOUBLE_EQ((*cells)[0].workload_steps[0].second, 2.0);
+}
+
+// ---- run_one / run_sweep ----------------------------------------------
+
+TEST(RunOne, ReportsErrorsInsteadOfThrowing) {
+  RunSpec spec;
+  spec.seed = 7;
+  spec.duration_sec = 10.0;
+  spec.fault_schedule = "/nonexistent/chaos.fsched";
+  const RunResult result = run_one(spec);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  const obs::TraceEvent event = result.to_trace_event();
+  EXPECT_EQ(event.num("ok"), 0.0);
+  EXPECT_FALSE(std::string(event.str("error")).empty());
+}
+
+// The tentpole acceptance test: a 16-cell grid (8 seeds x 2 policies, with a
+// workload surge so the adaptive cells actually adapt) merged at jobs=1 and
+// jobs=8 must be byte-identical.
+TEST(SweepDeterminism, SixteenCellGridIdenticalForJobs1AndJobs8) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("seeds=1..8", &error));
+  ASSERT_TRUE(grid.parse_arg("policy=wasp,static", &error));
+  SweepDefaults defaults;
+  defaults.duration_sec = 120.0;
+  auto cells = expand_grid(grid, defaults, &error);
+  ASSERT_TRUE(cells.has_value()) << error;
+  ASSERT_EQ(cells->size(), 16u);
+  // A surge at t=30 so the wasp cells exercise the adaptation machinery.
+  for (auto& cell : *cells) {
+    cell.workload_steps = {{30.0, 3.0}};
+  }
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  const auto serial_results = run_sweep(*cells, serial);
+  const auto parallel_results = run_sweep(*cells, parallel);
+  const std::string serial_merged =
+      merged_jsonl(grid, defaults, serial_results);
+  const std::string parallel_merged =
+      merged_jsonl(grid, defaults, parallel_results);
+  EXPECT_EQ(serial_merged, parallel_merged);  // byte-identical
+
+  // Results are ordered by cell index regardless of completion order.
+  for (std::size_t i = 0; i < parallel_results.size(); ++i) {
+    EXPECT_TRUE(parallel_results[i].ok) << parallel_results[i].error;
+    EXPECT_EQ(parallel_results[i].spec.index, i);
+  }
+  // The adaptive cells did adapt (the surge is sized to force it).
+  std::size_t adaptive_actions = 0;
+  for (const auto& result : parallel_results) {
+    if (result.spec.mode == "wasp") adaptive_actions += result.adaptations;
+  }
+  EXPECT_GT(adaptive_actions, 0u);
+}
+
+// The merged stream parses with the trace-analysis layer (wasp_trace
+// validate/diff consume sweep output unchanged).
+TEST(MergedJsonl, ParsesAsTraceEvents) {
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(grid.parse_arg("seeds=1..2", &error));
+  SweepDefaults defaults;
+  defaults.duration_sec = 30.0;
+  const auto cells = expand_grid(grid, defaults, &error);
+  ASSERT_TRUE(cells.has_value()) << error;
+  SweepOptions opts;
+  opts.jobs = 2;
+  const auto results = run_sweep(*cells, opts);
+  const std::string merged = merged_jsonl(grid, defaults, results);
+
+  std::istringstream in(merged);
+  const obs::TraceFile parsed = obs::load_trace(in);
+  EXPECT_TRUE(parsed.errors.empty());
+  ASSERT_EQ(parsed.events.size(), 3u);  // header + 2 cells
+  EXPECT_EQ(parsed.events[0].type, "sweep_grid");
+  EXPECT_EQ(parsed.events[0].num("cells"), 2.0);
+  EXPECT_EQ(parsed.events[1].type, "sweep_cell");
+  EXPECT_EQ(parsed.events[1].num("cell"), 0.0);
+  EXPECT_EQ(parsed.events[1].seq, 1u);
+  EXPECT_EQ(parsed.events[2].num("cell"), 1.0);
+  // With a seeds axis, the cell seed is the axis value -- not forked.
+  EXPECT_EQ(parsed.events[1].num("seed"), 1.0);
+  EXPECT_EQ(parsed.events[2].num("seed"), 2.0);
+}
+
+}  // namespace
+}  // namespace wasp::exec
