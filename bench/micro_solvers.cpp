@@ -336,19 +336,12 @@ void BM_MigrationMinMaxLp(benchmark::State& state) {
 }
 BENCHMARK(BM_MigrationMinMaxLp)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_EngineTickTopk(benchmark::State& state) {
-  Rng rng(7);
-  net::Topology topo = net::Topology::make_paper_testbed(rng);
+// Shared body of the engine-tick benchmarks: top-k query over the given
+// topology with sources split east/west, hub placement at the sink site.
+void run_engine_tick_topk(benchmark::State& state, const net::Topology& topo,
+                          const std::vector<SiteId>& east,
+                          const std::vector<SiteId>& west, SiteId sink) {
   net::Network network(topo, std::make_shared<net::ConstantBandwidth>());
-  std::vector<SiteId> east, west;
-  SiteId sink;
-  for (const auto& site : topo.sites()) {
-    if (site.type == net::SiteType::kEdge) {
-      (east.size() <= west.size() ? east : west).push_back(site.id);
-    } else if (!sink.valid()) {
-      sink = site.id;
-    }
-  }
   auto spec = workload::make_topk_topics(east, west, sink);
   physical::PhysicalPlan physical;
   // Simple hub placement for the micro-benchmark.
@@ -379,7 +372,38 @@ void BM_EngineTickTopk(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(t));
 }
+
+void BM_EngineTickTopk(benchmark::State& state) {
+  Rng rng(7);
+  net::Topology topo = net::Topology::make_paper_testbed(rng);
+  std::vector<SiteId> east, west;
+  SiteId sink;
+  for (const auto& site : topo.sites()) {
+    if (site.type == net::SiteType::kEdge) {
+      (east.size() <= west.size() ? east : west).push_back(site.id);
+    } else if (!sink.valid()) {
+      sink = site.id;
+    }
+  }
+  run_engine_tick_topk(state, topo, east, west, sink);
+}
 BENCHMARK(BM_EngineTickTopk);
+
+// Scaling variant: uniform topology at 16/64/256 sites, one source per
+// non-hub site. Tick cost is dominated by the per-(stage, site) group and
+// per-channel loops, so this tracks how the SoA data layout behaves as the
+// site count (and with it the channel count) grows.
+void BM_EngineTickTopkScale(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  net::Topology topo = net::Topology::make_uniform(n, 4, 500.0, 20.0);
+  const SiteId sink = SiteId(0);
+  std::vector<SiteId> east, west;
+  for (int i = 1; i < n; ++i) {
+    (i % 2 != 0 ? east : west).push_back(SiteId(i));
+  }
+  run_engine_tick_topk(state, topo, east, west, sink);
+}
+BENCHMARK(BM_EngineTickTopkScale)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_MicroEngineRecords(benchmark::State& state) {
   // Per-record DES throughput: how many simulated records per second of

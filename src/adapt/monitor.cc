@@ -8,9 +8,16 @@ void GlobalMetricMonitor::observe(const engine::Engine& engine, double t) {
   if (ticks_ == 0) window_start_ = t;
   window_end_ = t;
   ++ticks_;
+  const std::size_t n = engine.logical().num_operators();
+  if (per_op_.size() < n) per_op_.resize(n);
+  if (source_eps_sum_.size() < n) source_eps_sum_.resize(n, 0.0);
   for (const auto& op : engine.logical().operators()) {
-    const engine::OperatorMetrics m = engine.op_metrics(op.id);
-    Accumulator& acc = per_op_[op.id];
+    // Persistent scratch: op_metrics_into reuses the vectors inside
+    // scratch_, so the per-tick observation loop stops allocating. State
+    // sizes are skipped -- the window accumulator never reads them.
+    engine::OperatorMetrics& m = scratch_;
+    engine.op_metrics_into(op.id, m, /*include_state=*/false);
+    Accumulator& acc = per_op_[static_cast<std::size_t>(op.id.value())];
     if (acc.ticks == 0) {
       acc.first_queue = m.input_queue_events;
       acc.first_channel_backlog = m.channel_backlog_events;
@@ -21,11 +28,12 @@ void GlobalMetricMonitor::observe(const engine::Engine& engine, double t) {
     if (m.backpressured) acc.backpressure_ticks += 1.0;
     acc.last_queue = m.input_queue_events;
     acc.last_channel_backlog = m.channel_backlog_events;
-    acc.parallelism = m.placement.parallelism();
+    acc.parallelism = engine.stage_parallelism(op.id);
     ++acc.ticks;
 
     if (op.is_source()) {
-      source_eps_sum_[op.id] += engine.source_generation_eps(op.id);
+      source_eps_sum_[static_cast<std::size_t>(op.id.value())] +=
+          engine.source_generation_eps(op.id);
     }
   }
 }
@@ -39,9 +47,9 @@ void GlobalMetricMonitor::reset_window() {
 
 OperatorWindowStats GlobalMetricMonitor::stats(OperatorId op) const {
   OperatorWindowStats s;
-  const auto it = per_op_.find(op);
-  if (it == per_op_.end() || it->second.ticks == 0) return s;
-  const Accumulator& acc = it->second;
+  const auto i = static_cast<std::size_t>(op.value());
+  if (i >= per_op_.size() || per_op_[i].ticks == 0) return s;
+  const Accumulator& acc = per_op_[i];
   const auto n = static_cast<double>(acc.ticks);
   s.lambda_p = acc.lambda_p_sum / n;
   s.lambda_o = acc.lambda_o_sum / n;
@@ -60,9 +68,9 @@ OperatorWindowStats GlobalMetricMonitor::stats(OperatorId op) const {
 }
 
 double GlobalMetricMonitor::actual_source_eps(OperatorId source) const {
-  const auto it = source_eps_sum_.find(source);
-  if (it == source_eps_sum_.end() || ticks_ == 0) return 0.0;
-  return it->second / static_cast<double>(ticks_);
+  const auto i = static_cast<std::size_t>(source.value());
+  if (i >= source_eps_sum_.size() || ticks_ == 0) return 0.0;
+  return source_eps_sum_[i] / static_cast<double>(ticks_);
 }
 
 std::unordered_map<OperatorId, query::OperatorRates>

@@ -70,8 +70,12 @@ class GlobalMetricMonitor {
     std::size_t ticks = 0;
   };
 
-  std::unordered_map<OperatorId, Accumulator> per_op_;
-  std::unordered_map<OperatorId, double> source_eps_sum_;
+  // Operator ids are dense (0..num_operators-1 within a plan), so the
+  // accumulators live in flat vectors indexed by id -- no hashing in the
+  // per-tick observe loop. Entries with ticks == 0 are "absent".
+  std::vector<Accumulator> per_op_;
+  engine::OperatorMetrics scratch_;  // reused across observe() calls
+  std::vector<double> source_eps_sum_;
   std::size_t ticks_ = 0;
   double window_start_ = 0.0;
   double window_end_ = 0.0;

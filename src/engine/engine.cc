@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "engine/kernels.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -29,83 +30,295 @@ Engine::Engine(query::LogicalPlan logical, physical::PhysicalPlan physical,
   failed_sites_.assign(network_.topology().num_sites(), false);
   straggler_factor_.assign(network_.topology().num_sites(), 1.0);
   build_runtime();
-  // Source trackers are created lazily per source signature in tick().
+  refresh_source_runtime();
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    mh_.ticks = &reg.counter("engine.ticks");
+    mh_.delay_sec = &reg.gauge("engine.delay_sec");
+    mh_.generated_eps = &reg.gauge("engine.generated_eps");
+    mh_.admitted_eps = &reg.gauge("engine.admitted_eps");
+    mh_.sink_eps = &reg.gauge("engine.sink_eps");
+    mh_.processing_ratio = &reg.gauge("engine.processing_ratio");
+    mh_.source_backlog = &reg.gauge("engine.source_backlog_events");
+    mh_.backpressured_stages = &reg.gauge("engine.backpressured_stages");
+    mh_.dropped_events = &reg.counter("engine.dropped_events");
+    mh_.checkpoints = &reg.counter("engine.checkpoints");
+  }
 }
 
 Engine::~Engine() { teardown_channels(); }
 
 void Engine::build_runtime() {
-  const std::size_t num_sites = network_.topology().num_sites();
-  stages_.clear();
-  stages_.resize(logical_.num_operators());
+  num_sites_ = network_.topology().num_sites();
+  num_stages_ = logical_.num_operators();
+  const std::size_t num_groups = num_stages_ * num_sites_;
+
+  stage_eps_per_slot_.assign(num_stages_, 0.0);
+  stage_selectivity_.assign(num_stages_, 1.0);
+  stage_window_len_.assign(num_stages_, 0.0);
+  stage_base_mb_.assign(num_stages_, 0.0);
+  stage_mb_per_kevent_.assign(num_stages_, 0.0);
+  stage_fixed_mb_.assign(num_stages_, -1.0);
+  stage_is_source_.assign(num_stages_, 0);
+  stage_is_sink_.assign(num_stages_, 0);
+  stage_stateful_.assign(num_stages_, 0);
+  stage_windowed_.assign(num_stages_, 0);
+  stage_forward_.assign(num_stages_, 0);
+
+  stage_placement_.assign(num_stages_, physical::StagePlacement{});
+  stage_parallelism_.assign(num_stages_, 0);
+  stage_suspended_.assign(num_stages_, 0);
+  stage_backpressured_.assign(num_stages_, 0);
+  stage_state_override_.assign(num_stages_, -1.0);
+  stage_skew_.assign(num_stages_, 1.0);
+  stage_skew_site_.assign(num_stages_, -1);
+  stage_processed_.assign(num_stages_, 0.0);
+  stage_emitted_.assign(num_stages_, 0.0);
+  stage_arrived_.assign(num_stages_, 0.0);
+  stage_tracker_.assign(num_stages_, nullptr);
+
+  g_tasks_.assign(num_groups, 0);
+  g_input_queue_.assign(num_groups, 0.0);
+  g_window_events_.assign(num_groups, 0.0);
+  g_restore_until_.assign(num_groups, -1.0);
+  g_processed_prev_.assign(num_groups, 0.0);
+  g_source_rate_.assign(num_groups, 0.0);
+  g_capacity_.assign(num_groups, 0.0);
+
   for (const auto& op : logical_.operators()) {
-    StageRt& rt = stages_[static_cast<std::size_t>(op.id.value())];
-    rt.op = op.id;
-    rt.placement = physical_.stage_for(op.id).placement;
-    rt.groups.assign(num_sites, Group{});
-    for (std::size_t s = 0; s < num_sites; ++s) {
-      rt.groups[s].tasks = rt.placement.per_site[s];
+    const auto i = static_cast<std::size_t>(op.id.value());
+    stage_eps_per_slot_[i] = op.events_per_sec_per_slot;
+    stage_selectivity_[i] = op.selectivity;
+    stage_window_len_[i] = op.window.length_sec;
+    stage_base_mb_[i] = op.state.base_mb;
+    stage_mb_per_kevent_[i] = op.state.mb_per_kevent;
+    stage_fixed_mb_[i] = op.state.fixed_mb;
+    stage_is_source_[i] = op.is_source() ? 1 : 0;
+    stage_is_sink_[i] = op.is_sink() ? 1 : 0;
+    stage_stateful_[i] = op.stateful() ? 1 : 0;
+    stage_windowed_[i] = op.window.windowed() ? 1 : 0;
+    stage_forward_[i] =
+        op.output_partitioning == query::Partitioning::kForward ? 1 : 0;
+
+    const physical::StagePlacement& placement =
+        physical_.stage_for(op.id).placement;
+    stage_placement_[i] = placement;
+    stage_parallelism_[i] = placement.parallelism();
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      g_tasks_[gid(i, s)] = placement.per_site[s];
     }
   }
+
   topo_order_.clear();
   for (OperatorId id : logical_.topological_order()) {
     topo_order_.push_back(static_cast<std::size_t>(id.value()));
   }
+  source_ids_ = logical_.sources();
 
   teardown_channels();
   for (const auto& op : logical_.operators()) {
-    const std::size_t from_idx = static_cast<std::size_t>(op.id.value());
+    const auto from_idx = static_cast<std::size_t>(op.id.value());
     for (OperatorId d : logical_.downstream(op.id)) {
-      const std::size_t to_idx = static_cast<std::size_t>(d.value());
-      for (SiteId su : stages_[from_idx].placement.sites()) {
-        for (SiteId sd : stages_[to_idx].placement.sites()) {
-          Channel c;
-          c.from_stage = from_idx;
-          c.to_stage = to_idx;
-          c.from = su;
-          c.to = sd;
-          c.event_bytes = op.output_event_bytes;
-          if (su != sd) c.flow = network_.add_stream_flow(su, sd);
-          channels_.push_back(c);
+      const auto to_idx = static_cast<std::size_t>(d.value());
+      for (SiteId su : stage_placement_[from_idx].sites()) {
+        for (SiteId sd : stage_placement_[to_idx].sites()) {
+          append_channel(from_idx, to_idx, su, sd, op.output_event_bytes, 0.0,
+                         0.0, 0.0);
         }
       }
     }
   }
+  rebuild_channel_indexes();
 
-  checkpointed_state_.assign(stages_.size(),
-                             std::vector<double>(num_sites, 0.0));
-  checkpointed_window_.assign(stages_.size(),
-                              std::vector<double>(num_sites, 0.0));
+  checkpointed_state_.assign(num_groups, 0.0);
+  checkpointed_window_.assign(num_groups, 0.0);
+  rebuild_stage_sites();
+}
+
+void Engine::rebuild_stage_sites() {
+  ss_off_.assign(num_stages_ + 1, 0);
+  ss_ids_.clear();
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      if (g_tasks_[gid(i, s)] > 0) {
+        ss_ids_.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+    ss_off_[i + 1] = static_cast<std::uint32_t>(ss_ids_.size());
+  }
 }
 
 void Engine::teardown_channels() {
-  for (const Channel& c : channels_) {
+  for (const ChannelDesc& c : chan_) {
     if (c.flow.valid() && network_.has_flow(c.flow)) {
       network_.remove_flow(c.flow);
     }
   }
-  channels_.clear();
+  chan_.clear();
+  c_queue_.clear();
+  c_offered_.clear();
+  c_delivered_.clear();
+  c_delivered_prev_.clear();
+  c_event_bytes_.clear();
+  c_share_.clear();
+  c_flow_.clear();
+  c_to_stage_.clear();
+}
+
+void Engine::append_channel(std::size_t from_stage, std::size_t to_stage,
+                            SiteId su, SiteId sd, double event_bytes,
+                            double queue, double delivered,
+                            double delivered_prev) {
+  ChannelDesc c;
+  c.from_stage = static_cast<std::int32_t>(from_stage);
+  c.to_stage = static_cast<std::int32_t>(to_stage);
+  c.from_site = static_cast<std::int32_t>(su.value());
+  c.to_site = static_cast<std::int32_t>(sd.value());
+  c.event_bytes = event_bytes;
+  if (su != sd) c.flow = network_.add_stream_flow(su, sd);
+  chan_.push_back(c);
+  c_queue_.push_back(queue);
+  c_offered_.push_back(0.0);
+  c_delivered_.push_back(delivered);
+  c_delivered_prev_.push_back(delivered_prev);
+  c_event_bytes_.push_back(event_bytes);
+  c_share_.push_back(0.0);
+  c_flow_.push_back(nullptr);
+  c_to_stage_.push_back(c.to_stage);
+}
+
+void Engine::rebuild_channel_indexes() {
+  const std::size_t n = chan_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    c_to_stage_[i] = chan_[i].to_stage;
+    c_flow_[i] = chan_[i].flow.valid() ? &network_.flow(chan_[i].flow)
+                                       : nullptr;
+  }
+
+  // Counting-sort CSR build: bucket lists come out in ascending channel-id
+  // order, the order a filtered scan of the channel vector visits.
+  const auto build_csr = [n](std::vector<std::uint32_t>& off,
+                             std::vector<std::uint32_t>& ids,
+                             std::size_t num_buckets, auto&& key_of) {
+    off.assign(num_buckets + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++off[key_of(i) + 1];
+    for (std::size_t b = 0; b < num_buckets; ++b) off[b + 1] += off[b];
+    ids.resize(n);
+    std::vector<std::uint32_t> cursor(off.begin(), off.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[cursor[key_of(i)]++] = static_cast<std::uint32_t>(i);
+    }
+  };
+  build_csr(in_off_, in_ids_, num_stages_ * num_sites_, [this](std::size_t i) {
+    return static_cast<std::size_t>(chan_[i].to_stage) * num_sites_ +
+           static_cast<std::size_t>(chan_[i].to_site);
+  });
+  build_csr(out_off_, out_ids_, num_stages_ * num_sites_,
+            [this](std::size_t i) {
+              return static_cast<std::size_t>(chan_[i].from_stage) *
+                         num_sites_ +
+                     static_cast<std::size_t>(chan_[i].from_site);
+            });
+  build_csr(edge_off_, edge_ids_, num_stages_ * num_stages_,
+            [this](std::size_t i) {
+              return static_cast<std::size_t>(chan_[i].from_stage) *
+                         num_stages_ +
+                     static_cast<std::size_t>(chan_[i].to_stage);
+            });
+  build_csr(sin_off_, sin_ids_, num_stages_, [this](std::size_t i) {
+    return static_cast<std::size_t>(chan_[i].to_stage);
+  });
+
+  recompute_channel_shares();
+}
+
+double Engine::compute_channel_share(std::size_t ci) const {
+  // Share of the sending group's output routed through channel `ci`:
+  // task-local for forward partitioning (when a co-located downstream group
+  // exists), hash partitioning otherwise -- balanced by task count, except
+  // that an injected key skew over-weights the pinned hot site.
+  const ChannelDesc& c = chan_[ci];
+  const auto down = static_cast<std::size_t>(c.to_stage);
+  const physical::StagePlacement& dp = stage_placement_[down];
+  const int p_down = stage_parallelism_[down];
+  if (p_down == 0) return 0.0;
+  const auto from_site = static_cast<std::size_t>(c.from_site);
+  if (stage_forward_[static_cast<std::size_t>(c.from_stage)] != 0 &&
+      dp.per_site[from_site] > 0) {
+    return c.to_site == c.from_site ? 1.0 : 0.0;
+  }
+  // Hot site: the pinned skew site while it still hosts tasks, else the
+  // lowest-indexed hosting site (also the unpinned default, which matches
+  // the neutral skew of 1.0 exactly).
+  std::int32_t hot = stage_skew_site_[down];
+  if (hot < 0 || dp.per_site[static_cast<std::size_t>(hot)] == 0) {
+    hot = -1;
+    for (std::size_t sd = 0; sd < dp.per_site.size(); ++sd) {
+      if (dp.per_site[sd] > 0) {
+        hot = static_cast<std::int32_t>(sd);
+        break;
+      }
+    }
+  }
+  double total = 0.0;
+  double my_weight = 0.0;
+  for (std::size_t sd = 0; sd < dp.per_site.size(); ++sd) {
+    if (dp.per_site[sd] == 0) continue;
+    const double w =
+        static_cast<double>(dp.per_site[sd]) *
+        (static_cast<std::int32_t>(sd) == hot ? stage_skew_[down] : 1.0);
+    if (sd == static_cast<std::size_t>(c.to_site)) my_weight = w;
+    total += w;
+  }
+  return total > 0.0 ? my_weight / total : 0.0;
+}
+
+void Engine::recompute_channel_shares() {
+  for (std::size_t ci = 0; ci < chan_.size(); ++ci) {
+    c_share_[ci] = compute_channel_share(ci);
+  }
+}
+
+void Engine::refresh_source_runtime() {
+  // Dense mirror of source_rates_ for the per-tick generation loop (the map
+  // itself stays authoritative: source_generation_eps() sums it in map
+  // order).
+  g_source_rate_.assign(num_stages_ * num_sites_, 0.0);
+  const auto n = static_cast<std::int64_t>(num_sites_);
+  for (const auto& [key, eps] : source_rates_) {
+    g_source_rate_[static_cast<std::size_t>(key / n) * num_sites_ +
+                   static_cast<std::size_t>(key % n)] = eps;
+  }
+
+  // Eagerly create one tracker per live source and prune entries whose
+  // signature no longer names a live source (a re-plan that removed a
+  // source must not keep its stale cumulative curves around).
+  stage_tracker_.assign(num_stages_, nullptr);
+  for (OperatorId src : logical_.sources()) {
+    const std::size_t i = stage_index(src);
+    stage_tracker_[i] = &source_trackers_[logical_.signature(src)];
+  }
+  for (auto it = source_trackers_.begin(); it != source_trackers_.end();) {
+    bool live = false;
+    for (DelayTracker* t : stage_tracker_) {
+      if (t == &it->second) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : source_trackers_.erase(it);
+  }
 }
 
 std::size_t Engine::stage_index(OperatorId op) const {
   const auto i = static_cast<std::size_t>(op.value());
-  assert(i < stages_.size());
+  assert(i < num_stages_);
   return i;
 }
 
-Engine::StageRt& Engine::stage_rt(OperatorId op) {
-  return stages_[stage_index(op)];
-}
-
-const Engine::StageRt& Engine::stage_rt(OperatorId op) const {
-  return stages_[stage_index(op)];
-}
-
-double Engine::group_capacity_eps(const StageRt& stage,
-                                  std::size_t site) const {
+double Engine::group_capacity_eps(std::size_t stage, std::size_t site) const {
   if (failed_sites_[site]) return 0.0;
-  const auto& op = logical_.op(stage.op);
-  return stage.groups[site].tasks * op.events_per_sec_per_slot *
+  return g_tasks_[gid(stage, site)] * stage_eps_per_slot_[stage] *
          straggler_factor_[site];
 }
 
@@ -120,12 +333,15 @@ double Engine::straggler_factor(SiteId site) const {
 
 void Engine::set_source_rate(OperatorId source, SiteId site, double eps) {
   assert(logical_.op(source).is_source());
-  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
-  source_rates_[source.value() * n + site.value()] = std::max(0.0, eps);
+  const auto n = static_cast<std::int64_t>(num_sites_);
+  const double clamped = std::max(0.0, eps);
+  source_rates_[source.value() * n + site.value()] = clamped;
+  g_source_rate_[gid(stage_index(source),
+                     static_cast<std::size_t>(site.value()))] = clamped;
 }
 
 double Engine::source_generation_eps(OperatorId source) const {
-  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
+  const auto n = static_cast<std::int64_t>(num_sites_);
   double total = 0.0;
   for (const auto& [key, eps] : source_rates_) {
     if (key / n == source.value()) total += eps;
@@ -136,9 +352,10 @@ double Engine::source_generation_eps(OperatorId source) const {
 double Engine::source_backlog_events() const {
   double total = 0.0;
   for (const std::size_t idx : topo_order_) {
-    const StageRt& stage = stages_[idx];
-    if (!logical_.op(stage.op).is_source()) continue;
-    for (const Group& g : stage.groups) total += g.input_queue;
+    if (stage_is_source_[idx] == 0) continue;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      total += g_input_queue_[gid(idx, s)];
+    }
   }
   return total;
 }
@@ -146,12 +363,8 @@ double Engine::source_backlog_events() const {
 void Engine::apply_degrade_drops(double t) {
   const double dt = config_.tick_sec;
   for (const std::size_t idx : topo_order_) {
-    StageRt& stage = stages_[idx];
-    const auto& op = logical_.op(stage.op);
-    if (!op.is_source()) continue;
-    auto it = source_trackers_.find(logical_.signature(stage.op));
-    if (it == source_trackers_.end()) continue;
-    DelayTracker& tracker = it->second;
+    if (stage_is_source_[idx] == 0) continue;
+    DelayTracker& tracker = *stage_tracker_[idx];
     // Shed the backlog prefix that cannot meet the SLO (paper §8.4: Degrade
     // drops late events to hold the delay at the SLO). An event admitted
     // now still incurs the pipeline's downstream queueing, so the admission
@@ -164,13 +377,16 @@ void Engine::apply_degrade_drops(double t) {
     double drop = std::max(0.0, tracker.generated_at(t - age_budget) -
                                     tracker.consumed_cum());
     double backlog = 0.0;
-    for (const Group& g : stage.groups) backlog += g.input_queue;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      backlog += g_input_queue_[gid(idx, s)];
+    }
     drop = std::min(drop, backlog);
     if (drop <= 0.0) continue;
-    for (Group& g : stage.groups) {
+    for (std::size_t s = 0; s < num_sites_; ++s) {
       if (backlog <= 0.0) break;
-      const double share = drop * (g.input_queue / backlog);
-      g.input_queue -= share;
+      const std::size_t gi = gid(idx, s);
+      const double share = drop * (g_input_queue_[gi] / backlog);
+      g_input_queue_[gi] -= share;
     }
     tracker.record_consumed(drop);
     last_.dropped_eps += drop / dt;
@@ -178,25 +394,21 @@ void Engine::apply_degrade_drops(double t) {
 }
 
 void Engine::deliver_into(std::size_t stage_idx, double dt) {
-  StageRt& stage = stages_[stage_idx];
-  if (stage.suspended) return;
+  if (stage_suspended_[stage_idx] != 0) return;
 
-  // Group inbound channels by destination site, then ration the receiver's
-  // free input-buffer space proportionally to what each channel can ship.
-  const std::size_t num_sites = stage.groups.size();
-  std::vector<std::vector<Channel*>> by_site(num_sites);
-  for (Channel& c : channels_) {
-    if (c.to_stage == stage_idx) {
-      by_site[static_cast<std::size_t>(c.to.value())].push_back(&c);
-    }
-  }
-
-  for (std::size_t s = 0; s < num_sites; ++s) {
-    if (by_site[s].empty()) continue;
-    Group& g = stage.groups[s];
-    const double capacity = group_capacity_eps(stage, s);
-    if (capacity <= 0.0) continue;        // failed or empty group
-    if (g.restore_until > now_) continue;  // replaying checkpoint
+  // Inbound channels grouped by destination site (CSR bucket), rationing the
+  // receiver's free input-buffer space proportionally to what each channel
+  // can ship. Only hosting sites can accept (capacity is zero elsewhere).
+  for (std::uint32_t sk = ss_off_[stage_idx]; sk < ss_off_[stage_idx + 1];
+       ++sk) {
+    const std::size_t s = ss_ids_[sk];
+    const std::size_t gi = gid(stage_idx, s);
+    const std::uint32_t begin = in_off_[gi];
+    const std::uint32_t end = in_off_[gi + 1];
+    if (begin == end) continue;
+    const double capacity = g_capacity_[gi];
+    if (capacity <= 0.0) continue;         // failed or empty group
+    if (g_restore_until_[gi] > now_) continue;  // replaying checkpoint
     // The group accepts one tick's worth of processing capacity plus a
     // small floor: deliveries never throttle a keeping-up stage (nor slow a
     // post-adaptation catch-up burst), while an overloaded stage parks at
@@ -204,200 +416,187 @@ void Engine::deliver_into(std::size_t stage_idx, double dt) {
     // the sources.
     const double input_cap =
         config_.input_buffer_floor_events + capacity * dt;
-    const double space = std::max(0.0, input_cap - g.input_queue);
+    const double space = std::max(0.0, input_cap - g_input_queue_[gi]);
     if (space <= 0.0) continue;
 
+    want_scratch_.resize(end - begin);
     double total_want = 0.0;
-    std::vector<double> want(by_site[s].size(), 0.0);
-    for (std::size_t k = 0; k < by_site[s].size(); ++k) {
-      Channel& c = *by_site[s][k];
-      double transferable = c.queue;
-      if (c.flow.valid()) {
-        const double mbps = network_.flow(c.flow).allocated_mbps;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::size_t ci = in_ids_[k];
+      double transferable = c_queue_[ci];
+      if (c_flow_[ci] != nullptr) {
+        const double mbps = c_flow_[ci]->allocated_mbps;
         transferable =
             std::min(transferable,
-                     events_per_sec_over(mbps, c.event_bytes) * dt);
+                     events_per_sec_over(mbps, c_event_bytes_[ci]) * dt);
       }
-      want[k] = transferable;
+      want_scratch_[k - begin] = transferable;
       total_want += transferable;
     }
     if (total_want <= 0.0) continue;
     const double factor = std::min(1.0, space / total_want);
-    for (std::size_t k = 0; k < by_site[s].size(); ++k) {
-      Channel& c = *by_site[s][k];
-      const double moved = want[k] * factor;
-      c.queue -= moved;
-      c.delivered += moved;
-      g.input_queue += moved;
-      stage.arrived += moved / dt;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::size_t ci = in_ids_[k];
+      const double moved = want_scratch_[k - begin] * factor;
+      c_queue_[ci] -= moved;
+      c_delivered_[ci] += moved;
+      g_input_queue_[gi] += moved;
+      stage_arrived_[stage_idx] += moved / dt;
     }
   }
 }
 
 void Engine::process_stage(std::size_t stage_idx, double t, double dt) {
-  StageRt& stage = stages_[stage_idx];
-  const auto& op = logical_.op(stage.op);
-  const std::size_t num_sites = stage.groups.size();
-  const auto n = static_cast<std::int64_t>(num_sites);
-
   // Sources generate regardless of suspension: the external stream does not
   // pause for us; events accumulate in the (replayable) source backlog.
-  if (op.is_source()) {
-    DelayTracker& tracker = source_trackers_[logical_.signature(stage.op)];
+  if (stage_is_source_[stage_idx] != 0) {
     double generated = 0.0;
-    for (std::size_t s = 0; s < num_sites; ++s) {
-      const auto it = source_rates_.find(stage.op.value() * n +
-                                         static_cast<std::int64_t>(s));
-      if (it == source_rates_.end()) continue;
-      const double events = it->second * dt;
-      stage.groups[s].input_queue += events;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      const std::size_t gi = gid(stage_idx, s);
+      const double events = g_source_rate_[gi] * dt;
+      g_input_queue_[gi] += events;
       generated += events;
     }
-    tracker.record_generated(t, generated);
+    stage_tracker_[stage_idx]->record_generated(t, generated);
     last_.generated_eps += generated / dt;
   }
 
-  if (stage.suspended) return;
+  if (stage_suspended_[stage_idx] != 0) return;
 
-  // Outbound channels of this stage, grouped per source site.
-  std::vector<std::vector<Channel*>> out_by_site(num_sites);
-  for (Channel& c : channels_) {
-    if (c.from_stage == stage_idx) {
-      out_by_site[static_cast<std::size_t>(c.from.value())].push_back(&c);
-    }
-  }
-
-  // Share of this group's output routed through channel `c`: task-local for
-  // forward partitioning (when a co-located downstream group exists),
-  // hash partitioning otherwise -- balanced by task count, except that an
-  // injected key skew over-weights the receiver's first hosting site.
-  const auto channel_share = [&](std::size_t from_site,
-                                 const Channel& c) -> double {
-    const StageRt& down = stages_[c.to_stage];
-    const int p_down = down.placement.parallelism();
-    if (p_down == 0) return 0.0;
-    if (op.output_partitioning == query::Partitioning::kForward &&
-        down.placement.per_site[from_site] > 0) {
-      return static_cast<std::size_t>(c.to.value()) == from_site ? 1.0 : 0.0;
-    }
-    const auto weight_of = [&](std::size_t site, bool is_first) {
-      return static_cast<double>(down.placement.per_site[site]) *
-             (is_first ? down.partition_skew : 1.0);
-    };
-    double total = 0.0;
-    bool first = true;
-    double my_weight = 0.0;
-    for (std::size_t sd = 0; sd < down.placement.per_site.size(); ++sd) {
-      if (down.placement.per_site[sd] == 0) continue;
-      const double w = weight_of(sd, first);
-      if (sd == static_cast<std::size_t>(c.to.value())) my_weight = w;
-      total += w;
-      first = false;
-    }
-    return total > 0.0 ? my_weight / total : 0.0;
-  };
-
+  const double sel = stage_selectivity_[stage_idx];
   double total_processed = 0.0;
-  for (std::size_t s = 0; s < num_sites; ++s) {
-    Group& g = stage.groups[s];
-    if (g.tasks == 0) continue;
-    if (g.restore_until > t) continue;  // still replaying checkpoint
-    g.restore_until = -1.0;
-    const double capacity = group_capacity_eps(stage, s);
+  for (std::uint32_t sk = ss_off_[stage_idx]; sk < ss_off_[stage_idx + 1];
+       ++sk) {
+    const std::size_t s = ss_ids_[sk];
+    const std::size_t gi = gid(stage_idx, s);
+    if (g_restore_until_[gi] > t) continue;  // still replaying checkpoint
+    g_restore_until_[gi] = -1.0;
+    const double capacity = g_capacity_[gi];
     if (capacity <= 0.0) continue;
 
-    double proc = std::min(g.input_queue, capacity * dt);
+    double proc = std::min(g_input_queue_[gi], capacity * dt);
 
     // Backpressure: output must fit the free space of every outbound
-    // channel.
-    for (Channel* c : out_by_site[s]) {
-      const StageRt& down = stages_[c->to_stage];
-      const double share = channel_share(s, *c);
-      if (share <= 0.0 || op.selectivity <= 0.0) continue;
+    // channel (CSR bucket of this group's channels, precomputed shares).
+    const std::uint32_t ob = out_off_[gi];
+    const std::uint32_t oe = out_off_[gi + 1];
+    for (std::uint32_t k = ob; k < oe; ++k) {
+      const std::size_t ci = out_ids_[k];
+      const double share = c_share_[ci];
+      if (share <= 0.0 || sel <= 0.0) continue;
       // A dead receiver (failed site) blocks its channels entirely. The
       // buffer bound scales with what the channel can actually drain: the
       // receiver's processing capacity for intra-site channels, the link's
       // current fair-share allocation for WAN channels. Both are exogenous
       // to the sender's own throttling, so backpressure releases as soon as
       // the underlying constraint does (no stop-go limit cycle).
-      const double down_capacity =
-          group_capacity_eps(down, static_cast<std::size_t>(c->to.value()));
+      const auto down = static_cast<std::size_t>(chan_[ci].to_stage);
+      const auto down_site = static_cast<std::size_t>(chan_[ci].to_site);
+      const double down_capacity = g_capacity_[gid(down, down_site)];
       double chan_cap = 0.0;
       if (down_capacity > 0.0) {
         // The channel drains at the slower of the link's current allocation
         // and the receiver's processing capacity; a suspended receiver
         // drains nothing (execution halted -> only the floor buffers).
-        double drain_eps = down.suspended ? 0.0 : down_capacity;
-        if (!down.suspended && c->flow.valid()) {
+        double drain_eps = stage_suspended_[down] != 0 ? 0.0 : down_capacity;
+        if (stage_suspended_[down] == 0 && c_flow_[ci] != nullptr) {
           // What the channel could drain next tick: its current allocation
           // plus the link's unused headroom (demand-driven allocations
           // under-report a lightly-loaded link's potential, which would
           // otherwise self-limit backlog draining).
           const double headroom =
-              std::max(0.0, network_.capacity(c->from, c->to, now_) -
-                                network_.link_allocated(c->from, c->to));
+              link_memo(chan_[ci].from_site, chan_[ci].to_site).headroom;
           // A freshly (re)built flow has allocated_mbps = 0 and, on a busy
           // link, near-zero headroom -- but the channel demonstrably drained
           // at delivered_prev last tick, so never estimate below that.
           const double link_eps = std::max(
-              events_per_sec_over(
-                  network_.flow(c->flow).allocated_mbps + headroom,
-                  c->event_bytes),
-              c->delivered_prev / dt);
+              events_per_sec_over(c_flow_[ci]->allocated_mbps + headroom,
+                                  c_event_bytes_[ci]),
+              c_delivered_prev_[ci] / dt);
           drain_eps = std::min(drain_eps, link_eps);
         }
         chan_cap = config_.channel_buffer_floor_events +
                    config_.channel_buffer_sec * drain_eps;
       }
-      const double space = std::max(0.0, chan_cap - c->queue);
-      const double max_proc = space / (op.selectivity * share);
+      const double space = std::max(0.0, chan_cap - c_queue_[ci]);
+      const double max_proc = space / (sel * share);
       if (max_proc < proc) {
         proc = max_proc;
-        stage.backpressured = true;
+        stage_backpressured_[stage_idx] = 1;
       }
     }
     proc = std::max(0.0, proc);
 
-    g.input_queue -= proc;
-    g.processed_prev = proc;
+    g_input_queue_[gi] -= proc;
+    g_processed_prev_[gi] = proc;
     total_processed += proc;
 
     // Window bookkeeping: state resets at tumbling-window boundaries.
-    if (op.window.windowed()) {
-      const double w = op.window.length_sec;
-      if (std::fmod(t, w) < dt) g.window_events = 0.0;
-      g.window_events += proc;
-    } else if (op.stateful()) {
-      g.window_events += proc;  // running state driver (joins w/o window)
+    if (stage_windowed_[stage_idx] != 0) {
+      const double w = stage_window_len_[stage_idx];
+      if (std::fmod(t, w) < dt) g_window_events_[gi] = 0.0;
+      g_window_events_[gi] += proc;
+    } else if (stage_stateful_[stage_idx] != 0) {
+      g_window_events_[gi] += proc;  // running state driver (joins w/o window)
     }
 
     // Emit.
-    const double out = proc * op.selectivity;
-    for (Channel* c : out_by_site[s]) {
-      const double pushed = out * channel_share(s, *c);
+    const double out = proc * sel;
+    for (std::uint32_t k = ob; k < oe; ++k) {
+      const std::size_t ci = out_ids_[k];
+      const double pushed = out * c_share_[ci];
       if (pushed <= 0.0) continue;
-      c->queue += pushed;
-      c->offered += pushed;
+      c_queue_[ci] += pushed;
+      c_offered_[ci] += pushed;
     }
-    stage.emitted += out / dt;
+    stage_emitted_[stage_idx] += out / dt;
   }
 
-  stage.processed += total_processed / dt;
-  if (op.is_source()) {
-    DelayTracker& tracker = source_trackers_[logical_.signature(stage.op)];
-    tracker.record_consumed(total_processed);
+  stage_processed_[stage_idx] += total_processed / dt;
+  if (stage_is_source_[stage_idx] != 0) {
+    stage_tracker_[stage_idx]->record_consumed(total_processed);
     last_.admitted_eps += total_processed / dt;
   }
-  if (op.is_sink()) {
+  if (stage_is_sink_[stage_idx] != 0) {
     last_.sink_eps += total_processed / dt;
   }
 }
 
+const Engine::LinkMemo& Engine::link_memo(std::int32_t from_site,
+                                          std::int32_t to_site) {
+  const std::int64_t key = static_cast<std::int64_t>(from_site) *
+                               static_cast<std::int64_t>(num_sites_) +
+                           to_site;
+  const auto [hit, inserted] = link_memo_.try_emplace(key);
+  if (inserted) {
+    const SiteId from(from_site);
+    const SiteId to(to_site);
+    hit->second.capacity = network_.capacity(from, to, now_);
+    // headroom is only ever consulted for channels backed by a flow, which
+    // are cross-site by construction; intra-site keys skip the allocation
+    // query entirely.
+    if (from_site != to_site) {
+      hit->second.headroom = std::max(
+          0.0, hit->second.capacity - network_.link_allocated(from, to));
+    }
+  }
+  return hit->second;
+}
+
 void Engine::set_flow_demands(double dt) {
-  for (const Channel& c : channels_) {
-    if (!c.flow.valid()) continue;
-    network_.set_stream_demand(c.flow,
-                               stream_mbps(c.queue / dt, c.event_bytes));
+  const std::size_t n = chan_.size();
+  demand_scratch_.resize(n);
+  if (config_.use_fast_kernels) {
+    kernels::flow_demand_mbps(n, c_queue_.data(), c_event_bytes_.data(), dt,
+                              demand_scratch_.data());
+  } else {
+    kernels::flow_demand_mbps_scalar(n, c_queue_.data(),
+                                     c_event_bytes_.data(), dt,
+                                     demand_scratch_.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!chan_[i].flow.valid()) continue;
+    network_.set_stream_demand(chan_[i].flow, demand_scratch_[i]);
   }
 }
 
@@ -407,29 +606,32 @@ void Engine::update_delay_metric(double t) {
   // of the backlog head (exact, from the cumulative curves); each hop adds
   // channel-queue drain time plus link latency; each stage adds its input-
   // queue drain time.
-  std::vector<double> lat(stages_.size(), 0.0);
+  lat_scratch_.assign(num_stages_, 0.0);
   double sink_delay = 0.0;
   for (const std::size_t idx : topo_order_) {
-    const StageRt& stage = stages_[idx];
-    const auto& op = logical_.op(stage.op);
+    const OperatorId op_id(static_cast<std::int64_t>(idx));
     double d = 0.0;
-    if (op.is_source()) {
-      const auto it = source_trackers_.find(logical_.signature(stage.op));
-      d = it != source_trackers_.end() ? it->second.queueing_delay(t) : 0.0;
+    if (stage_is_source_[idx] != 0) {
+      const DelayTracker* tracker = stage_tracker_[idx];
+      d = tracker != nullptr ? tracker->queueing_delay(t) : 0.0;
     } else {
       // Per upstream stage: aggregate its channels into this stage. One tick
       // of offered traffic is in transit by construction; only the excess
       // counts as queueing backlog.
-      for (OperatorId u : logical_.upstream(stage.op)) {
+      for (OperatorId u : logical_.upstream(op_id)) {
         const std::size_t from_idx = stage_index(u);
+        const std::uint32_t eb = edge_off_[from_idx * num_stages_ + idx];
+        const std::uint32_t ee = edge_off_[from_idx * num_stages_ + idx + 1];
         double queue = 0.0, delivered = 0.0, latency_weight = 0.0,
                weighted_latency_ms = 0.0;
-        for (const Channel& c : channels_) {
-          if (c.from_stage != from_idx || c.to_stage != idx) continue;
-          queue += std::max(0.0, c.queue - c.offered);
-          delivered += c.delivered;
-          const double w = c.delivered + c.offered + 1e-9;
-          weighted_latency_ms += w * network_.latency_ms(c.from, c.to);
+        for (std::uint32_t k = eb; k < ee; ++k) {
+          const std::size_t ci = edge_ids_[k];
+          queue += std::max(0.0, c_queue_[ci] - c_offered_[ci]);
+          delivered += c_delivered_[ci];
+          const double w = c_delivered_[ci] + c_offered_[ci] + 1e-9;
+          weighted_latency_ms +=
+              w * network_.latency_ms(SiteId(chan_[ci].from_site),
+                                      SiteId(chan_[ci].to_site));
           latency_weight += w;
         }
         const double hop_latency_sec =
@@ -443,37 +645,45 @@ void Engine::update_delay_metric(double t) {
         double drain_rate = delivered / config_.tick_sec;
         if (drain_rate < 1.0) {
           double link_eps = 0.0;
-          for (const Channel& c : channels_) {
-            if (c.from_stage != from_idx || c.to_stage != idx) continue;
+          for (std::uint32_t k = eb; k < ee; ++k) {
+            const std::size_t ci = edge_ids_[k];
             link_eps += events_per_sec_over(
-                network_.capacity(c.from, c.to, now_), c.event_bytes);
+                link_memo(chan_[ci].from_site, chan_[ci].to_site).capacity,
+                c_event_bytes_[ci]);
           }
           double capacity = 0.0;
-          for (std::size_t s = 0; s < stage.groups.size(); ++s) {
-            capacity += group_capacity_eps(stage, s);
+          for (std::uint32_t sk = ss_off_[idx]; sk < ss_off_[idx + 1]; ++sk) {
+            capacity += g_capacity_[gid(idx, ss_ids_[sk])];
           }
           drain_rate = std::min(link_eps, std::max(capacity, 1.0));
         }
         drain_rate = std::max(drain_rate, 1e-3);
         const double queue_delay =
             queue > 0.0 ? std::min(kMaxDelaySec, queue / drain_rate) : 0.0;
-        d = std::max(d, lat[from_idx] + queue_delay + hop_latency_sec);
+        d = std::max(d, lat_scratch_[from_idx] + queue_delay + hop_latency_sec);
       }
-      // Own input queue drain time.
+      // Own input queue drain time. The queue sum walks every site (events
+      // can be stranded where the stage no longer runs); the capacity sum
+      // only needs hosting sites -- the rest are exact zeros.
       double input_queue = 0.0, capacity = 0.0;
-      for (std::size_t s = 0; s < stage.groups.size(); ++s) {
-        input_queue += stage.groups[s].input_queue;
-        capacity += group_capacity_eps(stage, s);
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        input_queue += g_input_queue_[gid(idx, s)];
+      }
+      for (std::uint32_t sk = ss_off_[idx]; sk < ss_off_[idx + 1]; ++sk) {
+        capacity += g_capacity_[gid(idx, ss_ids_[sk])];
       }
       // Queued input drains at the stage's capacity once it runs (even if
       // currently suspended for a transition).
-      const double service = std::max({stage.processed, capacity, 1.0});
+      const double service =
+          std::max({stage_processed_[idx], capacity, 1.0});
       if (input_queue > 0.0) {
         d += std::min(kMaxDelaySec, input_queue / service);
       }
     }
-    lat[idx] = std::min(kMaxDelaySec, d);
-    if (op.is_sink()) sink_delay = std::max(sink_delay, lat[idx]);
+    lat_scratch_[idx] = std::min(kMaxDelaySec, d);
+    if (stage_is_sink_[idx] != 0) {
+      sink_delay = std::max(sink_delay, lat_scratch_[idx]);
+    }
   }
   last_.delay_sec = sink_delay;
 }
@@ -482,20 +692,39 @@ void Engine::tick(double t) {
   const double dt = config_.tick_sec;
   now_ = t;
 
-  for (StageRt& stage : stages_) {
-    stage.processed = stage.emitted = stage.arrived = 0.0;
-    stage.backpressured = false;
-  }
-  for (Channel& c : channels_) {
-    // delivered_prev is the channel's last *live* drain rate: while the
-    // receiver is suspended (mid-transition), deliver_into() skips it and
-    // `delivered` decays to zero, which must not erase the drain estimate
-    // the post-transition backpressure bound depends on.
-    if (!stages_[c.to_stage].suspended) c.delivered_prev = c.delivered;
-    c.offered = c.delivered = 0.0;
+  // delivered_prev is the channel's last *live* drain rate: while the
+  // receiver is suspended (mid-transition), deliver_into() skips it and
+  // `delivered` decays to zero, which must not erase the drain estimate
+  // the post-transition backpressure bound depends on.
+  if (config_.use_fast_kernels) {
+    kernels::reset_stage_tick(num_stages_, stage_processed_.data(),
+                              stage_emitted_.data(), stage_arrived_.data(),
+                              stage_backpressured_.data());
+    kernels::reset_channel_tick(chan_.size(), c_to_stage_.data(),
+                                stage_suspended_.data(),
+                                c_delivered_prev_.data(), c_delivered_.data(),
+                                c_offered_.data());
+  } else {
+    kernels::reset_stage_tick_scalar(num_stages_, stage_processed_.data(),
+                                     stage_emitted_.data(),
+                                     stage_arrived_.data(),
+                                     stage_backpressured_.data());
+    kernels::reset_channel_tick_scalar(
+        chan_.size(), c_to_stage_.data(), stage_suspended_.data(),
+        c_delivered_prev_.data(), c_delivered_.data(), c_offered_.data());
   }
   prev_delay_sec_ = last_.delay_sec;
   last_ = QueryTickMetrics{};
+  link_memo_.clear();
+  // Group-capacity snapshot: non-hosting groups have exactly zero capacity
+  // (zero tasks), so only hosting groups need the formula evaluated.
+  std::fill(g_capacity_.begin(), g_capacity_.end(), 0.0);
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    for (std::uint32_t sk = ss_off_[i]; sk < ss_off_[i + 1]; ++sk) {
+      const auto s = static_cast<std::size_t>(ss_ids_[sk]);
+      g_capacity_[gid(i, s)] = group_capacity_eps(i, s);
+    }
+  }
 
   if (config_.degrade) apply_degrade_drops(t);
 
@@ -508,20 +737,19 @@ void Engine::tick(double t) {
   // Periodic localized checkpoint (§5): record state sizes per group.
   if (t - last_checkpoint_ >= config_.checkpoint_interval_sec) {
     double checkpointed_mb = 0.0;
-    for (std::size_t i = 0; i < stages_.size(); ++i) {
-      for (std::size_t s = 0; s < stages_[i].groups.size(); ++s) {
-        checkpointed_state_[i][s] = group_state_mb(stages_[i], s);
-        checkpointed_window_[i][s] = stages_[i].groups[s].window_events;
-        checkpointed_mb += checkpointed_state_[i][s];
+    for (std::size_t i = 0; i < num_stages_; ++i) {
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        const std::size_t gi = gid(i, s);
+        checkpointed_state_[gi] = group_state_mb(i, s);
+        checkpointed_window_[gi] = g_window_events_[gi];
+        checkpointed_mb += checkpointed_state_[gi];
       }
     }
     last_checkpoint_ = t;
     if (config_.trace != nullptr && config_.trace->enabled()) {
       config_.trace->event_at(t, "checkpoint").num("state_mb", checkpointed_mb);
     }
-    if (config_.metrics != nullptr) {
-      config_.metrics->counter("engine.checkpoints").inc();
-    }
+    if (config_.metrics != nullptr) mh_.checkpoints->inc();
   }
 
   update_delay_metric(t);
@@ -538,21 +766,20 @@ void Engine::tick(double t) {
 
 void Engine::emit_tick_trace(double t, double dt) {
   if (config_.metrics != nullptr) {
-    obs::MetricsRegistry& reg = *config_.metrics;
-    reg.counter("engine.ticks").inc();
-    reg.gauge("engine.delay_sec").set(last_.delay_sec);
-    reg.gauge("engine.generated_eps").set(last_.generated_eps);
-    reg.gauge("engine.admitted_eps").set(last_.admitted_eps);
-    reg.gauge("engine.sink_eps").set(last_.sink_eps);
-    reg.gauge("engine.processing_ratio").set(last_.processing_ratio);
-    reg.gauge("engine.source_backlog_events").set(source_backlog_events());
+    mh_.ticks->inc();
+    mh_.delay_sec->set(last_.delay_sec);
+    mh_.generated_eps->set(last_.generated_eps);
+    mh_.admitted_eps->set(last_.admitted_eps);
+    mh_.sink_eps->set(last_.sink_eps);
+    mh_.processing_ratio->set(last_.processing_ratio);
+    mh_.source_backlog->set(source_backlog_events());
     int backpressured = 0;
-    for (const StageRt& stage : stages_) {
-      if (stage.backpressured) ++backpressured;
+    for (std::size_t i = 0; i < num_stages_; ++i) {
+      if (stage_backpressured_[i] != 0) ++backpressured;
     }
-    reg.gauge("engine.backpressured_stages").set(backpressured);
+    mh_.backpressured_stages->set(backpressured);
     if (last_.dropped_eps > 0.0) {
-      reg.counter("engine.dropped_events").inc(last_.dropped_eps * dt);
+      mh_.dropped_events->inc(last_.dropped_eps * dt);
     }
   }
 
@@ -567,90 +794,115 @@ void Engine::emit_tick_trace(double t, double dt) {
       .num("dropped_eps", last_.dropped_eps)
       .num("processing_ratio", last_.processing_ratio);
 
-  for (const StageRt& stage : stages_) {
+  for (std::size_t i = 0; i < num_stages_; ++i) {
     // Idle, unsuspended stages with empty queues carry no information; skip
     // them to keep the stream proportional to activity.
     double input_queue = 0.0;
-    for (const Group& g : stage.groups) input_queue += g.input_queue;
-    if (stage.processed <= 0.0 && stage.arrived <= 0.0 && input_queue <= 0.0 &&
-        !stage.backpressured && !stage.suspended) {
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      input_queue += g_input_queue_[gid(i, s)];
+    }
+    if (stage_processed_[i] <= 0.0 && stage_arrived_[i] <= 0.0 &&
+        input_queue <= 0.0 && stage_backpressured_[i] == 0 &&
+        stage_suspended_[i] == 0) {
       continue;
     }
     trace.event_at(t, "op_tick")
-        .num("op", static_cast<double>(stage.op.value()))
-        .str("name", logical_.op(stage.op).name)
-        .num("processed_eps", stage.processed)
-        .num("emitted_eps", stage.emitted)
-        .num("arrived_eps", stage.arrived)
+        .num("op", static_cast<double>(i))
+        .str("name", logical_.op(OperatorId(static_cast<std::int64_t>(i))).name)
+        .num("processed_eps", stage_processed_[i])
+        .num("emitted_eps", stage_emitted_[i])
+        .num("arrived_eps", stage_arrived_[i])
         .num("input_queue_events", input_queue)
-        .num("state_mb", stage_total_state_mb(stage))
-        .flag("backpressured", stage.backpressured)
-        .flag("suspended", stage.suspended);
+        .num("state_mb", stage_total_state_mb(i))
+        .flag("backpressured", stage_backpressured_[i] != 0)
+        .flag("suspended", stage_suspended_[i] != 0);
   }
 
-  for (const Channel& c : channels_) {
-    if (c.offered <= 0.0 && c.delivered <= 0.0 && c.queue <= 0.0) continue;
+  for (std::size_t ci = 0; ci < chan_.size(); ++ci) {
+    if (c_offered_[ci] <= 0.0 && c_delivered_[ci] <= 0.0 &&
+        c_queue_[ci] <= 0.0) {
+      continue;
+    }
+    const ChannelDesc& c = chan_[ci];
     auto event = trace.event_at(t, "channel_tick");
-    event.num("from_op", static_cast<double>(stages_[c.from_stage].op.value()))
-        .num("to_op", static_cast<double>(stages_[c.to_stage].op.value()))
-        .num("from_site", static_cast<double>(c.from.value()))
-        .num("to_site", static_cast<double>(c.to.value()))
-        .num("offered_eps", c.offered / dt)
-        .num("delivered_eps", c.delivered / dt)
-        .num("queue_events", c.queue);
+    event.num("from_op", static_cast<double>(c.from_stage))
+        .num("to_op", static_cast<double>(c.to_stage))
+        .num("from_site", static_cast<double>(c.from_site))
+        .num("to_site", static_cast<double>(c.to_site))
+        .num("offered_eps", c_offered_[ci] / dt)
+        .num("delivered_eps", c_delivered_[ci] / dt)
+        .num("queue_events", c_queue_[ci]);
     if (c.flow.valid() && network_.has_flow(c.flow)) {
       event.num("allocated_mbps", network_.flow(c.flow).allocated_mbps);
     }
   }
 }
 
-void Engine::suspend_stage(OperatorId op) { stage_rt(op).suspended = true; }
-void Engine::resume_stage(OperatorId op) { stage_rt(op).suspended = false; }
+void Engine::suspend_stage(OperatorId op) {
+  stage_suspended_[stage_index(op)] = 1;
+}
+void Engine::resume_stage(OperatorId op) {
+  stage_suspended_[stage_index(op)] = 0;
+}
 
 void Engine::suspend_all() {
-  for (StageRt& s : stages_) s.suspended = true;
+  std::fill(stage_suspended_.begin(), stage_suspended_.end(), char{1});
 }
 
 void Engine::resume_all() {
-  for (StageRt& s : stages_) s.suspended = false;
+  std::fill(stage_suspended_.begin(), stage_suspended_.end(), char{0});
 }
 
 bool Engine::stage_suspended(OperatorId op) const {
-  return stage_rt(op).suspended;
+  return stage_suspended_[stage_index(op)] != 0;
 }
 
 const physical::StagePlacement& Engine::placement(OperatorId op) const {
-  return stage_rt(op).placement;
+  return stage_placement_[stage_index(op)];
 }
 
 void Engine::apply_placement(OperatorId op,
                              const physical::StagePlacement& placement) {
-  StageRt& stage = stage_rt(op);
+  const std::size_t i = stage_index(op);
   const int new_p = placement.parallelism();
   assert(new_p > 0);
 
   double total_queue = 0.0, total_window = 0.0;
-  for (const Group& g : stage.groups) {
-    total_queue += g.input_queue;
-    total_window += g.window_events;
+  for (std::size_t s = 0; s < num_sites_; ++s) {
+    total_queue += g_input_queue_[gid(i, s)];
+    total_window += g_window_events_[gid(i, s)];
   }
 
-  stage.placement = placement;
+  stage_placement_[i] = placement;
+  stage_parallelism_[i] = new_p;
   physical_.mutable_stage_for(op).placement = placement;
-  for (std::size_t s = 0; s < stage.groups.size(); ++s) {
-    Group& g = stage.groups[s];
+  for (std::size_t s = 0; s < num_sites_; ++s) {
+    const std::size_t gi = gid(i, s);
     const double share =
         static_cast<double>(placement.per_site[s]) / static_cast<double>(new_p);
-    g.tasks = placement.per_site[s];
-    g.input_queue = total_queue * share;
-    g.window_events = total_window * share;
+    g_tasks_[gi] = placement.per_site[s];
+    g_input_queue_[gi] = total_queue * share;
+    g_window_events_[gi] = total_window * share;
     // A group mid-way through replaying its checkpoint keeps the pause if it
     // still hosts tasks here -- re-placement does not speed up recovery.
-    if (!(g.restore_until > now_ && placement.per_site[s] > 0)) {
-      g.restore_until = -1.0;
+    if (!(g_restore_until_[gi] > now_ && placement.per_site[s] > 0)) {
+      g_restore_until_[gi] = -1.0;
     }
   }
-  rebuild_adjacent_channels(stage_index(op));
+  // The pinned hot-key site survives reorderings of the placement's site
+  // list; only losing the site entirely re-anchors the skew.
+  if (stage_skew_site_[i] >= 0 &&
+      placement.per_site[static_cast<std::size_t>(stage_skew_site_[i])] == 0) {
+    stage_skew_site_[i] = -1;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      if (placement.per_site[s] > 0) {
+        stage_skew_site_[i] = static_cast<std::int32_t>(s);
+        break;
+      }
+    }
+  }
+  rebuild_stage_sites();
+  rebuild_adjacent_channels(i);
 
   if (config_.trace != nullptr && config_.trace->enabled()) {
     auto event = config_.trace->event("placement");
@@ -680,7 +932,7 @@ void Engine::rebuild_adjacent_channels(std::size_t stage_idx) {
   };
   struct EdgeCarry {
     double queue = 0.0;
-    double drain = 0.0;  // summed delivered_prev of the replaced channels
+    double drain = 0.0;  // summed delivered(_prev) of the replaced channels
   };
   std::vector<std::pair<EdgeKey, EdgeCarry>> edge_carry;
   auto carry_of = [&](EdgeKey key) -> EdgeCarry& {
@@ -691,64 +943,77 @@ void Engine::rebuild_adjacent_channels(std::size_t stage_idx) {
     return edge_carry.back().second;
   };
 
-  std::vector<Channel> kept;
-  kept.reserve(channels_.size());
-  for (Channel& c : channels_) {
-    if (c.from_stage == stage_idx || c.to_stage == stage_idx) {
-      EdgeCarry& carry = carry_of({c.from_stage, c.to_stage});
-      carry.queue += c.queue;
+  // Carry + compaction pass: survivors keep their relative order (and thus
+  // the channel-id order every filtered FP sum visits).
+  std::size_t kept = 0;
+  for (std::size_t ci = 0; ci < chan_.size(); ++ci) {
+    const auto from_stage = static_cast<std::size_t>(chan_[ci].from_stage);
+    const auto to_stage = static_cast<std::size_t>(chan_[ci].to_stage);
+    if (from_stage == stage_idx || to_stage == stage_idx) {
+      EdgeCarry& carry = carry_of({from_stage, to_stage});
+      carry.queue += c_queue_[ci];
       // `delivered` holds the just-completed tick's delivery (freshest for a
       // live receiver); delivered_prev is the retained live rate when the
       // receiver spent the last tick suspended mid-transition.
-      carry.drain += std::max(c.delivered, c.delivered_prev);
-      if (c.flow.valid() && network_.has_flow(c.flow)) {
-        network_.remove_flow(c.flow);
+      carry.drain += std::max(c_delivered_[ci], c_delivered_prev_[ci]);
+      if (chan_[ci].flow.valid() && network_.has_flow(chan_[ci].flow)) {
+        network_.remove_flow(chan_[ci].flow);
       }
     } else {
-      kept.push_back(c);
+      chan_[kept] = chan_[ci];
+      c_queue_[kept] = c_queue_[ci];
+      c_offered_[kept] = c_offered_[ci];
+      c_delivered_[kept] = c_delivered_[ci];
+      c_delivered_prev_[kept] = c_delivered_prev_[ci];
+      c_event_bytes_[kept] = c_event_bytes_[ci];
+      ++kept;
     }
   }
-  channels_ = std::move(kept);
+  chan_.resize(kept);
+  c_queue_.resize(kept);
+  c_offered_.resize(kept);
+  c_delivered_.resize(kept);
+  c_delivered_prev_.resize(kept);
+  c_event_bytes_.resize(kept);
+  c_share_.resize(kept);
+  c_flow_.resize(kept);
+  c_to_stage_.resize(kept);
 
   auto make_edge = [&](std::size_t from_idx, std::size_t to_idx) {
-    const StageRt& from = stages_[from_idx];
-    const StageRt& to = stages_[to_idx];
+    const physical::StagePlacement& fp = stage_placement_[from_idx];
+    const physical::StagePlacement& tp = stage_placement_[to_idx];
     const EdgeCarry carry = carry_of({from_idx, to_idx});
-    const int p_from = from.placement.parallelism();
-    const int p_to = to.placement.parallelism();
+    const int p_from = fp.parallelism();
+    const int p_to = tp.parallelism();
     if (p_from == 0 || p_to == 0) return;
-    for (SiteId su : from.placement.sites()) {
-      for (SiteId sd : to.placement.sites()) {
-        Channel c;
-        c.from_stage = from_idx;
-        c.to_stage = to_idx;
-        c.from = su;
-        c.to = sd;
-        c.event_bytes = logical_.op(from.op).output_event_bytes;
+    const double event_bytes =
+        logical_.op(OperatorId(static_cast<std::int64_t>(from_idx)))
+            .output_event_bytes;
+    for (SiteId su : fp.sites()) {
+      for (SiteId sd : tp.sites()) {
         const double share =
-            (static_cast<double>(from.placement.at(su)) / p_from) *
-            (static_cast<double>(to.placement.at(sd)) / p_to);
-        c.queue = carry.queue * share;
+            (static_cast<double>(fp.at(su)) / p_from) *
+            (static_cast<double>(tp.at(sd)) / p_to);
         // Seed both delivery fields: tick() derives delivered_prev from
         // `delivered` at the start of the next tick when the receiver is
         // live (so a seed in delivered_prev alone would be clobbered by the
         // fresh channel's zero), while a still-suspended receiver skips that
         // update and reads delivered_prev directly.
-        c.delivered = carry.drain * share;
-        c.delivered_prev = carry.drain * share;
-        if (su != sd) c.flow = network_.add_stream_flow(su, sd);
-        channels_.push_back(c);
+        append_channel(from_idx, to_idx, su, sd, event_bytes,
+                       carry.queue * share, carry.drain * share,
+                       carry.drain * share);
       }
     }
   };
 
-  const OperatorId op = stages_[stage_idx].op;
+  const OperatorId op(static_cast<std::int64_t>(stage_idx));
   for (OperatorId u : logical_.upstream(op)) {
     make_edge(stage_index(u), stage_idx);
   }
   for (OperatorId d : logical_.downstream(op)) {
     make_edge(stage_idx, stage_index(d));
   }
+  rebuild_channel_indexes();
 }
 
 void Engine::apply_replan(query::LogicalPlan logical,
@@ -760,6 +1025,9 @@ void Engine::apply_replan(query::LogicalPlan logical,
   };
   std::unordered_map<std::string, Carried> carried;          // stateful ops
   std::unordered_map<std::string, double> source_backlogs;   // source units
+  // Injected key skews follow the operator's signature across the re-plan
+  // (the hot key exists in the data, not in the plan).
+  std::unordered_map<std::string, std::pair<double, std::int32_t>> skews;
   double inflight_source_units = 0.0;
 
   // Rates to convert mid-pipeline events back into source units.
@@ -772,30 +1040,35 @@ void Engine::apply_replan(query::LogicalPlan logical,
   }
   const auto rates = logical_.estimate_rates(src_rates);
 
-  for (const StageRt& stage : stages_) {
-    const auto& op = logical_.op(stage.op);
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    const OperatorId op_id(static_cast<std::int64_t>(i));
     double queue = 0.0, window = 0.0;
-    for (const Group& g : stage.groups) {
-      queue += g.input_queue;
-      window += g.window_events;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      queue += g_input_queue_[gid(i, s)];
+      window += g_window_events_[gid(i, s)];
     }
-    if (op.is_source()) {
-      source_backlogs[logical_.signature(stage.op)] = queue;
+    if (stage_skew_[i] != 1.0) {
+      skews[logical_.signature(op_id)] = {stage_skew_[i], stage_skew_site_[i]};
+    }
+    if (stage_is_source_[i] != 0) {
+      source_backlogs[logical_.signature(op_id)] = queue;
       continue;
     }
-    if (op.stateful()) {
+    if (stage_stateful_[i] != 0) {
       Carried c;
       c.window_events = window;
-      c.state_override = stage.state_override_mb;
-      carried[logical_.signature(stage.op)] = c;
+      c.state_override = stage_state_override_[i];
+      carried[logical_.signature(op_id)] = c;
     }
     // In-flight events at non-source operators are replayed from the source
     // checkpoints: convert to source units via the expected-rate ratio.
     double inbound_channels = 0.0;
-    for (const Channel& c : channels_) {
-      if (stages_[c.to_stage].op == stage.op) inbound_channels += c.queue;
+    for (std::size_t ci = 0; ci < chan_.size(); ++ci) {
+      if (static_cast<std::size_t>(chan_[ci].to_stage) == i) {
+        inbound_channels += c_queue_[ci];
+      }
     }
-    const double op_eps = rates.at(stage.op).input_eps;
+    const double op_eps = rates.at(op_id).input_eps;
     if (op_eps > 0.0 && total_src_eps > 0.0) {
       inflight_source_units +=
           (queue + inbound_channels) * (total_src_eps / op_eps);
@@ -823,6 +1096,13 @@ void Engine::apply_replan(query::LogicalPlan logical,
   assert(logical_.validate().empty());
   build_runtime();
 
+  // The previous execution's delay must not leak into the new one: the
+  // degrade budget (prev_delay_sec_, re-primed from last_.delay_sec at the
+  // next tick) and any not-yet-folded replay credit start from zero.
+  prev_delay_sec_ = 0.0;
+  last_.delay_sec = 0.0;
+  replay_pending_events_ = 0.0;
+
   // 4a. Re-key source rates to the new operator ids and restore backlogs.
   source_rates_.clear();
   for (OperatorId new_src : logical_.sources()) {
@@ -834,35 +1114,62 @@ void Engine::apply_replan(query::LogicalPlan logical,
       }
     }
     const auto bl = source_backlogs.find(logical_.signature(new_src));
-    StageRt& stage = stage_rt(new_src);
+    const std::size_t i = stage_index(new_src);
     if (bl != source_backlogs.end() && bl->second > 0.0) {
       int active_sites = 0;
-      for (const Group& g : stage.groups) {
-        if (g.tasks > 0) ++active_sites;
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        if (g_tasks_[gid(i, s)] > 0) ++active_sites;
       }
       if (active_sites > 0) {
-        for (Group& g : stage.groups) {
-          if (g.tasks > 0) g.input_queue = bl->second / active_sites;
+        for (std::size_t s = 0; s < num_sites_; ++s) {
+          const std::size_t gi = gid(i, s);
+          if (g_tasks_[gi] > 0) g_input_queue_[gi] = bl->second / active_sites;
         }
       }
     }
   }
+  // Dense rate mirror + tracker creation for the new sources; trackers whose
+  // signature no longer names a live source are pruned here.
+  refresh_source_runtime();
 
   // 4b. Restore carried state into matching stateful operators.
   for (const auto& op : logical_.operators()) {
     if (!op.stateful()) continue;
     const auto it = carried.find(logical_.signature(op.id));
     if (it == carried.end()) continue;
-    StageRt& stage = stage_rt(op.id);
-    stage.state_override_mb = it->second.state_override;
-    const int p = stage.placement.parallelism();
+    const std::size_t i = stage_index(op.id);
+    stage_state_override_[i] = it->second.state_override;
+    const int p = stage_parallelism_[i];
     if (p == 0) continue;
-    for (std::size_t s = 0; s < stage.groups.size(); ++s) {
-      const double share = static_cast<double>(stage.placement.per_site[s]) /
-                           static_cast<double>(p);
-      stage.groups[s].window_events = it->second.window_events * share;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      const double share =
+          static_cast<double>(stage_placement_[i].per_site[s]) /
+          static_cast<double>(p);
+      g_window_events_[gid(i, s)] = it->second.window_events * share;
     }
   }
+
+  // 4c. Restore carried skews (re-anchoring if the pinned site no longer
+  // hosts the operator).
+  for (const auto& op : logical_.operators()) {
+    const auto it = skews.find(logical_.signature(op.id));
+    if (it == skews.end()) continue;
+    const std::size_t i = stage_index(op.id);
+    stage_skew_[i] = it->second.first;
+    std::int32_t site = it->second.second;
+    if (site >= 0 &&
+        stage_placement_[i].per_site[static_cast<std::size_t>(site)] == 0) {
+      site = -1;
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        if (stage_placement_[i].per_site[s] > 0) {
+          site = static_cast<std::int32_t>(s);
+          break;
+        }
+      }
+    }
+    stage_skew_site_[i] = site;
+  }
+  recompute_channel_shares();
 
   // 5. Re-inject in-flight events as replayed source work.
   if (inflight_source_units > 0.0) {
@@ -871,7 +1178,7 @@ void Engine::apply_replan(query::LogicalPlan logical,
       total_rate += source_generation_eps(src);
     }
     for (OperatorId src : logical_.sources()) {
-      StageRt& stage = stage_rt(src);
+      const std::size_t i = stage_index(src);
       const double rate = source_generation_eps(src);
       const double share =
           total_rate > 0.0
@@ -879,17 +1186,18 @@ void Engine::apply_replan(query::LogicalPlan logical,
               : 1.0 / static_cast<double>(logical_.sources().size());
       const double units = inflight_source_units * share;
       int active_sites = 0;
-      for (const Group& g : stage.groups) {
-        if (g.tasks > 0) ++active_sites;
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        if (g_tasks_[gid(i, s)] > 0) ++active_sites;
       }
       if (active_sites == 0) continue;
-      for (Group& g : stage.groups) {
-        if (g.tasks > 0) g.input_queue += units / active_sites;
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        const std::size_t gi = gid(i, s);
+        if (g_tasks_[gi] > 0) g_input_queue_[gi] += units / active_sites;
       }
       // Replayed events re-enter the generation curve "now"; their original
       // generation times are unknown to the new execution (documented
       // approximation -- slightly undercounts delay during the transition).
-      source_trackers_[logical_.signature(src)].record_generated(now_, units);
+      stage_tracker_[i]->record_generated(now_, units);
       // The replayed events will be admitted a second time; surface them as
       // generated work too so cumulative processed/generated accounting
       // stays balanced.
@@ -944,24 +1252,25 @@ void Engine::restore_site(SiteId site) {
   double restore_mb = 0.0;
   double max_restore_sec = 0.0;
   double lost_source_units = 0.0;
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    Group& g = stages_[i].groups[s];
-    if (g.tasks == 0) continue;
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    const std::size_t gi = gid(i, s);
+    if (g_tasks_[gi] == 0) continue;
     const double restore_sec =
-        checkpointed_state_[i][s] / config_.local_restore_mb_per_sec;
-    g.restore_until = now_ + restore_sec;
-    restore_mb += checkpointed_state_[i][s];
+        checkpointed_state_[gi] / config_.local_restore_mb_per_sec;
+    g_restore_until_[gi] = now_ + restore_sec;
+    restore_mb += checkpointed_state_[gi];
     max_restore_sec = std::max(max_restore_sec, restore_sec);
 
     // Sources model the durable external stream: their backlog survives the
     // failure (the log retains it), so only operator groups roll back.
-    if (logical_.op(stages_[i].op).is_source()) continue;
+    if (stage_is_source_[i] != 0) continue;
     const double lost =
-        std::max(0.0, g.window_events - checkpointed_window_[i][s]) +
-        g.input_queue;
-    g.window_events = checkpointed_window_[i][s];
-    g.input_queue = 0.0;
-    const double op_eps = rates.at(stages_[i].op).input_eps;
+        std::max(0.0, g_window_events_[gi] - checkpointed_window_[gi]) +
+        g_input_queue_[gi];
+    g_window_events_[gi] = checkpointed_window_[gi];
+    g_input_queue_[gi] = 0.0;
+    const double op_eps =
+        rates.at(OperatorId(static_cast<std::int64_t>(i))).input_eps;
     if (lost > 0.0 && op_eps > 0.0 && total_src_eps > 0.0) {
       lost_source_units += lost * (total_src_eps / op_eps);
     }
@@ -971,7 +1280,7 @@ void Engine::restore_site(SiteId site) {
   // shares, mirroring apply_replan's in-flight replay).
   if (lost_source_units > 0.0) {
     for (OperatorId src : logical_.sources()) {
-      StageRt& stage = stage_rt(src);
+      const std::size_t i = stage_index(src);
       const double rate = source_generation_eps(src);
       const double share =
           total_src_eps > 0.0
@@ -980,14 +1289,15 @@ void Engine::restore_site(SiteId site) {
       const double units = lost_source_units * share;
       if (units <= 0.0) continue;
       int active_sites = 0;
-      for (const Group& g : stage.groups) {
-        if (g.tasks > 0) ++active_sites;
+      for (std::size_t st = 0; st < num_sites_; ++st) {
+        if (g_tasks_[gid(i, st)] > 0) ++active_sites;
       }
       if (active_sites == 0) continue;
-      for (Group& g : stage.groups) {
-        if (g.tasks > 0) g.input_queue += units / active_sites;
+      for (std::size_t st = 0; st < num_sites_; ++st) {
+        const std::size_t gi = gid(i, st);
+        if (g_tasks_[gi] > 0) g_input_queue_[gi] += units / active_sites;
       }
-      source_trackers_[logical_.signature(src)].record_generated(now_, units);
+      stage_tracker_[i]->record_generated(now_, units);
       replay_pending_events_ += units;
     }
   }
@@ -1009,66 +1319,94 @@ bool Engine::site_failed(SiteId site) const {
 }
 
 void Engine::set_state_override_mb(OperatorId op, double mb) {
-  stage_rt(op).state_override_mb = mb;
+  stage_state_override_[stage_index(op)] = mb;
 }
 
 void Engine::set_partition_skew(OperatorId op, double hot_factor) {
   assert(hot_factor > 0.0);
-  stage_rt(op).partition_skew = hot_factor;
+  const std::size_t i = stage_index(op);
+  stage_skew_[i] = hot_factor;
+  if (hot_factor == 1.0) {
+    stage_skew_site_[i] = -1;  // balance restored; nothing to pin
+  } else {
+    // Pin the hot key to the lowest-indexed hosting site *at call time*; it
+    // stays there across later placement changes (see header comment).
+    stage_skew_site_[i] = -1;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      if (stage_placement_[i].per_site[s] > 0) {
+        stage_skew_site_[i] = static_cast<std::int32_t>(s);
+        break;
+      }
+    }
+  }
+  recompute_channel_shares();
 }
 
-double Engine::group_state_mb(const StageRt& stage, std::size_t site) const {
-  const auto& op = logical_.op(stage.op);
-  const int p = stage.placement.parallelism();
-  if (p == 0 || stage.groups[site].tasks == 0) return 0.0;
-  const double share = static_cast<double>(stage.groups[site].tasks) /
-                       static_cast<double>(p);
-  if (stage.state_override_mb >= 0.0) return stage.state_override_mb * share;
-  if (!op.stateful()) return 0.0;
-  if (op.state.fixed_mb >= 0.0) return op.state.fixed_mb * share;
-  return op.state.base_mb * share +
-         op.state.mb_per_kevent * stage.groups[site].window_events / 1e3;
+double Engine::group_state_mb(std::size_t stage, std::size_t site) const {
+  const std::size_t gi = gid(stage, site);
+  const int p = stage_parallelism_[stage];
+  if (p == 0 || g_tasks_[gi] == 0) return 0.0;
+  const double share =
+      static_cast<double>(g_tasks_[gi]) / static_cast<double>(p);
+  if (stage_state_override_[stage] >= 0.0) {
+    return stage_state_override_[stage] * share;
+  }
+  if (stage_stateful_[stage] == 0) return 0.0;
+  if (stage_fixed_mb_[stage] >= 0.0) return stage_fixed_mb_[stage] * share;
+  return stage_base_mb_[stage] * share +
+         stage_mb_per_kevent_[stage] * g_window_events_[gi] / 1e3;
 }
 
-double Engine::stage_total_state_mb(const StageRt& stage) const {
+double Engine::stage_total_state_mb(std::size_t stage) const {
   double total = 0.0;
-  for (std::size_t s = 0; s < stage.groups.size(); ++s) {
+  for (std::size_t s = 0; s < num_sites_; ++s) {
     total += group_state_mb(stage, s);
   }
   return total;
 }
 
 double Engine::state_mb(OperatorId op, SiteId site) const {
-  return group_state_mb(stage_rt(op), static_cast<std::size_t>(site.value()));
+  return group_state_mb(stage_index(op),
+                        static_cast<std::size_t>(site.value()));
 }
 
 double Engine::total_state_mb(OperatorId op) const {
-  return stage_total_state_mb(stage_rt(op));
+  return stage_total_state_mb(stage_index(op));
+}
+
+void Engine::op_metrics_into(OperatorId op, OperatorMetrics& m,
+                             bool include_state) const {
+  const std::size_t i = stage_index(op);
+  m.op = op;
+  m.processed_eps = stage_processed_[i];
+  m.emitted_eps = stage_emitted_[i];
+  m.arrived_eps = stage_arrived_[i];
+  m.selectivity = stage_processed_[i] > 0.0
+                      ? stage_emitted_[i] / stage_processed_[i]
+                      : 1.0;
+  m.backpressured = stage_backpressured_[i] != 0;
+  // The monitoring fast path (include_state == false) skips the fields the
+  // window accumulator never reads: per-site state sizes and the placement
+  // copy (parallelism is available via stage_parallelism()).
+  if (include_state) m.placement = stage_placement_[i];
+  m.input_queue_events = 0.0;
+  m.state_mb_per_site.clear();
+  for (std::size_t s = 0; s < num_sites_; ++s) {
+    m.input_queue_events += g_input_queue_[gid(i, s)];
+    if (include_state) m.state_mb_per_site.push_back(group_state_mb(i, s));
+  }
+  m.channel_backlog_events = 0.0;
+  for (std::uint32_t k = sin_off_[i]; k < sin_off_[i + 1]; ++k) {
+    // One tick of offered traffic is always in transit in this pipeline
+    // model; only the excess is genuine backlog.
+    const std::size_t ci = sin_ids_[k];
+    m.channel_backlog_events += std::max(0.0, c_queue_[ci] - c_offered_[ci]);
+  }
 }
 
 OperatorMetrics Engine::op_metrics(OperatorId op) const {
-  const StageRt& stage = stage_rt(op);
   OperatorMetrics m;
-  m.op = op;
-  m.processed_eps = stage.processed;
-  m.emitted_eps = stage.emitted;
-  m.arrived_eps = stage.arrived;
-  m.selectivity =
-      stage.processed > 0.0 ? stage.emitted / stage.processed : 1.0;
-  m.backpressured = stage.backpressured;
-  m.placement = stage.placement;
-  for (std::size_t s = 0; s < stage.groups.size(); ++s) {
-    m.input_queue_events += stage.groups[s].input_queue;
-    m.state_mb_per_site.push_back(group_state_mb(stage, s));
-  }
-  const std::size_t idx = stage_index(op);
-  for (const Channel& c : channels_) {
-    // One tick of offered traffic is always in transit in this pipeline
-    // model; only the excess is genuine backlog.
-    if (c.to_stage == idx) {
-      m.channel_backlog_events += std::max(0.0, c.queue - c.offered);
-    }
-  }
+  op_metrics_into(op, m);
   return m;
 }
 
@@ -1076,16 +1414,16 @@ std::vector<ChannelMetrics> Engine::channels_into(OperatorId op) const {
   std::vector<ChannelMetrics> out;
   const std::size_t idx = stage_index(op);
   const double dt = config_.tick_sec;
-  for (const Channel& c : channels_) {
-    if (c.to_stage != idx) continue;
+  for (std::uint32_t k = sin_off_[idx]; k < sin_off_[idx + 1]; ++k) {
+    const std::size_t ci = sin_ids_[k];
     ChannelMetrics m;
-    m.from_op = stages_[c.from_stage].op;
+    m.from_op = OperatorId(static_cast<std::int64_t>(chan_[ci].from_stage));
     m.to_op = op;
-    m.from = c.from;
-    m.to = c.to;
-    m.offered_eps = c.offered / dt;
-    m.delivered_eps = c.delivered / dt;
-    m.queue_events = c.queue;
+    m.from = SiteId(chan_[ci].from_site);
+    m.to = SiteId(chan_[ci].to_site);
+    m.offered_eps = c_offered_[ci] / dt;
+    m.delivered_eps = c_delivered_[ci] / dt;
+    m.queue_events = c_queue_[ci];
     out.push_back(m);
   }
   return out;
@@ -1095,23 +1433,26 @@ std::unordered_map<std::int64_t, double> Engine::adjacent_link_mbps(
     OperatorId op) const {
   std::unordered_map<std::int64_t, double> out;
   const std::size_t idx = stage_index(op);
-  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
-  for (const Channel& c : channels_) {
-    if (c.from_stage != idx && c.to_stage != idx) continue;
+  const auto n = static_cast<std::int64_t>(num_sites_);
+  for (std::size_t ci = 0; ci < chan_.size(); ++ci) {
+    const ChannelDesc& c = chan_[ci];
+    if (static_cast<std::size_t>(c.from_stage) != idx &&
+        static_cast<std::size_t>(c.to_stage) != idx) {
+      continue;
+    }
     if (!c.flow.valid() || !network_.has_flow(c.flow)) continue;
-    out[c.from.value() * n + c.to.value()] +=
-        network_.flow(c.flow).allocated_mbps;
+    out[c.from_site * n + c.to_site] += network_.flow(c.flow).allocated_mbps;
   }
   return out;
 }
 
 std::unordered_map<std::int64_t, double> Engine::all_link_mbps() const {
   std::unordered_map<std::int64_t, double> out;
-  const auto n = static_cast<std::int64_t>(network_.topology().num_sites());
-  for (const Channel& c : channels_) {
+  const auto n = static_cast<std::int64_t>(num_sites_);
+  for (std::size_t ci = 0; ci < chan_.size(); ++ci) {
+    const ChannelDesc& c = chan_[ci];
     if (!c.flow.valid() || !network_.has_flow(c.flow)) continue;
-    out[c.from.value() * n + c.to.value()] +=
-        network_.flow(c.flow).allocated_mbps;
+    out[c.from_site * n + c.to_site] += network_.flow(c.flow).allocated_mbps;
   }
   return out;
 }
@@ -1120,11 +1461,11 @@ std::vector<int> Engine::slots_in_use() const {
   // Sources are adapters onto the external streams (Kafka-style readers at
   // the data's site) and do not occupy computing slots; every other task
   // takes one.
-  std::vector<int> used(network_.topology().num_sites(), 0);
-  for (const StageRt& stage : stages_) {
-    if (logical_.op(stage.op).is_source()) continue;
-    for (std::size_t s = 0; s < stage.groups.size(); ++s) {
-      used[s] += stage.groups[s].tasks;
+  std::vector<int> used(num_sites_, 0);
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    if (stage_is_source_[i] != 0) continue;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      used[s] += g_tasks_[gid(i, s)];
     }
   }
   return used;

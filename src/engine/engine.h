@@ -25,8 +25,17 @@
 //  - Degrade mode implements the paper's baseline: events whose latency
 //    would exceed the SLO are shed at the sources (§8.4's "drop late
 //    events"), trading processing ratio for delay.
+//
+// Internals are data-oriented (structure-of-arrays): per-(stage,site) group
+// state and per-channel state live in flat parallel arrays indexed by dense
+// ids, with CSR-style adjacency indexes rebuilt only when the channel set
+// changes. The per-tick loops walk contiguous memory; the ordered floating-
+// point reductions (group sums in site order, channel sums in channel-id
+// order) are preserved exactly, so the SoA engine is bit-identical to the
+// legacy per-object implementation. See DESIGN.md "Engine internals".
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -40,6 +49,8 @@
 #include "query/logical_plan.h"
 
 namespace wasp::obs {
+class Counter;
+class Gauge;
 class MetricsRegistry;
 class TraceEmitter;
 }  // namespace wasp::obs
@@ -66,6 +77,11 @@ struct EngineConfig {
   // localized checkpointing makes restore a local, fast operation).
   double local_restore_mb_per_sec = 200.0;
   double checkpoint_interval_sec = 30.0;
+  // When false, the vectorization-annotated per-tick kernels are swapped for
+  // their scalar reference twins (src/engine/kernels.h). The two are
+  // bit-identical by contract -- this switch exists so tests can prove it on
+  // whole simulations, not for production use.
+  bool use_fast_kernels = true;
   // Optional observability hooks (non-owning; may be null). The trace
   // receives tick/placement/replan/failure/checkpoint events; the registry
   // receives engine.* counters and gauges. See DESIGN.md §6.
@@ -109,7 +125,9 @@ class Engine {
 
   // Replaces the whole plan (query re-planning, §4.3). Stateful operators
   // and sources whose signatures match carry their state/backlog over;
-  // everything else starts fresh.
+  // everything else starts fresh. Delay-metric state of the previous
+  // execution (degrade budget, pending replay) is reset, and source delay
+  // trackers whose signature no longer names a live source are pruned.
   void apply_replan(query::LogicalPlan logical,
                     physical::PhysicalPlan physical);
 
@@ -141,21 +159,54 @@ class Engine {
   [[nodiscard]] double straggler_factor(SiteId site) const;
 
   // Key-skew injection (probing §7's balanced-partitioning assumption):
-  // hash routing into `op` weights its lowest-indexed hosting site's tasks
-  // by `hot_factor` (>1 = hot keys concentrate there). 1.0 restores
-  // balance. Ignored on forward-partitioned edges.
+  // hash routing into `op` weights one hosting site's tasks by `hot_factor`
+  // (>1 = hot keys concentrate there). The hot site is *pinned* to the
+  // lowest-indexed hosting site at call time and stays put across
+  // migrations that reorder or extend the placement (hot keys do not follow
+  // rebalancing); if a later placement removes the pinned site entirely,
+  // the skew re-anchors to the new lowest-indexed hosting site. 1.0
+  // restores balance. Ignored on forward-partitioned edges.
   void set_partition_skew(OperatorId op, double hot_factor);
+  // The site the hot key is currently pinned to; -1 when unskewed.
+  [[nodiscard]] std::int32_t partition_skew_site(OperatorId op) const {
+    return stage_skew_site_[static_cast<std::size_t>(op.value())];
+  }
 
   // --- introspection --------------------------------------------------------
 
   [[nodiscard]] const query::LogicalPlan& logical() const { return logical_; }
+  // Source operator ids of the current plan, cached at (re)build time so
+  // per-tick callers avoid logical().sources()'s allocation.
+  [[nodiscard]] const std::vector<OperatorId>& source_ids() const {
+    return source_ids_;
+  }
   [[nodiscard]] const physical::PhysicalPlan& physical_plan() const {
     return physical_;
   }
   [[nodiscard]] const physical::StagePlacement& placement(OperatorId op) const;
+  // Total task count across all stages; equals physical_plan().total_tasks()
+  // but reads the engine's flat parallelism mirror instead of walking the
+  // plan's stage map.
+  [[nodiscard]] int total_parallelism() const {
+    int total = 0;
+    for (const std::int32_t p : stage_parallelism_) total += p;
+    return total;
+  }
 
-  // Last tick's per-operator metrics.
+  // Last tick's per-operator metrics. The _into form reuses the caller's
+  // vectors (placement, state_mb_per_site) so a per-tick monitoring loop
+  // performs no allocation after warm-up. Pass include_state = false to skip
+  // the costliest fields when the caller only consumes rates/queues/
+  // backpressure: the per-site state-size fill and the placement copy are
+  // both omitted (state_mb_per_site is left empty, placement untouched --
+  // read parallelism via stage_parallelism() instead).
   [[nodiscard]] OperatorMetrics op_metrics(OperatorId op) const;
+  void op_metrics_into(OperatorId op, OperatorMetrics& m,
+                       bool include_state = true) const;
+  // Current parallelism of `op`'s stage (flat-array read).
+  [[nodiscard]] int stage_parallelism(OperatorId op) const {
+    return stage_parallelism_[static_cast<std::size_t>(op.value())];
+  }
   // Last tick's inbound channels of `op`.
   [[nodiscard]] std::vector<ChannelMetrics> channels_into(OperatorId op) const;
   // Last tick's whole-query metrics.
@@ -186,53 +237,65 @@ class Engine {
   // execution vacates its links).
   [[nodiscard]] std::unordered_map<std::int64_t, double> all_link_mbps() const;
 
+  // Tick-accounting internals, exposed for regression tests: the previous
+  // tick's delay (the degrade admission budget), events pending their
+  // one-time fold into generated_eps after a replay, and the number of live
+  // per-source delay trackers (stale ones are pruned on re-plan).
+  [[nodiscard]] double degrade_budget_delay_sec() const {
+    return prev_delay_sec_;
+  }
+  [[nodiscard]] double replay_pending_events() const {
+    return replay_pending_events_;
+  }
+  [[nodiscard]] std::size_t num_source_trackers() const {
+    return source_trackers_.size();
+  }
+
  private:
-  struct Group {
-    int tasks = 0;
-    double input_queue = 0.0;    // events awaiting processing
-    double window_events = 0.0;  // events in the open window (state driver)
-    double restore_until = -1.0; // checkpoint replay deadline after failure
-    double processed_prev = 0.0; // events processed last tick (buffer sizing)
-  };
-
-  struct StageRt {
-    OperatorId op;
-    physical::StagePlacement placement;
-    std::vector<Group> groups;  // indexed by site
-    bool suspended = false;
-    double state_override_mb = -1.0;
-    double partition_skew = 1.0;  // hot-key weight on the first hosting site
-    // Tick observations.
-    double processed = 0.0;
-    double emitted = 0.0;
-    double arrived = 0.0;
-    bool backpressured = false;
-  };
-
-  struct Channel {
-    std::size_t from_stage;  // index into stages_
-    std::size_t to_stage;
-    SiteId from;
-    SiteId to;
-    double queue = 0.0;  // events on the sender side awaiting transfer
-    FlowId flow;         // network flow; invalid for intra-site channels
+  // --- data-oriented layout ------------------------------------------------
+  //
+  // Stage index == operator id (stages are dense and aligned with the
+  // logical plan's ids). Group id: gid = stage * num_sites_ + site. Channels
+  // are parallel arrays indexed by a dense channel id whose order is the
+  // construction order (rebuilds keep survivors' relative order and append
+  // replacements) -- the same order the legacy std::vector<Channel> had, so
+  // every ordered FP reduction over channels visits identical sequences.
+  //
+  // Immutable-per-rebuild channel descriptor; the mutable per-tick state
+  // (queue/offered/delivered/...) lives in the c_* arrays alongside.
+  struct ChannelDesc {
+    std::int32_t from_stage = 0;
+    std::int32_t to_stage = 0;
+    std::int32_t from_site = 0;
+    std::int32_t to_site = 0;
     double event_bytes = 100.0;
-    // Tick observations.
-    double offered = 0.0;
-    double delivered = 0.0;
-    // Previous tick's delivery (events): the drain rate that sizes the
-    // channel's buffer for backpressure purposes.
-    double delivered_prev = 0.0;
+    FlowId flow;  // invalid for intra-site channels
   };
 
   [[nodiscard]] std::size_t stage_index(OperatorId op) const;
-  [[nodiscard]] StageRt& stage_rt(OperatorId op);
-  [[nodiscard]] const StageRt& stage_rt(OperatorId op) const;
-  [[nodiscard]] double group_capacity_eps(const StageRt& stage,
+  [[nodiscard]] std::size_t gid(std::size_t stage, std::size_t site) const {
+    return stage * num_sites_ + site;
+  }
+  [[nodiscard]] double group_capacity_eps(std::size_t stage,
                                           std::size_t site) const;
 
   void build_runtime();
   void teardown_channels();
+  // Appends one channel (creating its network flow when cross-site) to the
+  // parallel arrays. Indexes are stale until rebuild_channel_indexes().
+  void append_channel(std::size_t from_stage, std::size_t to_stage, SiteId su,
+                      SiteId sd, double event_bytes, double queue,
+                      double delivered, double delivered_prev);
+  // Rebuilds the CSR adjacency indexes, cached flow pointers, and the
+  // precomputed routing shares after any change to the channel set.
+  void rebuild_channel_indexes();
+  // Recomputes c_share_ only (placement/skew changed, channels did not).
+  void recompute_channel_shares();
+  [[nodiscard]] double compute_channel_share(std::size_t ci) const;
+  // (Re)creates the per-source delay trackers and dense rate mirror, prunes
+  // trackers whose signature no longer names a live source, and refreshes
+  // the per-stage tracker pointer cache.
+  void refresh_source_runtime();
   // Rebuilds all channels adjacent to `stage_idx`, preserving aggregate
   // queued events per logical edge.
   void rebuild_adjacent_channels(std::size_t stage_idx);
@@ -242,8 +305,8 @@ class Engine {
   void emit_tick_trace(double t, double dt);
   void set_flow_demands(double dt);
   void update_delay_metric(double t);
-  [[nodiscard]] double stage_total_state_mb(const StageRt& stage) const;
-  [[nodiscard]] double group_state_mb(const StageRt& stage,
+  [[nodiscard]] double stage_total_state_mb(std::size_t stage) const;
+  [[nodiscard]] double group_state_mb(std::size_t stage,
                                       std::size_t site) const;
 
   query::LogicalPlan logical_;
@@ -251,15 +314,117 @@ class Engine {
   net::Network& network_;
   EngineConfig config_;
 
-  std::vector<StageRt> stages_;                   // aligned with logical op ids
-  std::vector<std::size_t> topo_order_;           // stage indices, sources first
-  std::vector<Channel> channels_;
+  std::size_t num_stages_ = 0;
+  std::size_t num_sites_ = 0;
+  std::vector<std::size_t> topo_order_;  // stage indices, sources first
+  std::vector<OperatorId> source_ids_;   // cached logical_.sources()
+
+  // Plan-constant per-stage operator properties (rebuilt with the plan).
+  std::vector<double> stage_eps_per_slot_;
+  std::vector<double> stage_selectivity_;
+  std::vector<double> stage_window_len_;
+  std::vector<double> stage_base_mb_;
+  std::vector<double> stage_mb_per_kevent_;
+  std::vector<double> stage_fixed_mb_;
+  std::vector<char> stage_is_source_;
+  std::vector<char> stage_is_sink_;
+  std::vector<char> stage_stateful_;
+  std::vector<char> stage_windowed_;
+  std::vector<char> stage_forward_;  // output partitioning == kForward
+
+  // Mutable per-stage runtime state.
+  std::vector<physical::StagePlacement> stage_placement_;
+  std::vector<std::int32_t> stage_parallelism_;
+  std::vector<char> stage_suspended_;
+  std::vector<char> stage_backpressured_;
+  std::vector<double> stage_state_override_;
+  std::vector<double> stage_skew_;            // hot-key weight factor
+  std::vector<std::int32_t> stage_skew_site_; // pinned hot site; -1 = none
+  std::vector<double> stage_processed_;
+  std::vector<double> stage_emitted_;
+  std::vector<double> stage_arrived_;
+  std::vector<DelayTracker*> stage_tracker_;  // null for non-sources
+
+  // Per-group state, indexed by gid = stage * num_sites_ + site.
+  std::vector<std::int32_t> g_tasks_;
+  std::vector<double> g_input_queue_;   // events awaiting processing
+  std::vector<double> g_window_events_; // events in the open window
+  std::vector<double> g_restore_until_; // checkpoint replay deadline
+  std::vector<double> g_processed_prev_;
+  std::vector<double> g_source_rate_;   // dense mirror of source_rates_
+  // group_capacity_eps() snapshot taken at tick start. Its inputs (tasks,
+  // per-slot rate, straggler factor, failure flags) only change between
+  // ticks, so every in-tick consumer reads the same value the live function
+  // would return -- one multiply per group per tick instead of one per call.
+  std::vector<double> g_capacity_;
+
+  // Per-channel state (parallel arrays; see ChannelDesc above).
+  std::vector<ChannelDesc> chan_;
+  std::vector<double> c_queue_;     // events awaiting transfer (sender side)
+  std::vector<double> c_offered_;
+  std::vector<double> c_delivered_;
+  // Previous tick's delivery (events): the drain rate that sizes the
+  // channel's buffer for backpressure purposes.
+  std::vector<double> c_delivered_prev_;
+  std::vector<double> c_event_bytes_;  // mirror of chan_[i].event_bytes
+  std::vector<double> c_share_;        // precomputed routing share
+  std::vector<const net::Flow*> c_flow_;  // null for intra-site channels
+  std::vector<std::int32_t> c_to_stage_;  // mirror for the reset kernel
+
+  // Hosting sites per stage (ascending site index), rebuilt with every
+  // placement change. Loops guarded by "tasks > 0" iterate these instead of
+  // all sites; capacity sums over them are FP-exact shortcuts because the
+  // skipped groups contribute exact zeros.
+  std::vector<std::uint32_t> ss_off_, ss_ids_;
+  void rebuild_stage_sites();
+
+  // CSR adjacency indexes over channel ids; each bucket lists ids in
+  // ascending order (== the order a filtered scan of the channel vector
+  // would visit, which the ordered FP sums rely on).
+  std::vector<std::uint32_t> in_off_, in_ids_;     // by (to_stage, to_site)
+  std::vector<std::uint32_t> out_off_, out_ids_;   // by (from_stage, from_site)
+  std::vector<std::uint32_t> edge_off_, edge_ids_; // by (from_stage, to_stage)
+  std::vector<std::uint32_t> sin_off_, sin_ids_;   // by to_stage
+
+  // Per-tick scratch (no allocation after warm-up).
+  std::vector<double> want_scratch_;
+  std::vector<double> lat_scratch_;
+  std::vector<double> demand_scratch_;
+  // Per-tick memo of link capacity and headroom (capacity - allocated),
+  // keyed by from*num_sites+to. Both inputs are fixed for the duration of a
+  // tick -- network_.step() runs before Engine::tick() and allocations only
+  // change there -- so channels sharing a link reuse the first computation
+  // bit-for-bit instead of re-querying the network.
+  struct LinkMemo {
+    double capacity = 0.0;
+    double headroom = 0.0;
+  };
+  std::unordered_map<std::int64_t, LinkMemo> link_memo_;
+  const LinkMemo& link_memo(std::int32_t from_site, std::int32_t to_site);
+
+  // Cached metric handles (stable node addresses inside the registry);
+  // resolved once so the per-tick emit path performs no name lookups.
+  struct MetricHandles {
+    obs::Counter* ticks = nullptr;
+    obs::Gauge* delay_sec = nullptr;
+    obs::Gauge* generated_eps = nullptr;
+    obs::Gauge* admitted_eps = nullptr;
+    obs::Gauge* sink_eps = nullptr;
+    obs::Gauge* processing_ratio = nullptr;
+    obs::Gauge* source_backlog = nullptr;
+    obs::Gauge* backpressured_stages = nullptr;
+    obs::Counter* dropped_events = nullptr;
+    obs::Counter* checkpoints = nullptr;
+  };
+  MetricHandles mh_;
+
   std::unordered_map<std::int64_t, double> source_rates_;  // (op,site) -> eps
   std::vector<bool> failed_sites_;
   std::vector<double> straggler_factor_;  // per-site capacity multiplier
 
   // Per-source delay tracking; key is the source's signature so trackers
-  // survive re-planning.
+  // survive re-planning. Entries whose signature stops matching a live
+  // source are pruned on re-plan.
   std::unordered_map<std::string, DelayTracker> source_trackers_;
 
   QueryTickMetrics last_;
@@ -267,12 +432,11 @@ class Engine {
   double replay_pending_events_ = 0.0;  // re-injected by the last re-plan
   double now_ = 0.0;  // end time of the latest tick
   double last_checkpoint_ = 0.0;
-  // Per-stage, per-site state size at the last checkpoint (MB).
-  std::vector<std::vector<double>> checkpointed_state_;
-  // Per-stage, per-site open-window contents at the last checkpoint
-  // (events). restore_site() rolls a recovered group's window back to this
-  // snapshot and re-injects the lost delta at the replayable sources.
-  std::vector<std::vector<double>> checkpointed_window_;
+  // Per-group state size / open-window contents at the last checkpoint,
+  // indexed by gid. restore_site() rolls a recovered group's window back to
+  // this snapshot and re-injects the lost delta at the replayable sources.
+  std::vector<double> checkpointed_state_;
+  std::vector<double> checkpointed_window_;
 };
 
 }  // namespace wasp::engine

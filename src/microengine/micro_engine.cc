@@ -39,16 +39,83 @@ MicroEngine::MicroEngine(const query::LogicalPlan& logical,
       group.op_index = op_index;
       group.site = site;
       group.servers = stage.placement.at(site);
-      const std::size_t index = groups_.size();
-      groups_.push_back(group);
-      groups_of_op_[op_index].push_back(index);
-      group_by_key_.emplace(
-          static_cast<std::int64_t>(op_index) * 4096 + site.value(), index);
+      group.mean_service_sec = 1.0 / op.events_per_sec_per_slot;
+      group.selectivity = op.selectivity;
+      group.window_len_sec = op.window.length_sec;
+      group.out_event_bytes = op.output_event_bytes;
+      group.is_sink = op.is_sink();
+      group.windowed = op.window.windowed();
+      group.forward =
+          op.output_partitioning == query::Partitioning::kForward;
+      groups_of_op_[op_index].push_back(groups_.size());
+      groups_.push_back(std::move(group));
     }
     if (op.is_source()) {
       for (SiteId site : stage.placement.sites()) {
-        sources_.push_back(SourceGen{op_index, site, 0.0});
+        sources_.push_back(SourceGen{op_index, site, 0.0, 0});
       }
+    }
+  }
+
+  // Resolve each generator's group once (the event loop hops straight to it
+  // per record).
+  for (SourceGen& gen : sources_) {
+    gen.group = kNoGroup;
+    for (const std::size_t g : groups_of_op_[gen.op_index]) {
+      if (groups_[g].site == gen.site) {
+        gen.group = g;
+        break;
+      }
+    }
+    assert(gen.group != kNoGroup);
+  }
+
+  // Routing tables: for every (operator, downstream) pair the receiver
+  // groups and their server weights; for every sender group the co-located
+  // forward target. Weights never change (the micro engine runs a fixed
+  // deployment), so the per-record routing draw reuses these vectors.
+  routes_.resize(logical_.num_operators());
+  fwd_target_.assign(groups_.size(), {});
+  for (const auto& op : logical_.operators()) {
+    const auto op_index = static_cast<std::size_t>(op.id.value());
+    for (OperatorId d : logical_.downstream(op.id)) {
+      Route route;
+      route.d_groups = groups_of_op_[static_cast<std::size_t>(d.value())];
+      route.weights.reserve(route.d_groups.size());
+      for (const std::size_t dg : route.d_groups) {
+        route.weights.push_back(static_cast<double>(groups_[dg].servers));
+      }
+      routes_[op_index].push_back(std::move(route));
+    }
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const std::vector<Route>& rts = routes_[groups_[g].op_index];
+    fwd_target_[g].assign(rts.size(), kNoGroup);
+    for (std::size_t ri = 0; ri < rts.size(); ++ri) {
+      for (const std::size_t dg : rts[ri].d_groups) {
+        if (groups_[dg].site == groups_[g].site) {
+          fwd_target_[g][ri] = dg;
+          break;
+        }
+      }
+    }
+  }
+
+  // Dense link state. Bandwidth and latency are topology constants; the
+  // transmission-time expression in deliver() keeps the exact operand order
+  // of a direct topology query, so caching them is bit-neutral.
+  num_sites_ = static_cast<std::size_t>(topology_.num_sites());
+  link_busy_until_.assign(num_sites_ * num_sites_, 0.0);
+  link_bw_mbps_.assign(num_sites_ * num_sites_, 0.0);
+  link_latency_ms_.assign(num_sites_ * num_sites_, 0.0);
+  for (std::size_t from = 0; from < num_sites_; ++from) {
+    for (std::size_t to = 0; to < num_sites_; ++to) {
+      if (from == to) continue;
+      const SiteId sf(static_cast<std::int64_t>(from));
+      const SiteId st(static_cast<std::int64_t>(to));
+      link_bw_mbps_[from * num_sites_ + to] =
+          topology_.base_bandwidth(sf, st);
+      link_latency_ms_[from * num_sites_ + to] = topology_.latency_ms(sf, st);
     }
   }
 }
@@ -64,71 +131,100 @@ void MicroEngine::set_source_rate(OperatorId source, SiteId site, double eps) {
   assert(false && "source/site pair not deployed");
 }
 
-std::size_t MicroEngine::group_index(std::size_t op_index, SiteId site) const {
-  const auto it = group_by_key_.find(
-      static_cast<std::int64_t>(op_index) * 4096 + site.value());
-  assert(it != group_by_key_.end());
-  return it->second;
+void MicroEngine::ring_push(TaskGroup& g, double gen_time) {
+  if (g.count == g.ring.size()) {
+    // Grow to the next power of two, unrolling the ring to the front.
+    const std::size_t old_cap = g.ring.size();
+    std::vector<double> grown(old_cap == 0 ? 64 : old_cap * 2);
+    for (std::size_t i = 0; i < g.count; ++i) {
+      grown[i] = g.ring[(g.head + i) & (old_cap - 1)];
+    }
+    g.ring = std::move(grown);
+    g.head = 0;
+  }
+  g.ring[(g.head + g.count) & (g.ring.size() - 1)] = gen_time;
+  ++g.count;
+}
+
+double MicroEngine::ring_pop(TaskGroup& g) {
+  const double gen_time = g.ring[g.head];
+  g.head = (g.head + 1) & (g.ring.size() - 1);
+  --g.count;
+  return gen_time;
 }
 
 void MicroEngine::schedule(double time, EventKind kind, std::size_t a,
                            Record record) {
-  events_.push(Event{time, next_seq_++, kind, a, record});
+  const Event e{time, next_seq_++, kind, a, record};
+  events_.push_back(e);
+  std::size_t i = events_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!(events_[parent] > e)) break;
+    events_[i] = events_[parent];
+    i = parent;
+  }
+  events_[i] = e;
+}
+
+MicroEngine::Event MicroEngine::pop_event() {
+  const Event top = events_.front();
+  const Event last = events_.back();
+  events_.pop_back();
+  const std::size_t n = events_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t child = 4 * i + 1;
+      if (child >= n) break;
+      std::size_t best = child;
+      const std::size_t end = std::min(child + 4, n);
+      for (std::size_t j = child + 1; j < end; ++j) {
+        if (events_[best] > events_[j]) best = j;
+      }
+      if (!(last > events_[best])) break;
+      events_[i] = events_[best];
+      i = best;
+    }
+    events_[i] = last;
+  }
+  return top;
 }
 
 void MicroEngine::enqueue_record(std::size_t group, double now,
                                  Record record) {
   TaskGroup& g = groups_[group];
-  g.queue.push(record);
+  ring_push(g, record.gen_time);
   if (g.busy < g.servers) start_service(group, now);
 }
 
 void MicroEngine::start_service(std::size_t group, double now) {
   TaskGroup& g = groups_[group];
-  if (g.queue.empty() || g.busy >= g.servers) return;
-  const Record record = g.queue.front();
-  g.queue.pop();
+  if (g.count == 0 || g.busy >= g.servers) return;
+  const Record record{ring_pop(g)};
   ++g.busy;
-  const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
-      g.op_index)));
-  const double mean_service = 1.0 / op.events_per_sec_per_slot;
   const double service = config_.exponential_service
-                             ? rng_.exponential(1.0 / mean_service)
-                             : mean_service;
+                             ? rng_.exponential(1.0 / g.mean_service_sec)
+                             : g.mean_service_sec;
   schedule(now + service, EventKind::kServiceDone, group, record);
 }
 
 void MicroEngine::emit_downstream(std::size_t group, double now, Record record,
                                   std::uint64_t copies) {
   const TaskGroup& g = groups_[group];
-  const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
-      g.op_index)));
-  for (OperatorId d : logical_.downstream(op.id)) {
-    const auto d_index = static_cast<std::size_t>(d.value());
-    const auto& d_groups = groups_of_op_[d_index];
-    if (d_groups.empty()) continue;
+  const std::vector<Route>& rts = routes_[g.op_index];
+  const std::vector<std::size_t>& fwd = fwd_target_[group];
+  for (std::size_t ri = 0; ri < rts.size(); ++ri) {
+    const Route& rt = rts[ri];
+    if (rt.d_groups.empty()) continue;
+    // Routing: forward keeps the record local when a co-located receiver
+    // exists; otherwise hash-partition across the receiver's tasks. The
+    // weighted draw consumes exactly one uniform per routed record, the
+    // same RNG schedule as rebuilding the weights per copy would have.
+    const bool local = g.forward && fwd[ri] != kNoGroup;
     for (std::uint64_t c = 0; c < copies; ++c) {
-      // Routing: forward keeps the record local when a co-located receiver
-      // exists; otherwise hash-partition across the receiver's tasks.
-      std::size_t target = d_groups.front();
-      bool routed = false;
-      if (op.output_partitioning == query::Partitioning::kForward) {
-        for (std::size_t dg : d_groups) {
-          if (groups_[dg].site == g.site) {
-            target = dg;
-            routed = true;
-            break;
-          }
-        }
-      }
-      if (!routed) {
-        std::vector<double> weights;
-        weights.reserve(d_groups.size());
-        for (std::size_t dg : d_groups) {
-          weights.push_back(static_cast<double>(groups_[dg].servers));
-        }
-        target = d_groups[rng_.weighted_index(weights)];
-      }
+      const std::size_t target =
+          local ? fwd[ri] : rt.d_groups[rng_.weighted_index(rt.weights)];
       deliver(group, target, now, record);
     }
   }
@@ -143,18 +239,14 @@ void MicroEngine::deliver(std::size_t from_group, std::size_t to_group,
     return;
   }
   // FIFO serialization on the directed link, then propagation.
-  const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
-      from.op_index)));
-  const double bw = topology_.base_bandwidth(from.site, to.site);
-  const double tx_sec = op.output_event_bytes * kBitsPerByte / (bw * 1e6);
-  const std::int64_t key =
-      from.site.value() * static_cast<std::int64_t>(topology_.num_sites()) +
-      to.site.value();
-  Link& link = links_[key];
-  const double tx_start = std::max(now, link.busy_until);
-  link.busy_until = tx_start + tx_sec;
-  const double arrival =
-      link.busy_until + topology_.latency_ms(from.site, to.site) / 1e3;
+  const std::size_t link =
+      static_cast<std::size_t>(from.site.value()) * num_sites_ +
+      static_cast<std::size_t>(to.site.value());
+  const double bw = link_bw_mbps_[link];
+  const double tx_sec = from.out_event_bytes * kBitsPerByte / (bw * 1e6);
+  const double tx_start = std::max(now, link_busy_until_[link]);
+  link_busy_until_[link] = tx_start + tx_sec;
+  const double arrival = link_busy_until_[link] + link_latency_ms_[link] / 1e3;
   schedule(arrival, EventKind::kLinkDelivered, to_group, record);
 }
 
@@ -162,6 +254,7 @@ MicroResults MicroEngine::run() {
   results_ = MicroResults{};
   const double measure_from = config_.horizon_sec / 2.0;
   std::uint64_t delivered_in_window = 0;
+  events_.reserve(4096);
 
   // Prime source generation and window boundaries.
   for (std::size_t s = 0; s < sources_.size(); ++s) {
@@ -170,16 +263,14 @@ MicroResults MicroEngine::run() {
     }
   }
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
-        groups_[g].op_index)));
-    if (op.window.windowed()) {
-      schedule(op.window.length_sec, EventKind::kWindowBoundary, g, Record{});
+    if (groups_[g].windowed) {
+      schedule(groups_[g].window_len_sec, EventKind::kWindowBoundary, g,
+               Record{});
     }
   }
 
   while (!events_.empty()) {
-    const Event event = events_.top();
-    events_.pop();
+    const Event event = pop_event();
     if (event.time > config_.horizon_sec) break;
     const double now = event.time;
 
@@ -188,7 +279,7 @@ MicroResults MicroEngine::run() {
         SourceGen& gen = sources_[event.a];
         ++results_.generated;
         Record record{now};
-        enqueue_record(group_index(gen.op_index, gen.site), now, record);
+        enqueue_record(gen.group, now, record);
         const double gap = config_.poisson_arrivals
                                ? rng_.exponential(gen.rate)
                                : 1.0 / gen.rate;
@@ -198,22 +289,20 @@ MicroResults MicroEngine::run() {
       case EventKind::kServiceDone: {
         TaskGroup& g = groups_[event.a];
         --g.busy;
-        const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
-            g.op_index)));
-        if (op.is_sink()) {
+        if (g.is_sink) {
           ++results_.delivered;
           if (now >= measure_from) {
             ++delivered_in_window;
             results_.latency.add(now - event.record.gen_time);
           }
-        } else if (op.window.windowed()) {
+        } else if (g.windowed) {
           // Buffer into the open window; emission happens at the boundary.
           ++g.window_count;
           g.window_latest_gen =
               std::max(g.window_latest_gen, event.record.gen_time);
         } else {
           emit_downstream(event.a, now, event.record,
-                          copies_for(op.selectivity, rng_));
+                          copies_for(g.selectivity, rng_));
         }
         start_service(event.a, now);
         break;
@@ -223,20 +312,18 @@ MicroResults MicroEngine::run() {
         break;
       case EventKind::kWindowBoundary: {
         TaskGroup& g = groups_[event.a];
-        const auto& op = logical_.op(OperatorId(static_cast<std::int64_t>(
-            g.op_index)));
         if (g.window_count > 0) {
           // §8.3 semantics: aggregates carry the latest contained event
           // time; output volume follows the selectivity.
           const auto outputs = static_cast<std::uint64_t>(std::ceil(
-              op.selectivity * static_cast<double>(g.window_count)));
+              g.selectivity * static_cast<double>(g.window_count)));
           Record aggregate{g.window_latest_gen};
           emit_downstream(event.a, now, aggregate, outputs);
           g.window_count = 0;
           g.window_latest_gen = 0.0;
         }
-        schedule(now + op.window.length_sec, EventKind::kWindowBoundary,
-                 event.a, Record{});
+        schedule(now + g.window_len_sec, EventKind::kWindowBoundary, event.a,
+                 Record{});
         break;
       }
     }

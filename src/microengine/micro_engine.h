@@ -27,14 +27,23 @@
 //    does not change in the underloaded and capacity-saturated regimes the
 //    tests pin down.
 //
+// Data layout: the event loop runs against flat, precomputed state -- each
+// task group's waiting records live in a power-of-two ring buffer of
+// generation times, per-(operator, downstream) routing tables (target groups
+// + server weights) are built once at construction, and directed-link busy
+// times sit in a dense num_sites^2 vector. Per-event work is array reads;
+// no hashing or allocation happens after warm-up. The deterministic
+// verification contract is strict: all changes preserve the exact event
+// order (time, then schedule sequence) and the exact RNG draw sequence of
+// the straightforward one-object-at-a-time formulation, so results are
+// bit-identical to it.
+//
 // Deliberately small-scale: O(events * log events); use it for seconds of
 // simulated time on single queries, not the full evaluation scenarios.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -80,25 +89,42 @@ class MicroEngine {
   [[nodiscard]] MicroResults run();
 
  private:
+  static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
   struct Record {
     double gen_time = 0.0;
   };
 
-  // One (stage, site) task group.
+  // One (stage, site) task group. Waiting records are generation times in a
+  // power-of-two ring buffer; the operator parameters the event loop touches
+  // are cached here so dispatch never chases the logical plan.
   struct TaskGroup {
     std::size_t op_index = 0;
     SiteId site;
     int servers = 0;
     int busy = 0;
-    std::queue<Record> queue;
+    std::vector<double> ring;  // gen times; capacity is a power of two
+    std::size_t head = 0;
+    std::size_t count = 0;
     // Open-window buffer (windowed operators only).
     std::uint64_t window_count = 0;
     double window_latest_gen = 0.0;
+    // Cached operator parameters.
+    double mean_service_sec = 0.0;
+    double selectivity = 1.0;
+    double window_len_sec = 0.0;
+    double out_event_bytes = 0.0;
+    bool is_sink = false;
+    bool windowed = false;
+    bool forward = false;  // output partitioning is kForward
   };
 
-  // One directed site-pair link with FIFO serialization.
-  struct Link {
-    double busy_until = 0.0;
+  // Precomputed routing for one (operator -> downstream operator) edge: the
+  // receiver's groups and their server-count weights, reused for every
+  // record instead of being rebuilt per copy.
+  struct Route {
+    std::vector<std::size_t> d_groups;
+    std::vector<double> weights;
   };
 
   enum class EventKind {
@@ -124,9 +150,11 @@ class MicroEngine {
     std::size_t op_index = 0;
     SiteId site;
     double rate = 0.0;
+    std::size_t group = 0;  // resolved once; the per-record hop is an index
   };
 
   void schedule(double time, EventKind kind, std::size_t a, Record record);
+  Event pop_event();
   void enqueue_record(std::size_t group, double now, Record record);
   void start_service(std::size_t group, double now);
   void emit_downstream(std::size_t group, double now, Record record,
@@ -134,8 +162,8 @@ class MicroEngine {
   void deliver(std::size_t from_group, std::size_t to_group, double now,
                Record record);
 
-  [[nodiscard]] std::size_t group_index(std::size_t op_index,
-                                        SiteId site) const;
+  static void ring_push(TaskGroup& g, double gen_time);
+  static double ring_pop(TaskGroup& g);
 
   const query::LogicalPlan& logical_;
   const net::Topology& topology_;
@@ -145,11 +173,25 @@ class MicroEngine {
   std::vector<TaskGroup> groups_;
   // op index -> group indices (per hosting site).
   std::vector<std::vector<std::size_t>> groups_of_op_;
-  std::unordered_map<std::int64_t, std::size_t> group_by_key_;
   std::vector<SourceGen> sources_;
-  std::unordered_map<std::int64_t, Link> links_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  // Routing tables: routes_[op] lists one Route per downstream operator (in
+  // logical-plan downstream order); fwd_target_[group][route] is the
+  // co-located receiver group for forward routing, kNoGroup when none.
+  std::vector<std::vector<Route>> routes_;
+  std::vector<std::vector<std::size_t>> fwd_target_;
+
+  // Dense directed-link state, indexed by from*num_sites+to.
+  std::size_t num_sites_ = 0;
+  std::vector<double> link_busy_until_;
+  std::vector<double> link_bw_mbps_;
+  std::vector<double> link_latency_ms_;
+
+  // Pending events in a 4-ary implicit min-heap (earliest time first, seq
+  // tie-break). The (time, seq) order is a strict total order -- seq is
+  // unique -- so the pop sequence is independent of heap layout and arity;
+  // 4-ary just touches fewer cache lines per operation than binary.
+  std::vector<Event> events_;
   std::uint64_t next_seq_ = 0;
   MicroResults results_;
 };

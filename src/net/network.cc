@@ -56,6 +56,7 @@ FlowId Network::add_stream_flow(SiteId from, SiteId to) {
   const FlowId id(next_flow_id_++);
   flows_.emplace(id, Flow{id, from, to, FlowKind::kStream, 0.0, 0.0, 0.0,
                           false});
+  link_groups_dirty_ = true;
   return id;
 }
 
@@ -63,10 +64,32 @@ FlowId Network::add_bulk_flow(SiteId from, SiteId to, double size_mb) {
   const FlowId id(next_flow_id_++);
   Flow f{id, from, to, FlowKind::kBulk, 0.0, 0.0, size_mb, size_mb <= 0.0};
   flows_.emplace(id, f);
+  link_groups_dirty_ = true;
   return id;
 }
 
-void Network::remove_flow(FlowId id) { flows_.erase(id); }
+void Network::remove_flow(FlowId id) {
+  flows_.erase(id);
+  link_groups_dirty_ = true;
+}
+
+void Network::rebuild_link_groups() {
+  link_groups_.clear();
+  local_flows_.clear();
+  link_index_.clear();
+  const auto n = static_cast<std::int64_t>(topology_.num_sites());
+  for (auto& [id, f] : flows_) {
+    if (f.from == f.to) {
+      local_flows_.push_back(&f);
+      continue;
+    }
+    const std::int64_t key = f.from.value() * n + f.to.value();
+    const auto [it, inserted] = link_index_.try_emplace(key, link_groups_.size());
+    if (inserted) link_groups_.push_back(LinkGroup{f.from, f.to, {}});
+    link_groups_[it->second].flows.push_back(&f);
+  }
+  link_groups_dirty_ = false;
+}
 
 void Network::set_stream_demand(FlowId id, double mbps) {
   auto it = flows_.find(id);
@@ -83,19 +106,22 @@ const Flow& Network::flow(FlowId id) const {
 
 bool Network::has_flow(FlowId id) const { return flows_.contains(id); }
 
-void Network::waterfill(std::vector<Flow*>& flows, double capacity) {
+void Network::waterfill(const std::vector<Flow*>& flows, double capacity) {
   // Classic progressive filling. Bulk flows have unbounded demand and end up
-  // with an equal split of whatever streams leave unused.
+  // with an equal split of whatever streams leave unused. The working set is
+  // compacted in place (stably, so the fill order matches the input order)
+  // inside a member scratch vector: no allocation after warm-up.
   double remaining = capacity;
-  std::vector<Flow*> active = flows;
-  for (Flow* f : active) f->allocated_mbps = 0.0;
+  wf_active_.assign(flows.begin(), flows.end());
+  for (Flow* f : wf_active_) f->allocated_mbps = 0.0;
 
-  while (!active.empty() && remaining > 1e-12) {
-    const double share = remaining / static_cast<double>(active.size());
+  std::size_t active = wf_active_.size();
+  while (active > 0 && remaining > 1e-12) {
+    const double share = remaining / static_cast<double>(active);
     bool anyone_satisfied = false;
-    std::vector<Flow*> still_active;
-    still_active.reserve(active.size());
-    for (Flow* f : active) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active; ++i) {
+      Flow* f = wf_active_[i];
       const bool bounded = f->kind == FlowKind::kStream;
       const double want = bounded ? f->demand_mbps - f->allocated_mbps
                                   : std::numeric_limits<double>::infinity();
@@ -104,48 +130,53 @@ void Network::waterfill(std::vector<Flow*>& flows, double capacity) {
         remaining -= want;
         anyone_satisfied = true;
       } else {
-        still_active.push_back(f);
+        wf_active_[kept++] = f;
       }
     }
+    active = kept;
     if (!anyone_satisfied) {
       // Everyone wants at least the equal share: split evenly and stop.
-      const double each =
-          remaining / static_cast<double>(still_active.size());
-      for (Flow* f : still_active) f->allocated_mbps += each;
+      const double each = remaining / static_cast<double>(active);
+      for (std::size_t i = 0; i < active; ++i) {
+        wf_active_[i]->allocated_mbps += each;
+      }
       remaining = 0.0;
       break;
     }
-    active = std::move(still_active);
   }
 }
 
 void Network::step(double t, double dt) {
-  // Group flows by directed link; same-site flows get their full demand.
-  std::unordered_map<std::int64_t, std::vector<Flow*>> per_link;
-  const auto n = static_cast<std::int64_t>(topology_.num_sites());
-  for (auto& [id, f] : flows_) {
-    if (f.kind == FlowKind::kBulk && f.done) {
-      f.allocated_mbps = 0.0;
-      continue;
-    }
-    if (f.from == f.to) {
-      if (site_down(f.from)) {
-        f.allocated_mbps = 0.0;
-      } else {
-        f.allocated_mbps = f.kind == FlowKind::kStream ? f.demand_mbps
-                                                       : kLocalBandwidthMbps;
-      }
-      continue;
-    }
-    per_link[f.from.value() * n + f.to.value()].push_back(&f);
-  }
+  ensure_link_groups();
   const bool tracing = trace_ != nullptr && trace_->enabled();
-  for (auto& [key, flows] : per_link) {
-    const SiteId from(key / n);
-    const SiteId to(key % n);
-    const double cap = capacity(from, to, t);
-    waterfill(flows, cap);
-    if (tracing) {
+  if (tracing) {
+    // Legacy per-step grouping, kept verbatim while tracing: the order of
+    // link_alloc events follows this map's iteration order, which checked-in
+    // golden traces pin down byte-for-byte. The allocations it computes are
+    // bit-identical to the cached path below (same flows, same map order).
+    std::unordered_map<std::int64_t, std::vector<Flow*>> per_link;
+    const auto n = static_cast<std::int64_t>(topology_.num_sites());
+    for (auto& [id, f] : flows_) {
+      if (f.kind == FlowKind::kBulk && f.done) {
+        f.allocated_mbps = 0.0;
+        continue;
+      }
+      if (f.from == f.to) {
+        if (site_down(f.from)) {
+          f.allocated_mbps = 0.0;
+        } else {
+          f.allocated_mbps = f.kind == FlowKind::kStream ? f.demand_mbps
+                                                         : kLocalBandwidthMbps;
+        }
+        continue;
+      }
+      per_link[f.from.value() * n + f.to.value()].push_back(&f);
+    }
+    for (auto& [key, flows] : per_link) {
+      const SiteId from(key / n);
+      const SiteId to(key % n);
+      const double cap = capacity(from, to, t);
+      waterfill(flows, cap);
       double stream_mbps = 0.0, bulk_mbps = 0.0;
       for (const Flow* f : flows) {
         (f->kind == FlowKind::kStream ? stream_mbps : bulk_mbps) +=
@@ -158,6 +189,33 @@ void Network::step(double t, double dt) {
           .num("stream_mbps", stream_mbps)
           .num("bulk_mbps", bulk_mbps)
           .num("num_flows", static_cast<double>(flows.size()));
+    }
+  } else {
+    // Fast path: reuse the link grouping cached at the last flow add/remove.
+    // Group-internal flow order is the flows_ map order of that rebuild, so
+    // waterfill visits flows in the same sequence as the legacy path.
+    for (Flow* f : local_flows_) {
+      if (f->kind == FlowKind::kBulk && f->done) {
+        f->allocated_mbps = 0.0;
+      } else if (site_down(f->from)) {
+        f->allocated_mbps = 0.0;
+      } else {
+        f->allocated_mbps = f->kind == FlowKind::kStream ? f->demand_mbps
+                                                         : kLocalBandwidthMbps;
+      }
+    }
+    for (LinkGroup& g : link_groups_) {
+      waterfill_scratch_.clear();
+      for (Flow* f : g.flows) {
+        if (f->kind == FlowKind::kBulk && f->done) {
+          f->allocated_mbps = 0.0;
+        } else {
+          waterfill_scratch_.push_back(f);
+        }
+      }
+      if (!waterfill_scratch_.empty()) {
+        waterfill(waterfill_scratch_, capacity(g.from, g.to, t));
+      }
     }
   }
 
@@ -187,6 +245,21 @@ std::size_t Network::num_bulk_flows() const {
 }
 
 double Network::link_allocated(SiteId from, SiteId to) const {
+  // Cross-site links sum their cached group, in the same flows_ map order
+  // the full scan below would visit (bit-identical FP sum). Local links and
+  // links with no flows fall through to the scan. The grouping cache is
+  // logically const state (rebuilding it changes no observable allocation).
+  const_cast<Network*>(this)->ensure_link_groups();
+  if (from != to) {
+    const auto n = static_cast<std::int64_t>(topology_.num_sites());
+    const auto it = link_index_.find(from.value() * n + to.value());
+    if (it == link_index_.end()) return 0.0;
+    double total = 0.0;
+    for (const Flow* f : link_groups_[it->second].flows) {
+      total += f->allocated_mbps;
+    }
+    return total;
+  }
   double total = 0.0;
   for (const auto& [id, f] : flows_) {
     if (f.from == from && f.to == to) total += f.allocated_mbps;

@@ -100,14 +100,40 @@ class Network {
 
  private:
   // Max-min fair share for the flows of one link given its capacity. Bulk
-  // flows are treated as having unbounded demand.
-  static void waterfill(std::vector<Flow*>& flows, double capacity);
+  // flows are treated as having unbounded demand. Operates on an internal
+  // scratch copy so the caller's vector keeps its order.
+  void waterfill(const std::vector<Flow*>& flows, double capacity);
+
+  // Flows grouped by directed link, cached across step() calls. Flow churn
+  // (placement changes, migrations) is orders of magnitude rarer than ticks,
+  // so add/remove only mark the cache dirty and the grouping is rebuilt
+  // lazily at the next use -- a whole topology's worth of channels can be
+  // registered in O(F) instead of O(F^2). The rebuild iterates `flows_` in
+  // map order -- the exact order the per-step grouping used to see (the
+  // map's iteration order depends only on its contents, not on when the
+  // rebuild runs) -- so waterfill's progressive filling and link_allocated's
+  // summation visit flows in the same sequence and stay bit-identical.
+  struct LinkGroup {
+    SiteId from;
+    SiteId to;
+    std::vector<Flow*> flows;  // map-iteration order at last rebuild
+  };
+  void rebuild_link_groups();
+  void ensure_link_groups() {
+    if (link_groups_dirty_) rebuild_link_groups();
+  }
 
   Topology topology_;
   std::shared_ptr<const BandwidthModel> model_;
   std::vector<char> link_partitioned_;  // num_sites^2, row-major from*n+to
   std::vector<char> site_down_;         // num_sites
   std::unordered_map<FlowId, Flow> flows_;
+  std::vector<LinkGroup> link_groups_;           // cross-site links
+  std::vector<Flow*> local_flows_;               // from == to
+  std::unordered_map<std::int64_t, std::size_t> link_index_;  // key -> group
+  std::vector<Flow*> waterfill_scratch_;  // active flows of one link
+  std::vector<Flow*> wf_active_;          // waterfill's working set
+  bool link_groups_dirty_ = true;
   std::int64_t next_flow_id_ = 0;
   obs::TraceEmitter* trace_ = nullptr;
 };

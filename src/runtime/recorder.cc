@@ -17,17 +17,33 @@ void Recorder::record_tick(double t, double delay_sec, double ratio,
   total_dropped_ += dropped;
 
   if (metrics_ != nullptr) {
-    metrics_->gauge("runtime.delay_sec").set(delay_sec);
-    metrics_->gauge("runtime.processing_ratio").set(ratio);
-    metrics_->gauge("runtime.parallelism_factor").set(parallelism_factor);
-    metrics_->gauge("runtime.backlog_events").set(backlog_events);
-    metrics_->counter("runtime.generated_events").inc(generated);
-    metrics_->counter("runtime.processed_events").inc(admitted);
-    metrics_->counter("runtime.dropped_events").inc(dropped);
-    if (admitted > 0.0) {
-      metrics_->histogram("runtime.delay_sec").add(delay_sec, admitted);
-    }
+    m_delay_->set(delay_sec);
+    m_ratio_->set(ratio);
+    m_parallelism_->set(parallelism_factor);
+    m_backlog_->set(backlog_events);
+    m_generated_->inc(generated);
+    m_processed_->inc(admitted);
+    m_dropped_->inc(dropped);
+    if (admitted > 0.0) m_delay_hist_->add(delay_sec, admitted);
   }
+}
+
+void Recorder::bind_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_delay_ = m_ratio_ = m_parallelism_ = m_backlog_ = nullptr;
+    m_generated_ = m_processed_ = m_dropped_ = nullptr;
+    m_delay_hist_ = nullptr;
+    return;
+  }
+  m_delay_ = &registry->gauge("runtime.delay_sec");
+  m_ratio_ = &registry->gauge("runtime.processing_ratio");
+  m_parallelism_ = &registry->gauge("runtime.parallelism_factor");
+  m_backlog_ = &registry->gauge("runtime.backlog_events");
+  m_generated_ = &registry->counter("runtime.generated_events");
+  m_processed_ = &registry->counter("runtime.processed_events");
+  m_dropped_ = &registry->counter("runtime.dropped_events");
+  m_delay_hist_ = &registry->histogram("runtime.delay_sec");
 }
 
 double Recorder::processed_fraction() const {

@@ -16,6 +16,8 @@
 #include "common/time_series.h"
 
 namespace wasp::obs {
+class Counter;
+class Gauge;
 class MetricsRegistry;
 }  // namespace wasp::obs
 
@@ -79,8 +81,9 @@ class Recorder {
   // Mirrors every recorded tick into `registry` (runtime.* gauges/counters
   // and the runtime.delay_sec histogram), so external consumers read the
   // recorder's data through the shared registry instead of duplicating it.
-  // Non-owning; pass nullptr to detach.
-  void bind_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+  // Non-owning; pass nullptr to detach. Handles are resolved once here (the
+  // registry's nodes are address-stable) so record_tick does no name lookups.
+  void bind_metrics(obs::MetricsRegistry* registry);
 
   [[nodiscard]] const TimeSeries& delay() const { return delay_; }
   [[nodiscard]] const TimeSeries& ratio() const { return ratio_; }
@@ -120,6 +123,16 @@ class Recorder {
   std::vector<AdaptationEvent> events_;
   std::vector<RecoveryEvent> recovery_events_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // Cached registry handles (resolved in bind_metrics; nullptr when
+  // detached).
+  obs::Gauge* m_delay_ = nullptr;
+  obs::Gauge* m_ratio_ = nullptr;
+  obs::Gauge* m_parallelism_ = nullptr;
+  obs::Gauge* m_backlog_ = nullptr;
+  obs::Counter* m_generated_ = nullptr;
+  obs::Counter* m_processed_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  WeightedHistogram* m_delay_hist_ = nullptr;
 };
 
 }  // namespace wasp::runtime

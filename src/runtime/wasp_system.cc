@@ -243,7 +243,7 @@ void WaspSystem::deploy(workload::QuerySpec spec) {
 
 void WaspSystem::apply_workload() {
   const query::LogicalPlan& plan = engine_->logical();
-  for (OperatorId src : plan.sources()) {
+  for (OperatorId src : engine_->source_ids()) {
     const auto it = pattern_source_ids_.find(plan.op(src).name);
     if (it == pattern_source_ids_.end()) continue;
     for (SiteId site : plan.op(src).pinned_sites) {
@@ -273,8 +273,12 @@ void WaspSystem::step(bool drive_network) {
   // The control plane (detector, adaptation, transition management) freezes
   // during an injected stall; the data plane above keeps running.
   if (!control_stalled()) {
-    detector_.tick(now_,
-                   [this](SiteId s) { return !engine_->site_failed(s); });
+    // The alive callback is a member: a capturing lambda wrapped into
+    // std::function every tick would heap-allocate each time.
+    if (!site_alive_) {
+      site_alive_ = [this](SiteId s) { return !engine_->site_failed(s); };
+    }
+    detector_.tick(now_, site_alive_);
     for (const faults::HealthTransition& ht : detector_.take_transitions()) {
       const char* kind = ht.to == faults::SiteHealth::kTrusted
                              ? "trust"
@@ -337,8 +341,7 @@ void WaspSystem::step(bool drive_network) {
   recorder_.record_tick(
       now_, m.delay_sec, m.processing_ratio,
       initial_tasks_ > 0
-          ? static_cast<double>(engine_->physical_plan().total_tasks()) /
-                initial_tasks_
+          ? static_cast<double>(engine_->total_parallelism()) / initial_tasks_
           : 1.0,
       engine_->source_backlog_events(), m.generated_eps * config_.tick_sec,
       m.admitted_eps * config_.tick_sec, m.dropped_eps * config_.tick_sec);
@@ -679,14 +682,26 @@ void WaspSystem::maybe_recover() {
   if (retry_.pending && now_ < retry_.next_attempt_at) return;
 
   // Confirmed-dead sites still hosting tasks need a recovery re-plan;
-  // abandoned ones wait for the site to come back.
+  // abandoned ones wait for the site to come back. The slot census (which
+  // allocates) is only taken once some site is actually confirmed dead --
+  // the overwhelmingly common healthy tick returns without it.
   std::vector<SiteId> dead;
-  const auto used = engine_->slots_in_use();
-  for (std::size_t s = 0; s < used.size(); ++s) {
+  bool any_confirmed = false;
+  for (std::size_t s = 0; s < recovery_abandoned_.size(); ++s) {
     const SiteId site(static_cast<std::int64_t>(s));
-    if (detector_.confirmed_failed(site) && !recovery_abandoned_[s] &&
-        used[s] > 0) {
-      dead.push_back(site);
+    if (detector_.confirmed_failed(site) && !recovery_abandoned_[s]) {
+      any_confirmed = true;
+      break;
+    }
+  }
+  if (any_confirmed) {
+    const auto used = engine_->slots_in_use();
+    for (std::size_t s = 0; s < used.size(); ++s) {
+      const SiteId site(static_cast<std::int64_t>(s));
+      if (detector_.confirmed_failed(site) && !recovery_abandoned_[s] &&
+          used[s] > 0) {
+        dead.push_back(site);
+      }
     }
   }
   if (dead.empty()) {

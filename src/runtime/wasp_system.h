@@ -252,6 +252,7 @@ class WaspSystem {
   Rng rng_;
   net::WanMonitor wan_monitor_;
   faults::FailureDetector detector_;
+  std::function<bool(SiteId)> site_alive_;  // built once, reused per tick
   physical::Scheduler scheduler_;
   query::QueryPlanner planner_;
   // Declared before policy_/engine_: both hold raw pointers into these and

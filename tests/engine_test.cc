@@ -673,5 +673,129 @@ TEST(EngineTest, ReplanCarriesSourceBacklogAndState) {
   EXPECT_NEAR(f.engine->last_tick().processing_ratio, 1.0, 0.05);
 }
 
+TEST(EngineTest, PartitionSkewStaysPinnedAcrossPlacementChanges) {
+  // The hot key pins to the lowest-indexed hosting site *at skew time* and
+  // must not migrate when a later placement extends or reorders the site
+  // list (a regression pinned it to "first hosting site", which moves).
+  Fixture f(1000.0, 10'000.0);
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {0, 1, 1}});
+  f.engine->set_partition_skew(f.map_id, 3.0);
+  EXPECT_EQ(f.engine->partition_skew_site(f.map_id), 1);
+
+  // Expanding onto site 0 changes the lowest-indexed hosting site; the hot
+  // key stays where the data lives.
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {1, 1, 1}});
+  EXPECT_EQ(f.engine->partition_skew_site(f.map_id), 1);
+  f.run(0.0, 30.0, 9'000.0);
+  double offered_hot = 0.0, offered_cold = 0.0;
+  for (const auto& c : f.engine->channels_into(f.map_id)) {
+    (c.to == SiteId(1) ? offered_hot : offered_cold) += c.offered_eps;
+  }
+  // weights 1:3:1 -> the pinned site draws 3x each cold site's share.
+  EXPECT_NEAR(offered_hot, 3.0 * (offered_cold / 2.0), 300.0);
+
+  // Losing the pinned site re-anchors to the new lowest-indexed hosting
+  // site; a re-plan then carries the pin by operator signature.
+  f.engine->apply_placement(f.map_id, StagePlacement{.per_site = {1, 0, 1}});
+  EXPECT_EQ(f.engine->partition_skew_site(f.map_id), 0);
+  LogicalPlan new_plan = f.plan;
+  PhysicalPlan new_physical;
+  new_physical.add_stage(f.src_id, StagePlacement{.per_site = {1, 0, 0}});
+  new_physical.add_stage(f.map_id, StagePlacement{.per_site = {1, 0, 1}});
+  new_physical.add_stage(f.sink_id, StagePlacement{.per_site = {0, 0, 1}});
+  f.engine->apply_replan(std::move(new_plan), std::move(new_physical));
+  EXPECT_EQ(f.engine->partition_skew_site(f.map_id), 0);
+
+  // Clearing the skew unpins.
+  f.engine->set_partition_skew(f.map_id, 1.0);
+  EXPECT_EQ(f.engine->partition_skew_site(f.map_id), -1);
+}
+
+TEST(EngineTest, ReplanPrunesStaleSourceTrackers) {
+  // Two sources feed one sink; re-planning to a single-source query must
+  // drop the orphaned source's delay tracker (a regression kept trackers
+  // whose signature no longer matched any live source).
+  net::Network network(net::Topology::make_uniform(2, 2, 1000.0, 10.0),
+                       std::make_shared<net::ConstantBandwidth>());
+  LogicalPlan plan;
+  LogicalOperator src_a;
+  src_a.name = "src_a";
+  src_a.kind = OperatorKind::kSource;
+  src_a.events_per_sec_per_slot = 1e6;
+  src_a.pinned_sites = {SiteId(0)};
+  const OperatorId a = plan.add_operator(std::move(src_a));
+  LogicalOperator src_b;
+  src_b.name = "src_b";
+  src_b.kind = OperatorKind::kSource;
+  src_b.events_per_sec_per_slot = 1e6;
+  src_b.pinned_sites = {SiteId(1)};
+  const OperatorId b = plan.add_operator(std::move(src_b));
+  LogicalOperator sink;
+  sink.name = "sink";
+  sink.kind = OperatorKind::kSink;
+  sink.events_per_sec_per_slot = 1e6;
+  const OperatorId k = plan.add_operator(std::move(sink));
+  plan.connect(a, k);
+  plan.connect(b, k);
+  PhysicalPlan physical;
+  physical.add_stage(a, StagePlacement{.per_site = {1, 0}});
+  physical.add_stage(b, StagePlacement{.per_site = {0, 1}});
+  physical.add_stage(k, StagePlacement{.per_site = {1, 0}});
+  Engine engine(plan, physical, network, EngineConfig{});
+  EXPECT_EQ(engine.num_source_trackers(), 2u);
+
+  LogicalPlan pruned;
+  LogicalOperator src_a2;
+  src_a2.name = "src_a";
+  src_a2.kind = OperatorKind::kSource;
+  src_a2.events_per_sec_per_slot = 1e6;
+  src_a2.pinned_sites = {SiteId(0)};
+  const OperatorId a2 = pruned.add_operator(std::move(src_a2));
+  LogicalOperator sink2;
+  sink2.name = "sink";
+  sink2.kind = OperatorKind::kSink;
+  sink2.events_per_sec_per_slot = 1e6;
+  const OperatorId k2 = pruned.add_operator(std::move(sink2));
+  pruned.connect(a2, k2);
+  PhysicalPlan pruned_physical;
+  pruned_physical.add_stage(a2, StagePlacement{.per_site = {1, 0}});
+  pruned_physical.add_stage(k2, StagePlacement{.per_site = {1, 0}});
+  engine.apply_replan(std::move(pruned), std::move(pruned_physical));
+  EXPECT_EQ(engine.num_source_trackers(), 1u);
+}
+
+TEST(EngineTest, ReplanResetsDegradeBudgetAndReplayAccounting) {
+  // A re-plan starts delay accounting fresh: the degrade admission budget
+  // (previous tick's delay) and any not-yet-folded replay events from an
+  // earlier transition must not leak into the new execution.
+  Fixture f;
+  f.engine->suspend_stage(f.map_id);  // grow delay and in-flight channel data
+  f.run(0.0, 20.0, 10'000.0);
+  ASSERT_GT(f.engine->last_tick().delay_sec, 1.0);
+  ASSERT_GT(f.engine->degrade_budget_delay_sec(), 1.0);
+
+  const auto make_replan = [&f](PhysicalPlan& out) {
+    out.add_stage(f.src_id, StagePlacement{.per_site = {1, 0, 0}});
+    out.add_stage(f.map_id, StagePlacement{.per_site = {0, 1, 0}});
+    out.add_stage(f.sink_id, StagePlacement{.per_site = {0, 0, 1}});
+  };
+  LogicalPlan plan1 = f.plan;
+  PhysicalPlan phys1;
+  make_replan(phys1);
+  f.engine->apply_replan(std::move(plan1), std::move(phys1));
+  EXPECT_DOUBLE_EQ(f.engine->degrade_budget_delay_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(f.engine->last_tick().delay_sec, 0.0);
+  // The suspended map left events in flight; the re-plan replays them.
+  EXPECT_GT(f.engine->replay_pending_events(), 0.0);
+
+  // A second re-plan before any tick: fresh channels hold nothing in
+  // flight, and the first re-plan's pending replay must not carry over.
+  LogicalPlan plan2 = f.plan;
+  PhysicalPlan phys2;
+  make_replan(phys2);
+  f.engine->apply_replan(std::move(plan2), std::move(phys2));
+  EXPECT_DOUBLE_EQ(f.engine->replay_pending_events(), 0.0);
+}
+
 }  // namespace
 }  // namespace wasp::engine
