@@ -47,6 +47,7 @@ struct BenchOptions {
   std::string trace_out;
   std::string metrics_out;  // empty unless --metrics was given
   int jobs = 1;             // worker threads for the driver's independent runs
+  int threads = 1;          // intra-run worker threads per simulation
 
   // Parses argv; exits with usage on an unknown flag or an unopenable file.
   static BenchOptions parse(int argc, char** argv) {
@@ -56,12 +57,19 @@ struct BenchOptions {
       const std::string trace_prefix = "--trace-out=";
       const std::string metrics_prefix = "--metrics=";
       const std::string jobs_prefix = "--jobs=";
+      const std::string threads_prefix = "--threads=";
       if (arg == "--help" || arg == "-h") {
         std::cout << argv[0]
-                  << " [--jobs=N] [--trace-out=FILE] [--metrics=FILE]\n"
+                  << " [--jobs=N] [--threads=N] [--trace-out=FILE] "
+                     "[--metrics=FILE]\n"
                      "  --jobs=N          fan independent runs across N "
                      "worker threads\n"
                      "                    (results identical for any N)\n"
+                     "  --threads=N       intra-run worker threads sharing "
+                     "each run's tick\n"
+                     "                    (results identical for any N; keep "
+                     "jobs*threads\n"
+                     "                    within the machine's cores)\n"
                      "  --trace-out=FILE  write the observability trace "
                      "(JSONL) to FILE;\n"
                      "                    with --jobs>1 each traced run gets "
@@ -77,9 +85,12 @@ struct BenchOptions {
         opts.metrics_out = arg.substr(metrics_prefix.size());
       } else if (arg.rfind(jobs_prefix, 0) == 0) {
         opts.jobs = std::max(1, std::atoi(arg.substr(jobs_prefix.size()).c_str()));
+      } else if (arg.rfind(threads_prefix, 0) == 0) {
+        opts.threads =
+            std::max(1, std::atoi(arg.substr(threads_prefix.size()).c_str()));
       } else {
         std::cerr << "unknown argument: " << arg
-                  << " (supported: --jobs=N --trace-out=FILE "
+                  << " (supported: --jobs=N --threads=N --trace-out=FILE "
                      "--metrics=FILE)\n";
         std::exit(2);
       }

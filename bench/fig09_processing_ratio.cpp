@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     pattern.add_step(300.0, 2.0);
     pattern.add_step(600.0, 1.0);
     runtime::SystemConfig config;
+    config.threads = opts.threads;
     config.mode = kModes[m];
     config.slo_sec = 10.0;
     if (kModes[m] == runtime::AdaptationMode::kWasp) {

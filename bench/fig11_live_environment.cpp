@@ -25,7 +25,8 @@ struct LiveRun {
 
 LiveRun run_mode(wasp::runtime::AdaptationMode mode,
                  wasp::TimeSeries* variation_out,
-                 std::shared_ptr<wasp::obs::TraceSink> trace_sink = nullptr) {
+                 std::shared_ptr<wasp::obs::TraceSink> trace_sink = nullptr,
+                 int threads = 1) {
   using namespace wasp;
   using namespace wasp::bench;
 
@@ -65,6 +66,7 @@ LiveRun run_mode(wasp::runtime::AdaptationMode mode,
   }
 
   runtime::SystemConfig config;
+  config.threads = threads;
   config.mode = mode;
   config.slo_sec = 10.0;
   config.trace_sink = std::move(trace_sink);
@@ -109,7 +111,8 @@ int main(int argc, char** argv) {
     runs[i] = run_mode(
         mode, mode == runtime::AdaptationMode::kNoAdapt ? variations : nullptr,
         mode == runtime::AdaptationMode::kWasp ? opts.sink_for("wasp")
-                                               : nullptr);
+                                               : nullptr,
+        opts.threads);
   });
   for (std::size_t i = 0; i < runs.size(); ++i) {
     opts.write_metrics(to_string(kModes[i]), runs[i].metrics);

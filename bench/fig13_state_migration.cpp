@@ -39,6 +39,7 @@ MigrationRun run_strategy(wasp::state::MigrationStrategy strategy,
   auto pattern = uniform_rates(spec, 10'000.0);
 
   runtime::SystemConfig config;
+  config.threads = opts.threads;
   config.mode = runtime::AdaptationMode::kNoAdapt;  // controlled experiment
   config.migration = strategy;
   config.trace_sink = opts.sink;  // forced migrations still emit spans

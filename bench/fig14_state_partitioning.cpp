@@ -42,6 +42,7 @@ Run run_case(double state_mb, bool partitioned,
   auto pattern = uniform_rates(spec, 10'000.0);
 
   runtime::SystemConfig config;
+  config.threads = opts.threads;
   config.mode = runtime::AdaptationMode::kNoAdapt;
   config.migration = state::MigrationStrategy::kNetworkAware;
   config.trace_sink = opts.sink;  // forced migrations still emit spans

@@ -46,6 +46,8 @@ struct Options {
   double duration = 900.0;
   double rate = 10'000.0;
   std::uint64_t seed = 7;
+  int sites = 0;    // 0 = the 16-site paper testbed
+  int threads = 1;  // intra-run worker threads
   double slo = 10.0;
   std::string slo_spec;  // --slo=key=value,... (watchdog form)
   double alpha = 0.8;
@@ -74,6 +76,15 @@ void print_usage() {
   --duration=SECONDS               simulated runtime (default 900)
   --rate=EPS                       base events/s per source site (default 10000)
   --seed=N                         master seed (default 7)
+  --sites=N                        run on a uniform N-site clique (4 slots,
+                                   500 Mbps, 20 ms) instead of the 16-site
+                                   paper testbed; site 0 hosts the sink, the
+                                   rest feed sources (scale experiments)
+  --threads=N                      intra-run worker threads sharing one run's
+                                   tick (default 1). Results and traces are
+                                   bit-identical for any N; combine with a
+                                   sweep's --jobs so jobs x threads stays
+                                   within the machine's cores
   --slo=SECONDS                    degrade/hybrid SLO (default 10)
   --slo=SPEC                       declarative SLO watchdog instead: comma-
                                    separated bounds evaluated per tick over a
@@ -143,6 +154,18 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->rate = std::stod(*v);
     } else if (auto v = value_of("--seed")) {
       opts->seed = std::stoull(*v);
+    } else if (auto v = value_of("--sites")) {
+      opts->sites = std::stoi(*v);
+      if (opts->sites < 2) {
+        std::cerr << "--sites needs at least 2 (sink + a source site)\n";
+        return false;
+      }
+    } else if (auto v = value_of("--threads")) {
+      opts->threads = std::stoi(*v);
+      if (opts->threads < 1) {
+        std::cerr << "--threads must be >= 1\n";
+        return false;
+      }
     } else if (auto v = value_of("--slo")) {
       // Two forms: a plain number is the legacy degrade/hybrid SLO seconds;
       // anything with '=' is a declarative watchdog spec.
@@ -221,7 +244,10 @@ int main(int argc, char** argv) {
 
   // --- substrate -----------------------------------------------------------
   Rng rng(opts.seed);
-  net::Topology topo = net::Topology::make_paper_testbed(rng);
+  net::Topology topo = opts.sites > 0
+                           ? net::Topology::make_uniform(opts.sites, 4, 500.0,
+                                                         20.0)
+                           : net::Topology::make_paper_testbed(rng);
 
   std::shared_ptr<const net::BandwidthModel> bw_model =
       std::make_shared<net::ConstantBandwidth>();
@@ -257,13 +283,25 @@ int main(int argc, char** argv) {
 
   std::vector<SiteId> east, west, edges, dcs;
   SiteId sink;
-  for (const auto& site : topo.sites()) {
-    if (site.type == net::SiteType::kEdge) {
-      (east.size() <= west.size() ? east : west).push_back(site.id);
-      edges.push_back(site.id);
-    } else {
+  if (opts.sites > 0) {
+    // Uniform clique (scale experiments): site 0 is the sink hub, every
+    // other site feeds sources, split east/west by parity.
+    sink = topo.sites().front().id;
+    for (const auto& site : topo.sites()) {
       dcs.push_back(site.id);
-      if (!sink.valid()) sink = site.id;
+      if (site.id == sink) continue;
+      edges.push_back(site.id);
+      (site.id.value() % 2 != 0 ? east : west).push_back(site.id);
+    }
+  } else {
+    for (const auto& site : topo.sites()) {
+      if (site.type == net::SiteType::kEdge) {
+        (east.size() <= west.size() ? east : west).push_back(site.id);
+        edges.push_back(site.id);
+      } else {
+        dcs.push_back(site.id);
+        if (!sink.valid()) sink = site.id;
+      }
     }
   }
 
@@ -329,6 +367,7 @@ int main(int argc, char** argv) {
   config.slo_sec = opts.slo;
   config.scheduler.alpha = opts.alpha;
   config.seed = opts.seed;
+  config.threads = opts.threads;
   if (!opts.slo_spec.empty()) {
     std::string error;
     const auto spec = runtime::SloSpec::parse(opts.slo_spec, &error);
@@ -410,6 +449,8 @@ int main(int argc, char** argv) {
           << "  \"duration_sim_sec\": " << opts.duration << ",\n"
           << "  \"rate_eps_per_site\": " << opts.rate << ",\n"
           << "  \"seed\": " << opts.seed << ",\n"
+          << "  \"sites\": " << topo.num_sites() << ",\n"
+          << "  \"threads\": " << opts.threads << ",\n"
           << "  \"wall_ms\": " << wall_ms << ",\n"
           << "  \"ticks\": " << ticks << ",\n"
           << "  \"ticks_per_sec\": " << (wall_ms > 0.0 ? ticks * 1e3 / wall_ms

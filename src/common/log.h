@@ -31,4 +31,19 @@ void log(LogLevel level, Args&&... args) {
   internal::emit(level, os.str());
 }
 
+// Invariant check that stays armed in Release builds. Where assert() would
+// compile away under NDEBUG and let the program limp on in a corrupt state,
+// check() logs at Error and throws std::logic_error -- callers that can
+// recover may catch it; everyone else fails loudly instead of silently.
+template <typename... Args>
+void check(bool ok, Args&&... args) {
+  if (ok) [[likely]] {
+    return;
+  }
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  internal::emit(LogLevel::kError, os.str());
+  throw std::logic_error(os.str());
+}
+
 }  // namespace wasp

@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/units.h"
 #include "engine/kernels.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -18,6 +19,11 @@ namespace {
 // not infinity (keeps CDFs and log-scale plots well-behaved).
 constexpr double kMaxDelaySec = 1e5;
 
+// Channels per parallel-region chunk. A layout constant, deliberately not a
+// function of the worker count: chunk boundaries (and therefore which data
+// each chunk touches) must be identical for --threads 1 and --threads N.
+constexpr std::size_t kChanChunk = 512;
+
 }  // namespace
 
 Engine::Engine(query::LogicalPlan logical, physical::PhysicalPlan physical,
@@ -26,7 +32,8 @@ Engine::Engine(query::LogicalPlan logical, physical::PhysicalPlan physical,
       physical_(std::move(physical)),
       network_(network),
       config_(config) {
-  assert(logical_.validate().empty());
+  check(logical_.validate().empty(),
+        "engine: constructed with an invalid logical plan");
   failed_sites_.assign(network_.topology().num_sites(), false);
   straggler_factor_.assign(network_.topology().num_sites(), 1.0);
   build_runtime();
@@ -84,6 +91,8 @@ void Engine::build_runtime() {
   g_processed_prev_.assign(num_groups, 0.0);
   g_source_rate_.assign(num_groups, 0.0);
   g_capacity_.assign(num_groups, 0.0);
+  proc_scratch_.assign(num_groups, 0.0);
+  bp_scratch_.assign(num_groups, 0);
 
   for (const auto& op : logical_.operators()) {
     const auto i = static_cast<std::size_t>(op.id.value());
@@ -189,6 +198,11 @@ void Engine::append_channel(std::size_t from_stage, std::size_t to_stage,
 
 void Engine::rebuild_channel_indexes() {
   const std::size_t n = chan_.size();
+  want_by_channel_.assign(n, 0.0);
+  d_qexcess_.assign(n, 0.0);
+  d_weight_.assign(n, 0.0);
+  d_wlat_.assign(n, 0.0);
+  d_linkeps_.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     c_to_stage_[i] = chan_[i].to_stage;
     c_flow_[i] = chan_[i].flow.valid() ? &network_.flow(chan_[i].flow)
@@ -323,7 +337,8 @@ double Engine::group_capacity_eps(std::size_t stage, std::size_t site) const {
 }
 
 void Engine::set_straggler(SiteId site, double factor) {
-  assert(factor >= 0.0);
+  check(factor >= 0.0, "engine: negative straggler factor ", factor,
+        " for site ", site.value());
   straggler_factor_[static_cast<std::size_t>(site.value())] = factor;
 }
 
@@ -332,7 +347,8 @@ double Engine::straggler_factor(SiteId site) const {
 }
 
 void Engine::set_source_rate(OperatorId source, SiteId site, double eps) {
-  assert(logical_.op(source).is_source());
+  check(logical_.op(source).is_source(), "engine: set_source_rate on operator ",
+        source.value(), ", which is not a source");
   const auto n = static_cast<std::int64_t>(num_sites_);
   const double clamped = std::max(0.0, eps);
   source_rates_[source.value() * n + site.value()] = clamped;
@@ -393,22 +409,41 @@ void Engine::apply_degrade_drops(double t) {
   }
 }
 
-void Engine::deliver_into(std::size_t stage_idx, double dt) {
-  if (stage_suspended_[stage_idx] != 0) return;
+void Engine::run_region(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (config_.pool != nullptr) {
+    config_.pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
 
-  // Inbound channels grouped by destination site (CSR bucket), rationing the
-  // receiver's free input-buffer space proportionally to what each channel
-  // can ship. Only hosting sites can accept (capacity is zero elsewhere).
-  for (std::uint32_t sk = ss_off_[stage_idx]; sk < ss_off_[stage_idx + 1];
-       ++sk) {
-    const std::size_t s = ss_ids_[sk];
-    const std::size_t gi = gid(stage_idx, s);
-    const std::uint32_t begin = in_off_[gi];
-    const std::uint32_t end = in_off_[gi + 1];
-    if (begin == end) continue;
-    const double capacity = g_capacity_[gi];
-    if (capacity <= 0.0) continue;         // failed or empty group
-    if (g_restore_until_[gi] > now_) continue;  // replaying checkpoint
+// Fused deliver+process for one hosting site of `par_stage_` -- the region
+// chunk of the per-stage pass. Legally reordered from the legacy
+// "deliver_into(all sites) then process_stage(all sites)" sequence: a site's
+// process step reads only state its own deliver step (or earlier topo
+// stages) wrote -- in-channel and out-channel sets of one stage are disjoint
+// (the plan is a DAG, no self-loops) and every per-gid array is touched only
+// by its own site's chunk -- so fusing per site changes no value, and chunks
+// for different sites are shared-nothing. Cross-site accumulators
+// (stage_arrived_/stage_emitted_/total processed/backpressure) are NOT
+// updated here; tick() recombines them serially in legacy operand order from
+// c_delivered_ / proc_scratch_ / bp_scratch_.
+void Engine::stage_site_chunk(std::size_t k) {
+  const std::size_t stage_idx = par_stage_;
+  const double t = now_;
+  const double dt = config_.tick_sec;
+  const std::size_t s = ss_ids_[ss_off_[stage_idx] + k];
+  const std::size_t gi = gid(stage_idx, s);
+  proc_scratch_[gi] = 0.0;
+  bp_scratch_[gi] = 0;
+
+  // --- deliver: ration the receiver's free input-buffer space over its
+  // inbound channels, proportionally to what each channel can ship. ---
+  const double capacity = g_capacity_[gi];
+  const std::uint32_t ib = in_off_[gi];
+  const std::uint32_t ie = in_off_[gi + 1];
+  if (ib != ie && capacity > 0.0 && !(g_restore_until_[gi] > t)) {
     // The group accepts one tick's worth of processing capacity plus a
     // small floor: deliveries never throttle a keeping-up stage (nor slow a
     // post-adaptation catch-up burst), while an overloaded stage parks at
@@ -417,148 +452,113 @@ void Engine::deliver_into(std::size_t stage_idx, double dt) {
     const double input_cap =
         config_.input_buffer_floor_events + capacity * dt;
     const double space = std::max(0.0, input_cap - g_input_queue_[gi]);
-    if (space <= 0.0) continue;
-
-    want_scratch_.resize(end - begin);
-    double total_want = 0.0;
-    for (std::uint32_t k = begin; k < end; ++k) {
-      const std::size_t ci = in_ids_[k];
-      double transferable = c_queue_[ci];
-      if (c_flow_[ci] != nullptr) {
-        const double mbps = c_flow_[ci]->allocated_mbps;
-        transferable =
-            std::min(transferable,
-                     events_per_sec_over(mbps, c_event_bytes_[ci]) * dt);
-      }
-      want_scratch_[k - begin] = transferable;
-      total_want += transferable;
-    }
-    if (total_want <= 0.0) continue;
-    const double factor = std::min(1.0, space / total_want);
-    for (std::uint32_t k = begin; k < end; ++k) {
-      const std::size_t ci = in_ids_[k];
-      const double moved = want_scratch_[k - begin] * factor;
-      c_queue_[ci] -= moved;
-      c_delivered_[ci] += moved;
-      g_input_queue_[gi] += moved;
-      stage_arrived_[stage_idx] += moved / dt;
-    }
-  }
-}
-
-void Engine::process_stage(std::size_t stage_idx, double t, double dt) {
-  // Sources generate regardless of suspension: the external stream does not
-  // pause for us; events accumulate in the (replayable) source backlog.
-  if (stage_is_source_[stage_idx] != 0) {
-    double generated = 0.0;
-    for (std::size_t s = 0; s < num_sites_; ++s) {
-      const std::size_t gi = gid(stage_idx, s);
-      const double events = g_source_rate_[gi] * dt;
-      g_input_queue_[gi] += events;
-      generated += events;
-    }
-    stage_tracker_[stage_idx]->record_generated(t, generated);
-    last_.generated_eps += generated / dt;
-  }
-
-  if (stage_suspended_[stage_idx] != 0) return;
-
-  const double sel = stage_selectivity_[stage_idx];
-  double total_processed = 0.0;
-  for (std::uint32_t sk = ss_off_[stage_idx]; sk < ss_off_[stage_idx + 1];
-       ++sk) {
-    const std::size_t s = ss_ids_[sk];
-    const std::size_t gi = gid(stage_idx, s);
-    if (g_restore_until_[gi] > t) continue;  // still replaying checkpoint
-    g_restore_until_[gi] = -1.0;
-    const double capacity = g_capacity_[gi];
-    if (capacity <= 0.0) continue;
-
-    double proc = std::min(g_input_queue_[gi], capacity * dt);
-
-    // Backpressure: output must fit the free space of every outbound
-    // channel (CSR bucket of this group's channels, precomputed shares).
-    const std::uint32_t ob = out_off_[gi];
-    const std::uint32_t oe = out_off_[gi + 1];
-    for (std::uint32_t k = ob; k < oe; ++k) {
-      const std::size_t ci = out_ids_[k];
-      const double share = c_share_[ci];
-      if (share <= 0.0 || sel <= 0.0) continue;
-      // A dead receiver (failed site) blocks its channels entirely. The
-      // buffer bound scales with what the channel can actually drain: the
-      // receiver's processing capacity for intra-site channels, the link's
-      // current fair-share allocation for WAN channels. Both are exogenous
-      // to the sender's own throttling, so backpressure releases as soon as
-      // the underlying constraint does (no stop-go limit cycle).
-      const auto down = static_cast<std::size_t>(chan_[ci].to_stage);
-      const auto down_site = static_cast<std::size_t>(chan_[ci].to_site);
-      const double down_capacity = g_capacity_[gid(down, down_site)];
-      double chan_cap = 0.0;
-      if (down_capacity > 0.0) {
-        // The channel drains at the slower of the link's current allocation
-        // and the receiver's processing capacity; a suspended receiver
-        // drains nothing (execution halted -> only the floor buffers).
-        double drain_eps = stage_suspended_[down] != 0 ? 0.0 : down_capacity;
-        if (stage_suspended_[down] == 0 && c_flow_[ci] != nullptr) {
-          // What the channel could drain next tick: its current allocation
-          // plus the link's unused headroom (demand-driven allocations
-          // under-report a lightly-loaded link's potential, which would
-          // otherwise self-limit backlog draining).
-          const double headroom =
-              link_memo(chan_[ci].from_site, chan_[ci].to_site).headroom;
-          // A freshly (re)built flow has allocated_mbps = 0 and, on a busy
-          // link, near-zero headroom -- but the channel demonstrably drained
-          // at delivered_prev last tick, so never estimate below that.
-          const double link_eps = std::max(
-              events_per_sec_over(c_flow_[ci]->allocated_mbps + headroom,
-                                  c_event_bytes_[ci]),
-              c_delivered_prev_[ci] / dt);
-          drain_eps = std::min(drain_eps, link_eps);
+    if (space > 0.0) {
+      double total_want = 0.0;
+      for (std::uint32_t k2 = ib; k2 < ie; ++k2) {
+        const std::size_t ci = in_ids_[k2];
+        double transferable = c_queue_[ci];
+        if (c_flow_[ci] != nullptr) {
+          const double mbps = c_flow_[ci]->allocated_mbps;
+          transferable =
+              std::min(transferable,
+                       events_per_sec_over(mbps, c_event_bytes_[ci]) * dt);
         }
-        chan_cap = config_.channel_buffer_floor_events +
-                   config_.channel_buffer_sec * drain_eps;
+        want_by_channel_[ci] = transferable;
+        total_want += transferable;
       }
-      const double space = std::max(0.0, chan_cap - c_queue_[ci]);
-      const double max_proc = space / (sel * share);
-      if (max_proc < proc) {
-        proc = max_proc;
-        stage_backpressured_[stage_idx] = 1;
+      if (total_want > 0.0) {
+        const double factor = std::min(1.0, space / total_want);
+        for (std::uint32_t k2 = ib; k2 < ie; ++k2) {
+          const std::size_t ci = in_ids_[k2];
+          const double moved = want_by_channel_[ci] * factor;
+          c_queue_[ci] -= moved;
+          c_delivered_[ci] += moved;
+          g_input_queue_[gi] += moved;
+        }
       }
     }
-    proc = std::max(0.0, proc);
-
-    g_input_queue_[gi] -= proc;
-    g_processed_prev_[gi] = proc;
-    total_processed += proc;
-
-    // Window bookkeeping: state resets at tumbling-window boundaries.
-    if (stage_windowed_[stage_idx] != 0) {
-      const double w = stage_window_len_[stage_idx];
-      if (std::fmod(t, w) < dt) g_window_events_[gi] = 0.0;
-      g_window_events_[gi] += proc;
-    } else if (stage_stateful_[stage_idx] != 0) {
-      g_window_events_[gi] += proc;  // running state driver (joins w/o window)
-    }
-
-    // Emit.
-    const double out = proc * sel;
-    for (std::uint32_t k = ob; k < oe; ++k) {
-      const std::size_t ci = out_ids_[k];
-      const double pushed = out * c_share_[ci];
-      if (pushed <= 0.0) continue;
-      c_queue_[ci] += pushed;
-      c_offered_[ci] += pushed;
-    }
-    stage_emitted_[stage_idx] += out / dt;
   }
 
-  stage_processed_[stage_idx] += total_processed / dt;
-  if (stage_is_source_[stage_idx] != 0) {
-    stage_tracker_[stage_idx]->record_consumed(total_processed);
-    last_.admitted_eps += total_processed / dt;
+  // --- process ---
+  if (g_restore_until_[gi] > t) return;  // still replaying checkpoint
+  g_restore_until_[gi] = -1.0;
+  if (capacity <= 0.0) return;
+  const double sel = stage_selectivity_[stage_idx];
+
+  double proc = std::min(g_input_queue_[gi], capacity * dt);
+
+  // Backpressure: output must fit the free space of every outbound
+  // channel (CSR bucket of this group's channels, precomputed shares).
+  const std::uint32_t ob = out_off_[gi];
+  const std::uint32_t oe = out_off_[gi + 1];
+  for (std::uint32_t k2 = ob; k2 < oe; ++k2) {
+    const std::size_t ci = out_ids_[k2];
+    const double share = c_share_[ci];
+    if (share <= 0.0 || sel <= 0.0) continue;
+    // A dead receiver (failed site) blocks its channels entirely. The
+    // buffer bound scales with what the channel can actually drain: the
+    // receiver's processing capacity for intra-site channels, the link's
+    // current fair-share allocation for WAN channels. Both are exogenous
+    // to the sender's own throttling, so backpressure releases as soon as
+    // the underlying constraint does (no stop-go limit cycle).
+    const auto down = static_cast<std::size_t>(chan_[ci].to_stage);
+    const auto down_site = static_cast<std::size_t>(chan_[ci].to_site);
+    const double down_capacity = g_capacity_[gid(down, down_site)];
+    double chan_cap = 0.0;
+    if (down_capacity > 0.0) {
+      // The channel drains at the slower of the link's current allocation
+      // and the receiver's processing capacity; a suspended receiver
+      // drains nothing (execution halted -> only the floor buffers).
+      double drain_eps = stage_suspended_[down] != 0 ? 0.0 : down_capacity;
+      if (stage_suspended_[down] == 0 && c_flow_[ci] != nullptr) {
+        // What the channel could drain next tick: its current allocation
+        // plus the link's unused headroom (demand-driven allocations
+        // under-report a lightly-loaded link's potential, which would
+        // otherwise self-limit backlog draining).
+        const double headroom =
+            link_memo_at(chan_[ci].from_site, chan_[ci].to_site).headroom;
+        // A freshly (re)built flow has allocated_mbps = 0 and, on a busy
+        // link, near-zero headroom -- but the channel demonstrably drained
+        // at delivered_prev last tick, so never estimate below that.
+        const double link_eps = std::max(
+            events_per_sec_over(c_flow_[ci]->allocated_mbps + headroom,
+                                c_event_bytes_[ci]),
+            c_delivered_prev_[ci] / dt);
+        drain_eps = std::min(drain_eps, link_eps);
+      }
+      chan_cap = config_.channel_buffer_floor_events +
+                 config_.channel_buffer_sec * drain_eps;
+    }
+    const double space = std::max(0.0, chan_cap - c_queue_[ci]);
+    const double max_proc = space / (sel * share);
+    if (max_proc < proc) {
+      proc = max_proc;
+      bp_scratch_[gi] = 1;
+    }
   }
-  if (stage_is_sink_[stage_idx] != 0) {
-    last_.sink_eps += total_processed / dt;
+  proc = std::max(0.0, proc);
+
+  g_input_queue_[gi] -= proc;
+  g_processed_prev_[gi] = proc;
+  proc_scratch_[gi] = proc;
+
+  // Window bookkeeping: state resets at tumbling-window boundaries.
+  if (stage_windowed_[stage_idx] != 0) {
+    const double w = stage_window_len_[stage_idx];
+    if (std::fmod(t, w) < dt) g_window_events_[gi] = 0.0;
+    g_window_events_[gi] += proc;
+  } else if (stage_stateful_[stage_idx] != 0) {
+    g_window_events_[gi] += proc;  // running state driver (joins w/o window)
+  }
+
+  // Emit.
+  const double out = proc * sel;
+  for (std::uint32_t k2 = ob; k2 < oe; ++k2) {
+    const std::size_t ci = out_ids_[k2];
+    const double pushed = out * c_share_[ci];
+    if (pushed <= 0.0) continue;
+    c_queue_[ci] += pushed;
+    c_offered_[ci] += pushed;
   }
 }
 
@@ -583,20 +583,73 @@ const Engine::LinkMemo& Engine::link_memo(std::int32_t from_site,
   return hit->second;
 }
 
-void Engine::set_flow_demands(double dt) {
-  const std::size_t n = chan_.size();
-  demand_scratch_.resize(n);
-  if (config_.use_fast_kernels) {
-    kernels::flow_demand_mbps(n, c_queue_.data(), c_event_bytes_.data(), dt,
-                              demand_scratch_.data());
-  } else {
-    kernels::flow_demand_mbps_scalar(n, c_queue_.data(),
-                                     c_event_bytes_.data(), dt,
-                                     demand_scratch_.data());
+const Engine::LinkMemo& Engine::link_memo_at(std::int32_t from_site,
+                                             std::int32_t to_site) const {
+  const std::int64_t key = static_cast<std::int64_t>(from_site) *
+                               static_cast<std::int64_t>(num_sites_) +
+                           to_site;
+  const auto hit = link_memo_.find(key);
+  assert(hit != link_memo_.end());  // prefill_link_memo() covered every link
+  return hit->second;
+}
+
+void Engine::prefill_link_memo() {
+  // Insert the memo entry of every channel's link up front (serial). Each
+  // entry is a pure function of (from, to, now_) and the network state fixed
+  // for this tick, so eager vs. lazy computation yields identical bits; with
+  // every key present, the parallel chunks only ever do read-only lookups.
+  for (const ChannelDesc& c : chan_) {
+    link_memo(c.from_site, c.to_site);
   }
-  for (std::size_t i = 0; i < n; ++i) {
+}
+
+void Engine::flow_demand_chunk(std::size_t chunk) {
+  const std::size_t n = chan_.size();
+  const std::size_t begin = chunk * kChanChunk;
+  const std::size_t end = std::min(n, begin + kChanChunk);
+  const std::size_t len = end - begin;
+  const double dt = config_.tick_sec;
+  if (config_.use_fast_kernels) {
+    kernels::flow_demand_mbps(len, c_queue_.data() + begin,
+                              c_event_bytes_.data() + begin, dt,
+                              demand_scratch_.data() + begin);
+  } else {
+    kernels::flow_demand_mbps_scalar(len, c_queue_.data() + begin,
+                                     c_event_bytes_.data() + begin, dt,
+                                     demand_scratch_.data() + begin);
+  }
+  // Each channel owns a distinct flow (1:1 at append_channel), so the writes
+  // are shared-nothing; set_stream_demand is a lookup in a map no one
+  // mutates mid-tick plus a field store on that flow.
+  for (std::size_t i = begin; i < end; ++i) {
     if (!chan_[i].flow.valid()) continue;
     network_.set_stream_demand(chan_[i].flow, demand_scratch_[i]);
+  }
+}
+
+void Engine::set_flow_demands(double /*dt*/) {
+  const std::size_t n = chan_.size();
+  demand_scratch_.resize(n);
+  run_region((n + kChanChunk - 1) / kChanChunk,
+             [this](std::size_t chunk) { flow_demand_chunk(chunk); });
+}
+
+void Engine::delay_pre_chunk(std::size_t chunk) {
+  // Per-channel terms of update_delay_metric's edge aggregations, computed
+  // with the exact expressions the serial DP used inline; the DP then sums
+  // the precomputed terms in the identical (ascending channel id) order.
+  const std::size_t n = chan_.size();
+  const std::size_t begin = chunk * kChanChunk;
+  const std::size_t end = std::min(n, begin + kChanChunk);
+  for (std::size_t ci = begin; ci < end; ++ci) {
+    d_qexcess_[ci] = std::max(0.0, c_queue_[ci] - c_offered_[ci]);
+    const double w = c_delivered_[ci] + c_offered_[ci] + 1e-9;
+    d_weight_[ci] = w;
+    d_wlat_[ci] = w * network_.latency_ms(SiteId(chan_[ci].from_site),
+                                          SiteId(chan_[ci].to_site));
+    d_linkeps_[ci] = events_per_sec_over(
+        link_memo_at(chan_[ci].from_site, chan_[ci].to_site).capacity,
+        c_event_bytes_[ci]);
   }
 }
 
@@ -605,7 +658,11 @@ void Engine::update_delay_metric(double t) {
   // would see, assuming current rates persist. Sources contribute the age
   // of the backlog head (exact, from the cumulative curves); each hop adds
   // channel-queue drain time plus link latency; each stage adds its input-
-  // queue drain time.
+  // queue drain time. The per-channel terms (queue excess, latency weights,
+  // link drain bounds) are precomputed in parallel chunks; the DP itself --
+  // all the ordered reductions -- stays serial.
+  run_region((chan_.size() + kChanChunk - 1) / kChanChunk,
+             [this](std::size_t chunk) { delay_pre_chunk(chunk); });
   lat_scratch_.assign(num_stages_, 0.0);
   double sink_delay = 0.0;
   for (const std::size_t idx : topo_order_) {
@@ -626,13 +683,10 @@ void Engine::update_delay_metric(double t) {
                weighted_latency_ms = 0.0;
         for (std::uint32_t k = eb; k < ee; ++k) {
           const std::size_t ci = edge_ids_[k];
-          queue += std::max(0.0, c_queue_[ci] - c_offered_[ci]);
+          queue += d_qexcess_[ci];
           delivered += c_delivered_[ci];
-          const double w = c_delivered_[ci] + c_offered_[ci] + 1e-9;
-          weighted_latency_ms +=
-              w * network_.latency_ms(SiteId(chan_[ci].from_site),
-                                      SiteId(chan_[ci].to_site));
-          latency_weight += w;
+          weighted_latency_ms += d_wlat_[ci];
+          latency_weight += d_weight_[ci];
         }
         const double hop_latency_sec =
             latency_weight > 0.0 ? weighted_latency_ms / latency_weight / 1e3
@@ -646,10 +700,7 @@ void Engine::update_delay_metric(double t) {
         if (drain_rate < 1.0) {
           double link_eps = 0.0;
           for (std::uint32_t k = eb; k < ee; ++k) {
-            const std::size_t ci = edge_ids_[k];
-            link_eps += events_per_sec_over(
-                link_memo(chan_[ci].from_site, chan_[ci].to_site).capacity,
-                c_event_bytes_[ci]);
+            link_eps += d_linkeps_[edge_ids_[k]];
           }
           double capacity = 0.0;
           for (std::uint32_t sk = ss_off_[idx]; sk < ss_off_[idx + 1]; ++sk) {
@@ -688,49 +739,127 @@ void Engine::update_delay_metric(double t) {
   last_.delay_sec = sink_delay;
 }
 
+void Engine::phase_reset_chunk(std::size_t i) {
+  if (i < par_chan_chunks_) {
+    // Channel-state roll on one fixed slice. The kernels are elementwise
+    // (subrange-safe, see kernels.h), so chunked calls match one full-range
+    // call bit for bit.
+    const std::size_t n = chan_.size();
+    const std::size_t begin = i * kChanChunk;
+    const std::size_t len = std::min(n, begin + kChanChunk) - begin;
+    if (config_.use_fast_kernels) {
+      kernels::reset_channel_tick(
+          len, c_to_stage_.data() + begin, stage_suspended_.data(),
+          c_delivered_prev_.data() + begin, c_delivered_.data() + begin,
+          c_offered_.data() + begin);
+    } else {
+      kernels::reset_channel_tick_scalar(
+          len, c_to_stage_.data() + begin, stage_suspended_.data(),
+          c_delivered_prev_.data() + begin, c_delivered_.data() + begin,
+          c_offered_.data() + begin);
+    }
+    return;
+  }
+  // Group-capacity snapshot for one stage's row of the gid array. The dense
+  // row equals the legacy "fill zero + hosting-sites loop" exactly: a
+  // non-hosting group has tasks == 0, and 0 * eps * straggler is the same
+  // +0.0 the fill wrote (see kernels.h).
+  const std::size_t stage = i - par_chan_chunks_;
+  if (config_.use_fast_kernels) {
+    kernels::group_capacity_row(
+        num_sites_, g_tasks_.data() + stage * num_sites_,
+        stage_eps_per_slot_[stage], failed_sites_.data(),
+        straggler_factor_.data(), g_capacity_.data() + stage * num_sites_);
+  } else {
+    kernels::group_capacity_row_scalar(
+        num_sites_, g_tasks_.data() + stage * num_sites_,
+        stage_eps_per_slot_[stage], failed_sites_.data(),
+        straggler_factor_.data(), g_capacity_.data() + stage * num_sites_);
+  }
+}
+
 void Engine::tick(double t) {
   const double dt = config_.tick_sec;
   now_ = t;
 
   // delivered_prev is the channel's last *live* drain rate: while the
-  // receiver is suspended (mid-transition), deliver_into() skips it and
+  // receiver is suspended (mid-transition), delivery skips it and
   // `delivered` decays to zero, which must not erase the drain estimate
   // the post-transition backpressure bound depends on.
   if (config_.use_fast_kernels) {
     kernels::reset_stage_tick(num_stages_, stage_processed_.data(),
                               stage_emitted_.data(), stage_arrived_.data(),
                               stage_backpressured_.data());
-    kernels::reset_channel_tick(chan_.size(), c_to_stage_.data(),
-                                stage_suspended_.data(),
-                                c_delivered_prev_.data(), c_delivered_.data(),
-                                c_offered_.data());
   } else {
     kernels::reset_stage_tick_scalar(num_stages_, stage_processed_.data(),
                                      stage_emitted_.data(),
                                      stage_arrived_.data(),
                                      stage_backpressured_.data());
-    kernels::reset_channel_tick_scalar(
-        chan_.size(), c_to_stage_.data(), stage_suspended_.data(),
-        c_delivered_prev_.data(), c_delivered_.data(), c_offered_.data());
   }
+  // One region fuses the channel resets (fixed slices) with the per-stage
+  // capacity rows -- disjoint arrays, so the fusion is free parallelism.
+  par_chan_chunks_ = (chan_.size() + kChanChunk - 1) / kChanChunk;
+  run_region(par_chan_chunks_ + num_stages_,
+             [this](std::size_t i) { phase_reset_chunk(i); });
   prev_delay_sec_ = last_.delay_sec;
   last_ = QueryTickMetrics{};
   link_memo_.clear();
-  // Group-capacity snapshot: non-hosting groups have exactly zero capacity
-  // (zero tasks), so only hosting groups need the formula evaluated.
-  std::fill(g_capacity_.begin(), g_capacity_.end(), 0.0);
-  for (std::size_t i = 0; i < num_stages_; ++i) {
-    for (std::uint32_t sk = ss_off_[i]; sk < ss_off_[i + 1]; ++sk) {
-      const auto s = static_cast<std::size_t>(ss_ids_[sk]);
-      g_capacity_[gid(i, s)] = group_capacity_eps(i, s);
-    }
-  }
+  prefill_link_memo();
 
   if (config_.degrade) apply_degrade_drops(t);
 
+  // Per-stage pass in topological order (stages are sequential: downstream
+  // consumes what upstream emitted this tick). Within a stage, the hosting
+  // sites are independent -- one region chunk per site -- and the cross-site
+  // reductions below recombine the per-site partials serially in the exact
+  // operand order the legacy per-object loops used.
   for (const std::size_t idx : topo_order_) {
-    deliver_into(idx, dt);
-    process_stage(idx, t, dt);
+    // Sources generate regardless of suspension: the external stream does
+    // not pause for us; events accumulate in the (replayable) source
+    // backlog. Serial: trackers and last_ are whole-engine state.
+    if (stage_is_source_[idx] != 0) {
+      double generated = 0.0;
+      for (std::size_t s = 0; s < num_sites_; ++s) {
+        const std::size_t gi = gid(idx, s);
+        const double events = g_source_rate_[gi] * dt;
+        g_input_queue_[gi] += events;
+        generated += events;
+      }
+      stage_tracker_[idx]->record_generated(t, generated);
+      last_.generated_eps += generated / dt;
+    }
+    if (stage_suspended_[idx] != 0) continue;  // halted mid-transition
+
+    par_stage_ = idx;
+    const std::uint32_t sb = ss_off_[idx];
+    const std::uint32_t se = ss_off_[idx + 1];
+    run_region(se - sb, [this](std::size_t k) { stage_site_chunk(k); });
+
+    // Recombine (serial, legacy operand order; skipped sites contribute the
+    // exact +0.0 the legacy loop's `continue` never added -- x += 0.0 is the
+    // identity for these non-negative accumulators).
+    const double sel = stage_selectivity_[idx];
+    double total_processed = 0.0;
+    for (std::uint32_t sk = sb; sk < se; ++sk) {
+      const std::size_t gi = gid(idx, ss_ids_[sk]);
+      // Arrived: each in-channel's delivered count equals its moved amount
+      // (delivered was reset to zero this tick and written once, by the
+      // receiving site's chunk).
+      for (std::uint32_t k = in_off_[gi]; k < in_off_[gi + 1]; ++k) {
+        stage_arrived_[idx] += c_delivered_[in_ids_[k]] / dt;
+      }
+      total_processed += proc_scratch_[gi];
+      stage_emitted_[idx] += proc_scratch_[gi] * sel / dt;
+      if (bp_scratch_[gi] != 0) stage_backpressured_[idx] = 1;
+    }
+    stage_processed_[idx] += total_processed / dt;
+    if (stage_is_source_[idx] != 0) {
+      stage_tracker_[idx]->record_consumed(total_processed);
+      last_.admitted_eps += total_processed / dt;
+    }
+    if (stage_is_sink_[idx] != 0) {
+      last_.sink_eps += total_processed / dt;
+    }
   }
   set_flow_demands(dt);
 
@@ -865,7 +994,8 @@ void Engine::apply_placement(OperatorId op,
                              const physical::StagePlacement& placement) {
   const std::size_t i = stage_index(op);
   const int new_p = placement.parallelism();
-  assert(new_p > 0);
+  check(new_p > 0, "engine: apply_placement with zero parallelism for operator ",
+        op.value());
 
   double total_queue = 0.0, total_window = 0.0;
   for (std::size_t s = 0; s < num_sites_; ++s) {
@@ -1093,7 +1223,8 @@ void Engine::apply_replan(query::LogicalPlan logical,
   // 3. Swap in the new plan and rebuild the runtime.
   logical_ = std::move(logical);
   physical_ = std::move(physical);
-  assert(logical_.validate().empty());
+  check(logical_.validate().empty(),
+        "engine: apply_replan with an invalid logical plan");
   build_runtime();
 
   // The previous execution's delay must not leak into the new one: the
@@ -1323,7 +1454,8 @@ void Engine::set_state_override_mb(OperatorId op, double mb) {
 }
 
 void Engine::set_partition_skew(OperatorId op, double hot_factor) {
-  assert(hot_factor > 0.0);
+  check(hot_factor > 0.0, "engine: set_partition_skew with non-positive factor ",
+        hot_factor, " for operator ", op.value());
   const std::size_t i = stage_index(op);
   stage_skew_[i] = hot_factor;
   if (hot_factor == 1.0) {

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,6 +55,10 @@ class Gauge;
 class MetricsRegistry;
 class TraceEmitter;
 }  // namespace wasp::obs
+
+namespace wasp::exec {
+class ThreadPool;
+}  // namespace wasp::exec
 
 namespace wasp::engine {
 
@@ -87,6 +92,14 @@ struct EngineConfig {
   // receives engine.* counters and gauges. See DESIGN.md §6.
   obs::TraceEmitter* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional intra-run executor (non-owning; may be null = serial). When set,
+  // the per-tick element sweeps and per-site update loops are chunked across
+  // the pool. Chunk boundaries are fixed by the data layout -- never by the
+  // worker count -- and every cross-chunk floating-point reduction is
+  // recombined serially in the legacy operand order, so results (and traces)
+  // are bit-identical to the serial engine for any thread count
+  // (DESIGN.md §11).
+  exec::ThreadPool* pool = nullptr;
 };
 
 class Engine {
@@ -300,8 +313,6 @@ class Engine {
   // queued events per logical edge.
   void rebuild_adjacent_channels(std::size_t stage_idx);
   void apply_degrade_drops(double t);
-  void deliver_into(std::size_t stage_idx, double dt);
-  void process_stage(std::size_t stage_idx, double t, double dt);
   void emit_tick_trace(double t, double dt);
   void set_flow_demands(double dt);
   void update_delay_metric(double t);
@@ -387,7 +398,6 @@ class Engine {
   std::vector<std::uint32_t> sin_off_, sin_ids_;   // by to_stage
 
   // Per-tick scratch (no allocation after warm-up).
-  std::vector<double> want_scratch_;
   std::vector<double> lat_scratch_;
   std::vector<double> demand_scratch_;
   // Per-tick memo of link capacity and headroom (capacity - allocated),
@@ -401,6 +411,45 @@ class Engine {
   };
   std::unordered_map<std::int64_t, LinkMemo> link_memo_;
   const LinkMemo& link_memo(std::int32_t from_site, std::int32_t to_site);
+  // Read-only lookup of an entry prefill_link_memo() already inserted; safe
+  // from parallel chunks (no mutation, no rehash).
+  [[nodiscard]] const LinkMemo& link_memo_at(std::int32_t from_site,
+                                             std::int32_t to_site) const;
+  // Inserts the memo entry of every channel's link (serial, at tick start),
+  // so in-tick consumers -- including parallel chunks -- only ever read.
+  void prefill_link_memo();
+
+  // --- intra-run parallelism (DESIGN.md §11) -------------------------------
+  //
+  // Chunk boundaries are functions of the data layout alone (fixed channel
+  // strides, one chunk per hosting site), never of the worker count, and all
+  // cross-chunk FP reductions are recombined serially in legacy operand
+  // order -- so any thread count, including the no-pool serial path, yields
+  // bit-identical state and traces.
+  //
+  // Runs fn(0..n-1) on the pool, or inline (in index order) without one.
+  void run_region(std::size_t n, const std::function<void(std::size_t)>& fn);
+  // Region chunk bodies. Each is shared-nothing across its index domain;
+  // `par_stage_` carries the stage index into per-site chunks so the region
+  // lambdas capture only `this` (no allocation per region).
+  void phase_reset_chunk(std::size_t i);   // channel resets + capacity rows
+  void stage_site_chunk(std::size_t k);    // fused deliver+process, one site
+  void flow_demand_chunk(std::size_t chunk);  // demand kernel + flow writes
+  void delay_pre_chunk(std::size_t chunk); // per-channel delay-metric terms
+  std::size_t par_chan_chunks_ = 0;  // channel-chunk count of this tick
+  std::size_t par_stage_ = 0;        // stage whose sites are being processed
+
+  // Per-gid / per-channel scratch written by parallel chunks and recombined
+  // serially (see tick()). want_by_channel_ replaces the dense want_scratch_
+  // indexing inside deliver: per-channel slots make the deliver chunks
+  // shared-nothing.
+  std::vector<double> want_by_channel_;
+  std::vector<double> proc_scratch_;  // per-gid processed events this tick
+  std::vector<char> bp_scratch_;      // per-gid backpressure flag
+  std::vector<double> d_qexcess_;     // per-channel max(0, queue - offered)
+  std::vector<double> d_weight_;      // per-channel latency weight
+  std::vector<double> d_wlat_;        // per-channel weighted latency (ms)
+  std::vector<double> d_linkeps_;     // per-channel link drain bound (eps)
 
   // Cached metric handles (stable node addresses inside the registry);
   // resolved once so the per-tick emit path performs no name lookups.
@@ -419,7 +468,8 @@ class Engine {
   MetricHandles mh_;
 
   std::unordered_map<std::int64_t, double> source_rates_;  // (op,site) -> eps
-  std::vector<bool> failed_sites_;
+  // char, not bool: the capacity-row kernel reads it as a raw array.
+  std::vector<char> failed_sites_;
   std::vector<double> straggler_factor_;  // per-site capacity multiplier
 
   // Per-source delay tracking; key is the source's signature so trackers

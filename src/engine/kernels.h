@@ -12,6 +12,13 @@
 // EngineConfig::use_fast_kernels selects the variant at runtime; the
 // property tests in engine_kernels_test.cc fuzz both against each other,
 // and engine_test.cc runs whole simulations both ways and compares traces.
+//
+// All kernels are subrange-safe: because every kernel is elementwise, calling
+// it on [begin, end) slices of the same arrays (any partition, any order)
+// produces bit-identical results to one full-range call. That is what lets
+// the engine chunk these sweeps across a thread pool (DESIGN.md §11) without
+// touching the determinism contract; engine_kernels_test.cc fuzzes the
+// chunked-vs-whole property too.
 #pragma once
 
 #include <cstddef>
@@ -103,6 +110,34 @@ inline void reset_stage_tick(std::size_t n, double* __restrict processed,
     emitted[i] = 0.0;
     arrived[i] = 0.0;
     backpressured[i] = 0;
+  }
+}
+
+// Start-of-tick group-capacity snapshot for one stage's row of the gid
+// array: capacity = failed ? 0 : tasks * eps_per_slot * straggler. Evaluating
+// the row densely equals the legacy "fill zero + hosting-sites loop" exactly:
+// a non-hosting group has tasks == 0 and 0 * x * y is +0.0 for the finite
+// non-negative factors involved, the same +0.0 the fill wrote.
+inline void group_capacity_row_scalar(std::size_t n_sites,
+                                      const std::int32_t* tasks,
+                                      double eps_per_slot, const char* failed,
+                                      const double* straggler, double* out) {
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    out[s] =
+        failed[s] != 0 ? 0.0 : tasks[s] * eps_per_slot * straggler[s];
+  }
+}
+
+inline void group_capacity_row(std::size_t n_sites,
+                               const std::int32_t* __restrict tasks,
+                               double eps_per_slot,
+                               const char* __restrict failed,
+                               const double* __restrict straggler,
+                               double* __restrict out) {
+  WASP_VECTORIZE_LOOP
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    out[s] =
+        failed[s] != 0 ? 0.0 : tasks[s] * eps_per_slot * straggler[s];
   }
 }
 

@@ -342,7 +342,8 @@ std::optional<std::vector<RunSpec>> expand_grid(const GridSpec& grid,
   return cells;
 }
 
-RunResult run_one(const RunSpec& spec, const std::string& trace_path) {
+RunResult run_one(const RunSpec& spec, const std::string& trace_path,
+                  int threads) {
   RunResult result;
   result.spec = spec;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -421,6 +422,7 @@ RunResult run_one(const RunSpec& spec, const std::string& trace_path) {
   config.slo_sec = spec.slo_sec;
   config.scheduler.alpha = spec.alpha;
   config.seed = spec.seed;
+  config.threads = std::max(1, threads);
   std::shared_ptr<obs::FileSink> trace_sink;
   if (!trace_path.empty()) {
     trace_sink = std::make_shared<obs::FileSink>(trace_path);
@@ -549,7 +551,7 @@ std::vector<RunResult> run_sweep(const std::vector<RunSpec>& cells,
       trace_path =
           opts.trace_dir + "/run_" + std::to_string(cells[i].index) + ".jsonl";
     }
-    results[i] = run_one(cells[i], trace_path);
+    results[i] = run_one(cells[i], trace_path, opts.threads);
     if (opts.on_cell_done) {
       std::lock_guard<std::mutex> lock(progress_mu);
       opts.on_cell_done(results[i]);

@@ -141,6 +141,11 @@ struct RunResult {
 
 struct SweepOptions {
   int jobs = 1;
+  // Intra-run worker threads per cell (SystemConfig::threads). Results are
+  // bit-identical for any value; total concurrency is jobs * threads, so
+  // callers should keep that product within the machine's cores (wasp_sweep
+  // warns and clamps).
+  int threads = 1;
   // When non-empty, each run writes its private observability trace to
   // "<trace_dir>/run_<index>.jsonl" (the directory must exist).
   std::string trace_dir;
@@ -151,8 +156,10 @@ struct SweepOptions {
 };
 
 // Executes one cell in a fresh, self-contained context. `trace_path` (may be
-// empty) is the run's private JSONL trace destination.
-RunResult run_one(const RunSpec& spec, const std::string& trace_path = {});
+// empty) is the run's private JSONL trace destination; `threads` is the
+// cell's intra-run worker count (SystemConfig::threads).
+RunResult run_one(const RunSpec& spec, const std::string& trace_path = {},
+                  int threads = 1);
 
 // Executes all cells across opts.jobs workers and returns results ordered by
 // cell index regardless of completion order.

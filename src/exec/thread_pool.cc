@@ -3,7 +3,47 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/log.h"
+
 namespace wasp::exec {
+namespace {
+
+// region_claim_ packs (generation << 32) | next-chunk-index. Even
+// generations are open regions; the odd generation between region G and
+// region G+2 marks the publish window, during which no claim can succeed.
+constexpr std::uint64_t kGenShift = 32;
+constexpr std::uint64_t kIndexMask = 0xffff'ffffULL;
+
+inline std::uint64_t claim_gen(std::uint64_t claim) {
+  return claim >> kGenShift;
+}
+inline std::size_t claim_index(std::uint64_t claim) {
+  return static_cast<std::size_t>(claim & kIndexMask);
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Bounded spin between pause and sleep. Yields periodically so that on an
+// oversubscribed host (more threads than cores) a spinning worker cannot
+// starve the thread that is producing the work it waits for.
+struct SpinWait {
+  int spins = 0;
+  void pause() {
+    if (++spins % 64 == 0) {
+      std::this_thread::yield();
+    } else {
+      cpu_relax();
+    }
+  }
+};
+
+}  // namespace
 
 std::uint64_t fork_seed(std::uint64_t base_seed, std::uint64_t index) {
   // splitmix64 finalizer over the (base, index) pair. Mixing the index with
@@ -26,16 +66,33 @@ ThreadPool::ThreadPool(int workers) {
 ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_release);
   }
   work_available_.notify_all();
   for (std::thread& t : threads_) t.join();
+  if (first_error_ != nullptr) {
+    // Can't throw from a destructor, but a captured task error must not
+    // vanish either: surface it on the log before dropping it.
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      log(LogLevel::kError,
+          "ThreadPool destroyed with an unretrieved task error "
+          "(call wait_idle() to rethrow it): ",
+          e.what());
+    } catch (...) {
+      log(LogLevel::kError,
+          "ThreadPool destroyed with an unretrieved non-std task error "
+          "(call wait_idle() to rethrow it)");
+    }
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    queue_has_work_.store(true, std::memory_order_release);
   }
   work_available_.notify_one();
 }
@@ -50,29 +107,183 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::worker_loop() {
+// Region claim protocol. region_claim_ packs (gen << 32) | next-index in
+// ONE atomic word, so a claim -- a CAS that bumps the index -- validates the
+// generation and the index bound atomically. The controller publishes a
+// region in this order (G = previous even generation):
+//
+//   1. region_claim_ := (G+1) << 32 (release)   odd gen: claims impossible
+//   2. region_done_ := 0, region_n_ := n (release), region_fn_ := &fn
+//   3. region_claim_ := (G+2) << 32 (release, under mu_)   claim window opens
+//
+// A claimer latches the current even generation g and its n, then claims
+// index i only via compare_exchange on the (g, i) word it last read. That
+// closes the classic straggler race of a bare fetch_add counter: a stale
+// thread still holding region G state cannot accidentally consume -- or
+// out-of-range-run -- an index of region G+2, because its expected word has
+// the wrong generation and the CAS fails.
+//
+// Why the latched `n` always matches the claimed generation: region_n_ is
+// only overwritten during a publish, which first flips region_claim_ to an
+// odd generation (step 1, release) before touching region_n_ (step 2). A
+// claimer that acquire-reads the NEW n value therefore also observes the
+// park (happens-before through the release/acquire pair on region_n_), so
+// its next CAS -- whose expected word still carries the old even generation
+// -- must fail. A successful CAS thus implies the n it validated against
+// belonged to the same generation it claimed from.
+//
+// The controller returns from parallel_for only once region_done_ reached n.
+// Each index is claimed exactly once (CAS) and bumps region_done_ exactly
+// once, so at that point every chunk body has finished and `fn` (often a
+// lambda on the controller's stack) outlives every dereference. A later
+// publish therefore implies the previous region completed, which is why a
+// worker observing a generation change may simply return.
+//
+// Generations wrap after 2^31 publishes; a stale claim word surviving an
+// exact wrap is not a realistic schedule (workers re-read the word every
+// loop iteration).
+std::uint64_t ThreadPool::run_region_chunks() {
+  SpinWait spin;
+  std::uint64_t c = region_claim_.load(std::memory_order_acquire);
+  while (claim_gen(c) % 2 != 0) {  // mid-publish: wait for the window to open
+    spin.pause();
+    c = region_claim_.load(std::memory_order_acquire);
+  }
+  const std::uint64_t g = claim_gen(c);
+  const std::size_t n = region_n_.load(std::memory_order_acquire);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
+    if (claim_gen(c) != g) return g;  // superseded => region g completed
+    const std::size_t i = claim_index(c);
+    if (i < n) {
+      if (region_claim_.compare_exchange_weak(c, c + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        const RegionFn* fn = region_fn_.load(std::memory_order_acquire);
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (region_error_ == nullptr || i < region_error_index_) {
+            region_error_index_ = i;
+            region_error_ = std::current_exception();
+          }
+        }
+        region_done_.fetch_add(1, std::memory_order_release);
+        c = region_claim_.load(std::memory_order_acquire);
+      }
+      continue;  // CAS failure reloaded c; revalidate from the top
     }
-    try {
-      task();
-    } catch (...) {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    if (region_done_.load(std::memory_order_acquire) >= n) return g;
+    spin.pause();
+    c = region_claim_.load(std::memory_order_acquire);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const RegionFn& fn) {
+  if (n == 0) return;
+  // Chunk indices live in the low 32 bits of the claim word; a region that
+  // somehow exceeds that (callers chunk work, so real n is tiny) runs
+  // serially rather than corrupting the packed counter.
+  if (threads_.empty() || n == 1 || n > kIndexMask) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Publish steps 1-3 (see the protocol comment above run_region_chunks).
+  const std::uint64_t g =
+      claim_gen(region_claim_.load(std::memory_order_relaxed));
+  region_claim_.store((g + 1) << kGenShift, std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    region_error_index_ = 0;
+    region_error_ = nullptr;
+  }
+  region_done_.store(0, std::memory_order_relaxed);
+  region_n_.store(n, std::memory_order_release);
+  region_fn_.store(&fn, std::memory_order_release);
+  {
+    // Opening the claim window must happen under mu_ so a worker checking
+    // the sleep predicate cannot miss it between its predicate evaluation
+    // and its wait.
+    std::unique_lock<std::mutex> lock(mu_);
+    region_claim_.store((g + 2) << kGenShift, std::memory_order_release);
+  }
+  work_available_.notify_all();
+  run_region_chunks();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    error = std::exchange(region_error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+bool ThreadPool::take_and_run_one_task() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      queue_has_work_.store(false, std::memory_order_release);
+      return false;
     }
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    queue_has_work_.store(!queue_.empty(), std::memory_order_release);
+    ++in_flight_;
+  }
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_gen = 0;
+  SpinWait spin;
+  for (;;) {
+    const std::uint64_t gen =
+        claim_gen(region_claim_.load(std::memory_order_acquire));
+    if (gen != seen_gen) {
+      // A new region (or its odd mid-publish window) appeared. Help run it;
+      // run_region_chunks returns the even generation whose completion it
+      // confirmed, which de-duplicates re-entry into a finished region.
+      seen_gen = run_region_chunks();
+      spin.spins = 0;
+      continue;
     }
+    if (queue_has_work_.load(std::memory_order_acquire)) {
+      if (take_and_run_one_task()) {
+        spin.spins = 0;
+        continue;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Drain outstanding tasks before exiting (regions cannot be in flight
+      // at destruction: parallel_for only returns completed).
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty()) return;
+      continue;
+    }
+    if (spin.spins < 4096) {
+      // Fresh off a task or a region: the next tick phase is likely
+      // microseconds away. Spin briefly before paying the condvar sleep.
+      spin.pause();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_available_.wait(lock, [&] {
+      return stopping_.load(std::memory_order_relaxed) || !queue_.empty() ||
+             claim_gen(region_claim_.load(std::memory_order_relaxed)) !=
+                 seen_gen;
+    });
+    spin.spins = 0;
   }
 }
 
@@ -88,26 +299,13 @@ void parallel_for(int jobs, std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  // Capture per-index exceptions and rethrow the lowest index so the error
-  // surfaced does not depend on the schedule.
-  std::vector<std::exception_ptr> errors(n);
-  {
-    ThreadPool pool(static_cast<int>(
-        std::min<std::size_t>(static_cast<std::size_t>(jobs), n)));
-    for (std::size_t i = 0; i < n; ++i) {
-      pool.submit([i, &fn, &errors] {
-        try {
-          fn(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      });
-    }
-    pool.wait_idle();
-  }
-  for (const std::exception_ptr& e : errors) {
-    if (e != nullptr) std::rethrow_exception(e);
-  }
+  // Total concurrency is `jobs`: a pool of jobs-1 workers plus the calling
+  // thread, which participates in the region. Indices are claimed in
+  // ascending order (one atomic counter), preserving the FIFO start-order
+  // property the sweep contract relies on.
+  const std::size_t width = std::min(static_cast<std::size_t>(jobs), n);
+  ThreadPool pool(static_cast<int>(width) - 1);
+  pool.parallel_for(n, fn);
 }
 
 }  // namespace wasp::exec

@@ -1,4 +1,5 @@
-// Deterministic parallel execution substrate for simulation sweeps.
+// Deterministic parallel execution substrate for simulation sweeps and for
+// intra-run tick phases.
 //
 // WASP simulations are embarrassingly parallel across configurations: every
 // run owns its whole world (Rng, Topology, Network, WaspSystem, Recorder,
@@ -19,15 +20,30 @@
 // Determinism then reduces to a caller-side rule: tasks write only to
 // per-index slots (results[i]) and the merge walks indices in order.
 //
+// Since PR 7 the pool doubles as the *intra-run* executor for the fluid
+// engine's tick phases (DESIGN.md §11). Those need a fork/join whose cost is
+// a few microseconds, not a queue round-trip per chunk, so the pool carries a
+// second dispatch path: parallel_for(n, fn) publishes one region (a chunk
+// count plus a chunk function), workers claim chunk indices from an atomic
+// counter, and the caller participates and then spin-waits for completion.
+// Chunk *indices* -- and therefore the data each chunk touches -- are fixed
+// by the caller independent of worker count; which worker runs which chunk
+// is immaterial because chunks are shared-nothing and any cross-chunk
+// reduction is the caller's (serial, fixed-order) job.
+//
 // Threading guarantees:
-//   - ThreadPool is externally synchronized: submit()/wait_idle() may be
-//     called from one controller thread (typically main). Tasks run on
-//     worker threads and must be shared-nothing with respect to each other.
+//   - ThreadPool is externally synchronized: submit()/wait_idle()/
+//     parallel_for() may be called from one controller thread (typically
+//     main). Tasks and chunks run on worker threads and must be
+//     shared-nothing with respect to each other.
 //   - parallel_for is a self-contained fork/join: it returns only after
-//     every index ran (or the first captured exception is rethrown), so the
-//     caller's vectors are safe to read immediately after it returns.
+//     every index ran (or, if any indices threw, after every index ran and
+//     the lowest-index exception is rethrown), so the caller's vectors are
+//     safe to read -- and the chunk function safe to destroy -- immediately
+//     after it returns.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -47,7 +63,7 @@ namespace wasp::exec {
 [[nodiscard]] std::uint64_t fork_seed(std::uint64_t base_seed,
                                       std::uint64_t index);
 
-// Fixed-size worker pool over one FIFO queue.
+// Fixed-size worker pool over one FIFO queue plus one fork/join region slot.
 //
 // Lifecycle: constructing starts the workers; the destructor drains every
 // already-submitted task, then joins. A task that throws does not kill the
@@ -55,12 +71,15 @@ namespace wasp::exec {
 // from the next wait_idle() call; subsequent tasks still run.
 class ThreadPool {
  public:
+  using RegionFn = std::function<void(std::size_t)>;
+
   // `workers` is clamped to >= 1.
   explicit ThreadPool(int workers);
 
   // Drains the queue (runs every submitted task) and joins the workers.
-  // Exceptions still pending from tasks are swallowed here -- call
-  // wait_idle() first if you need them.
+  // An exception still pending from a task (no wait_idle() call since it was
+  // captured) cannot propagate out of a destructor, but it is NOT silently
+  // dropped either: it is logged at Error level before being discarded.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -74,6 +93,20 @@ class ThreadPool {
   // (the pool remains usable afterwards).
   void wait_idle();
 
+  // Fork/join parallel region: runs fn(0) .. fn(n-1) across the workers and
+  // the calling thread, returning once every index ran. Designed for
+  // microsecond-scale phases issued back-to-back (engine tick passes):
+  // dispatch is a generation bump on an atomic plus at most one condvar
+  // broadcast, and workers that just finished a region spin briefly before
+  // sleeping so consecutive regions skip the wakeup entirely.
+  //
+  // Chunks must be shared-nothing (distinct indices touch distinct data).
+  // If one or more chunks throw, every index still runs and the exception of
+  // the *lowest* index is rethrown (schedule-independent, matching the free
+  // parallel_for below). Must not be called concurrently with submit()/
+  // wait_idle()/itself, nor from inside a task or a chunk.
+  void parallel_for(std::size_t n, const RegionFn& fn);
+
   [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
 
   // max(1, std::thread::hardware_concurrency()) -- the default --jobs.
@@ -81,15 +114,34 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  // Latches onto the current region, claims and runs its chunks, and returns
+  // once that region is known complete (every chunk done, or a newer region
+  // has been published -- which implies completion). Returns the generation
+  // it processed so the caller can de-duplicate re-entry.
+  std::uint64_t run_region_chunks();
+  bool take_and_run_one_task();
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // popped but not yet finished
-  bool stopping_ = false;
+  std::atomic<bool> queue_has_work_{false};
+  std::atomic<bool> stopping_{false};
   std::exception_ptr first_error_;
   std::vector<std::thread> threads_;
+
+  // --- parallel region slot (see thread_pool.cc for the claim protocol) ---
+  // One word packs the region generation (high 32 bits, even = open, odd =
+  // mid-publish) with the next chunk index (low 32 bits), so a claim
+  // validates its region atomically with taking an index. See the protocol
+  // comment above run_region_chunks().
+  std::atomic<std::uint64_t> region_claim_{0};
+  std::atomic<const RegionFn*> region_fn_{nullptr};
+  std::atomic<std::size_t> region_n_{0};
+  std::atomic<std::size_t> region_done_{0};
+  std::size_t region_error_index_ = 0;   // guarded by mu_
+  std::exception_ptr region_error_;      // guarded by mu_
 };
 
 // Fork/join helper: runs fn(0) .. fn(n-1) across up to `jobs` workers and
@@ -98,7 +150,9 @@ class ThreadPool {
 // a shared-nothing fn gives identical per-index results either way. If one
 // or more calls throw, the exception of the *lowest index* is rethrown after
 // every index has run (lowest-index, not first-in-time, so the error too is
-// schedule-independent).
+// schedule-independent). Constructs a pool per call: fine for coarse tasks
+// (whole sweep cells), unusable per-tick -- hold a ThreadPool and call its
+// parallel_for member for that.
 void parallel_for(int jobs, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/log.h"
 #include "common/units.h"
 
 namespace wasp::micro {
@@ -67,7 +68,11 @@ MicroEngine::MicroEngine(const query::LogicalPlan& logical,
         break;
       }
     }
-    assert(gen.group != kNoGroup);
+    // A source with no co-located task group would make the event loop index
+    // groups_[kNoGroup]; fail loudly in Release too.
+    check(gen.group != kNoGroup,
+          "MicroEngine: source operator ", gen.op_index, " at site ",
+          gen.site.value(), " has no task group placed on its own site");
   }
 
   // Routing tables: for every (operator, downstream) pair the receiver
@@ -128,7 +133,12 @@ void MicroEngine::set_source_rate(OperatorId source, SiteId site, double eps) {
       return;
     }
   }
-  assert(false && "source/site pair not deployed");
+  // Setting a rate on an undeployed (source, site) pair used to be a plain
+  // assert, i.e. a silent no-op in Release builds: the caller's workload
+  // pattern was quietly ignored and the run produced zero events from that
+  // source. Fail loudly in every build type instead.
+  check(false, "MicroEngine::set_source_rate: source operator ",
+        source.value(), " is not deployed at site ", site.value());
 }
 
 void MicroEngine::ring_push(TaskGroup& g, double gen_time) {

@@ -5,9 +5,18 @@
 #include <limits>
 
 #include "common/units.h"
+#include "exec/thread_pool.h"
 #include "obs/trace.h"
 
 namespace wasp::net {
+namespace {
+
+// Link groups per parallel-region chunk of the untraced step. A layout
+// constant (never a function of the worker count): chunk boundaries must be
+// identical for --threads 1 and --threads N.
+constexpr std::size_t kLinkChunk = 16;
+
+}  // namespace
 
 Network::Network(Topology topology, std::shared_ptr<const BandwidthModel> model)
     : topology_(std::move(topology)),
@@ -106,22 +115,24 @@ const Flow& Network::flow(FlowId id) const {
 
 bool Network::has_flow(FlowId id) const { return flows_.contains(id); }
 
-void Network::waterfill(const std::vector<Flow*>& flows, double capacity) {
+void Network::waterfill(const std::vector<Flow*>& flows, double capacity,
+                        std::vector<Flow*>& active_scratch) {
   // Classic progressive filling. Bulk flows have unbounded demand and end up
   // with an equal split of whatever streams leave unused. The working set is
   // compacted in place (stably, so the fill order matches the input order)
-  // inside a member scratch vector: no allocation after warm-up.
+  // inside the caller's scratch vector: no allocation after warm-up, and
+  // parallel callers pass distinct scratch.
   double remaining = capacity;
-  wf_active_.assign(flows.begin(), flows.end());
-  for (Flow* f : wf_active_) f->allocated_mbps = 0.0;
+  active_scratch.assign(flows.begin(), flows.end());
+  for (Flow* f : active_scratch) f->allocated_mbps = 0.0;
 
-  std::size_t active = wf_active_.size();
+  std::size_t active = active_scratch.size();
   while (active > 0 && remaining > 1e-12) {
     const double share = remaining / static_cast<double>(active);
     bool anyone_satisfied = false;
     std::size_t kept = 0;
     for (std::size_t i = 0; i < active; ++i) {
-      Flow* f = wf_active_[i];
+      Flow* f = active_scratch[i];
       const bool bounded = f->kind == FlowKind::kStream;
       const double want = bounded ? f->demand_mbps - f->allocated_mbps
                                   : std::numeric_limits<double>::infinity();
@@ -130,7 +141,7 @@ void Network::waterfill(const std::vector<Flow*>& flows, double capacity) {
         remaining -= want;
         anyone_satisfied = true;
       } else {
-        wf_active_[kept++] = f;
+        active_scratch[kept++] = f;
       }
     }
     active = kept;
@@ -138,7 +149,7 @@ void Network::waterfill(const std::vector<Flow*>& flows, double capacity) {
       // Everyone wants at least the equal share: split evenly and stop.
       const double each = remaining / static_cast<double>(active);
       for (std::size_t i = 0; i < active; ++i) {
-        wf_active_[i]->allocated_mbps += each;
+        active_scratch[i]->allocated_mbps += each;
       }
       remaining = 0.0;
       break;
@@ -176,7 +187,7 @@ void Network::step(double t, double dt) {
       const SiteId from(key / n);
       const SiteId to(key % n);
       const double cap = capacity(from, to, t);
-      waterfill(flows, cap);
+      waterfill(flows, cap, wf_active_);
       double stream_mbps = 0.0, bulk_mbps = 0.0;
       for (const Flow* f : flows) {
         (f->kind == FlowKind::kStream ? stream_mbps : bulk_mbps) +=
@@ -204,18 +215,38 @@ void Network::step(double t, double dt) {
                                                          : kLocalBandwidthMbps;
       }
     }
-    for (LinkGroup& g : link_groups_) {
-      waterfill_scratch_.clear();
-      for (Flow* f : g.flows) {
-        if (f->kind == FlowKind::kBulk && f->done) {
-          f->allocated_mbps = 0.0;
-        } else {
-          waterfill_scratch_.push_back(f);
+    // Links are independent (each cross-site flow belongs to exactly one
+    // group), so the per-link fills fan out across the pool in fixed chunks
+    // of the cached group order. Each link is computed by exactly one chunk
+    // with the same flow order as the serial loop -- allocations are
+    // bit-identical for any thread count.
+    const std::size_t n_groups = link_groups_.size();
+    const std::size_t n_chunks = (n_groups + kLinkChunk - 1) / kLinkChunk;
+    if (wf_chunk_scratch_.size() < n_chunks) wf_chunk_scratch_.resize(n_chunks);
+    const auto fill_chunk = [&](std::size_t c) {
+      WfScratch& scratch = wf_chunk_scratch_[c];
+      const std::size_t gb = c * kLinkChunk;
+      const std::size_t ge = std::min(n_groups, gb + kLinkChunk);
+      for (std::size_t gi = gb; gi < ge; ++gi) {
+        LinkGroup& g = link_groups_[gi];
+        scratch.filtered.clear();
+        for (Flow* f : g.flows) {
+          if (f->kind == FlowKind::kBulk && f->done) {
+            f->allocated_mbps = 0.0;
+          } else {
+            scratch.filtered.push_back(f);
+          }
+        }
+        if (!scratch.filtered.empty()) {
+          waterfill(scratch.filtered, capacity(g.from, g.to, t),
+                    scratch.active);
         }
       }
-      if (!waterfill_scratch_.empty()) {
-        waterfill(waterfill_scratch_, capacity(g.from, g.to, t));
-      }
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(n_chunks, fill_chunk);
+    } else {
+      for (std::size_t c = 0; c < n_chunks; ++c) fill_chunk(c);
     }
   }
 

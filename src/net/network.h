@@ -21,6 +21,10 @@ namespace wasp::obs {
 class TraceEmitter;
 }  // namespace wasp::obs
 
+namespace wasp::exec {
+class ThreadPool;
+}  // namespace wasp::exec
+
 namespace wasp::net {
 
 enum class FlowKind {
@@ -98,11 +102,22 @@ class Network {
   void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
   [[nodiscard]] obs::TraceEmitter* trace() const { return trace_; }
 
+  // Optional intra-run executor (non-owning; null = serial). The untraced
+  // step() chunks its per-link waterfills across the pool: links are
+  // independent (each non-local flow belongs to exactly one link group), and
+  // each link's fill is computed by exactly one chunk with the same flow
+  // order either way, so allocations are bit-identical for any thread count.
+  // The traced path stays serial: golden traces pin its event order.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] exec::ThreadPool* pool() const { return pool_; }
+
  private:
   // Max-min fair share for the flows of one link given its capacity. Bulk
-  // flows are treated as having unbounded demand. Operates on an internal
-  // scratch copy so the caller's vector keeps its order.
-  void waterfill(const std::vector<Flow*>& flows, double capacity);
+  // flows are treated as having unbounded demand. Operates on a scratch copy
+  // (`active`, caller-provided so parallel chunks stay shared-nothing) so
+  // the caller's vector keeps its order.
+  static void waterfill(const std::vector<Flow*>& flows, double capacity,
+                        std::vector<Flow*>& active);
 
   // Flows grouped by directed link, cached across step() calls. Flow churn
   // (placement changes, migrations) is orders of magnitude rarer than ticks,
@@ -133,6 +148,14 @@ class Network {
   std::unordered_map<std::int64_t, std::size_t> link_index_;  // key -> group
   std::vector<Flow*> waterfill_scratch_;  // active flows of one link
   std::vector<Flow*> wf_active_;          // waterfill's working set
+  // Per-chunk scratch of the parallel untraced step (persists across steps;
+  // no allocation after warm-up). One slot per link-group chunk.
+  struct WfScratch {
+    std::vector<Flow*> filtered;  // group flows minus finished bulks
+    std::vector<Flow*> active;    // waterfill working set
+  };
+  std::vector<WfScratch> wf_chunk_scratch_;
+  exec::ThreadPool* pool_ = nullptr;
   bool link_groups_dirty_ = true;
   std::int64_t next_flow_id_ = 0;
   obs::TraceEmitter* trace_ = nullptr;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "exec/thread_pool.h"
 #include "physical/physical_plan.h"
 
 namespace wasp::runtime {
@@ -127,6 +128,15 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
   config_.engine.slo_sec = config_.slo_sec;
   config_.engine.trace = &trace_;
   config_.engine.metrics = &metrics_;
+  // Intra-run parallelism: one persistent pool shared by the engine's tick
+  // regions and the network's per-link waterfills. The pool has threads-1
+  // workers; the calling thread participates in every region, so total
+  // concurrency is config_.threads.
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(config_.threads - 1);
+    config_.engine.pool = pool_.get();
+    network_.set_pool(pool_.get());
+  }
 
   for (OperatorId src : spec.plan.sources()) {
     pattern_source_ids_.emplace(spec.plan.op(src).name, src);
@@ -154,6 +164,10 @@ WaspSystem::~WaspSystem() {
   // The Network may be shared across systems (runtime::Cluster); only detach
   // the trace hook if it still points at this system's emitter.
   if (network_.trace() == &trace_) network_.set_trace(nullptr);
+  // Detach the pool before it is destroyed: the Network outlives this system.
+  if (pool_ != nullptr && network_.pool() == pool_.get()) {
+    network_.set_pool(nullptr);
+  }
 }
 
 void WaspSystem::deploy(workload::QuerySpec spec) {

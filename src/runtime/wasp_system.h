@@ -115,6 +115,13 @@ struct SystemConfig {
   // Hybrid promise lossless processing.
   bool shed_on_recovery_stall = false;
   std::uint64_t seed = 42;
+  // Intra-run parallelism: worker threads sharing one run's tick work
+  // (engine kernel sweeps, per-site update loops, per-link waterfills).
+  // 1 = serial (no pool). Results and traces are bit-identical for any
+  // value (DESIGN.md §11); this trades cores for wall-clock only. Compose
+  // with sweep-level --jobs carefully: jobs x threads should not exceed the
+  // machine's cores.
+  int threads = 1;
   // Multi-tenant slot accounting: when set, reports the computing slots
   // per site used by *other* queries sharing the deployment; this query's
   // scheduler subtracts them from availability. Wired by runtime::Cluster.
@@ -260,6 +267,10 @@ class WaspSystem {
   obs::MetricsRegistry metrics_;
   obs::TraceEmitter trace_;
   adapt::GlobalMetricMonitor metric_monitor_;
+  // Intra-run worker pool (config_.threads > 1 only). Declared before
+  // policy_/engine_ so it is destroyed after them: the engine holds a raw
+  // pointer and might, in principle, touch it until destruction.
+  std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<adapt::AdaptationPolicy> policy_;
   std::unique_ptr<engine::Engine> engine_;
   Recorder recorder_;

@@ -126,6 +126,125 @@ TEST(KernelEquivalence, ResetStageTickMatchesScalarBitwise) {
   }
 }
 
+TEST(KernelEquivalence, GroupCapacityRowMatchesScalarBitwise) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 257));
+    std::vector<std::int32_t> tasks(n);
+    for (auto& t : tasks) t = static_cast<std::int32_t>(rng.uniform_int(0, 5));
+    std::vector<char> failed(n);
+    for (auto& f : failed) f = rng.uniform() < 0.3 ? 1 : 0;
+    auto straggler = random_doubles(rng, n);
+    for (auto& s : straggler) s = std::abs(s);
+    const double eps = rng.uniform(0.0, 1e4);
+
+    std::vector<double> out_a(n, -1.0), out_b(n, -1.0);
+    kernels::group_capacity_row_scalar(n, tasks.data(), eps, failed.data(),
+                                       straggler.data(), out_a.data());
+    kernels::group_capacity_row(n, tasks.data(), eps, failed.data(),
+                                straggler.data(), out_b.data());
+    expect_bitwise_equal(out_a, out_b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked execution: every kernel is elementwise, so running it on an
+// arbitrary partition of [0, n) through offset pointers must be bit-identical
+// to one whole-range call. This is the property the engine's parallel tick
+// phases rely on (fixed chunk boundaries, one chunk per worker claim).
+// ---------------------------------------------------------------------------
+
+// Random chunk boundaries: 0 = b0 < b1 < ... < bk = n, adversarially uneven.
+std::vector<std::size_t> random_chunks(Rng& rng, std::size_t n) {
+  std::vector<std::size_t> bounds{0};
+  while (bounds.back() < n) {
+    const auto step = static_cast<std::size_t>(rng.uniform_int(1, 97));
+    bounds.push_back(std::min(n, bounds.back() + step));
+  }
+  return bounds;
+}
+
+TEST(KernelEquivalence, ChunkedResetChannelTickMatchesWholeBitwise) {
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 1025));
+    const std::size_t num_stages = 8;
+    std::vector<std::int32_t> to_stage(n);
+    for (auto& s : to_stage) {
+      s = static_cast<std::int32_t>(rng.uniform_int(0, num_stages - 1));
+    }
+    std::vector<char> suspended(num_stages);
+    for (auto& s : suspended) s = rng.uniform() < 0.5 ? 1 : 0;
+    const auto prev0 = random_doubles(rng, n);
+    const auto del0 = random_doubles(rng, n);
+    const auto off0 = random_doubles(rng, n);
+
+    auto prev_a = prev0, del_a = del0, off_a = off0;
+    kernels::reset_channel_tick(n, to_stage.data(), suspended.data(),
+                                prev_a.data(), del_a.data(), off_a.data());
+
+    auto prev_b = prev0, del_b = del0, off_b = off0;
+    const auto bounds = random_chunks(rng, n);
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const std::size_t b = bounds[k], e = bounds[k + 1];
+      kernels::reset_channel_tick(e - b, to_stage.data() + b,
+                                  suspended.data(), prev_b.data() + b,
+                                  del_b.data() + b, off_b.data() + b);
+    }
+    expect_bitwise_equal(prev_a, prev_b);
+    expect_bitwise_equal(del_a, del_b);
+    expect_bitwise_equal(off_a, off_b);
+  }
+}
+
+TEST(KernelEquivalence, ChunkedFlowDemandMatchesWholeBitwise) {
+  Rng rng(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 1025));
+    const auto queue = random_doubles(rng, n);
+    auto event_bytes = random_doubles(rng, n);
+    for (auto& b : event_bytes) b = std::abs(b);
+    const double dt = rng.uniform(0.25, 4.0);
+
+    std::vector<double> out_a(n, -1.0), out_b(n, -2.0);
+    kernels::flow_demand_mbps(n, queue.data(), event_bytes.data(), dt,
+                              out_a.data());
+    const auto bounds = random_chunks(rng, n);
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const std::size_t b = bounds[k], e = bounds[k + 1];
+      kernels::flow_demand_mbps(e - b, queue.data() + b,
+                                event_bytes.data() + b, dt, out_b.data() + b);
+    }
+    expect_bitwise_equal(out_a, out_b);
+  }
+}
+
+TEST(KernelEquivalence, ChunkedGroupCapacityRowMatchesWholeBitwise) {
+  Rng rng(59);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 1025));
+    std::vector<std::int32_t> tasks(n);
+    for (auto& t : tasks) t = static_cast<std::int32_t>(rng.uniform_int(0, 5));
+    std::vector<char> failed(n);
+    for (auto& f : failed) f = rng.uniform() < 0.3 ? 1 : 0;
+    auto straggler = random_doubles(rng, n);
+    for (auto& s : straggler) s = std::abs(s);
+    const double eps = rng.uniform(0.0, 1e4);
+
+    std::vector<double> out_a(n, -1.0), out_b(n, -2.0);
+    kernels::group_capacity_row(n, tasks.data(), eps, failed.data(),
+                                straggler.data(), out_a.data());
+    const auto bounds = random_chunks(rng, n);
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const std::size_t b = bounds[k], e = bounds[k + 1];
+      kernels::group_capacity_row(e - b, tasks.data() + b, eps,
+                                  failed.data() + b, straggler.data() + b,
+                                  out_b.data() + b);
+    }
+    expect_bitwise_equal(out_a, out_b);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Whole-simulation equivalence: two engines over the same scenario, one with
 // fast kernels and one on the scalar reference path, must agree on every

@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
 
 #include "common/rng.h"
 #include "net/bandwidth_model.h"
@@ -323,6 +328,74 @@ TEST(WaspSystemTest, DeterministicGivenSeed) {
   const auto b = run();
   EXPECT_DOUBLE_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+// Regression (PR 7): the traced and untraced step paths share state updates
+// but take different code routes (the network's per-step grouping vs its
+// cached link groups; the engine's trace emission). Tracing must be a pure
+// observer: every recorder metric and the final clock must match a same-seed
+// untraced run bit-for-bit.
+TEST(WaspSystemTest, TracingIsAPureObserver) {
+  auto run = [](bool traced) {
+    Testbed bed(13);
+    auto spec = bed.topk();
+    auto pattern = bed.uniform_rates(spec, 10'000.0);
+    pattern.add_step(100.0, 2.0);
+    SystemConfig config;
+    config.seed = 13;
+    if (traced) {
+      config.trace_sink = std::make_shared<obs::FileSink>(
+          ::testing::TempDir() + "/traced_vs_untraced.jsonl");
+    }
+    WaspSystem system(bed.network, std::move(spec), pattern, config);
+    system.run_until(400.0);
+    return std::make_tuple(system.now(), system.metrics().snapshot(),
+                           system.recorder().events().size());
+  };
+  const auto untraced = run(false);
+  const auto traced = run(true);
+  EXPECT_EQ(std::get<0>(untraced), std::get<0>(traced));
+  EXPECT_EQ(std::get<2>(untraced), std::get<2>(traced));
+  const auto& mu = std::get<1>(untraced);
+  const auto& mt = std::get<1>(traced);
+  ASSERT_EQ(mu.size(), mt.size());
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    EXPECT_EQ(mu[i].first, mt[i].first);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(mu[i].second),
+              std::bit_cast<std::uint64_t>(mt[i].second))
+        << mu[i].first << ": " << mu[i].second << " vs " << mt[i].second;
+  }
+}
+
+// The intra-run worker count is a pure throughput knob: chunk boundaries are
+// layout constants and every reduction is a serial fixed-order combine, so
+// --threads N must not change a single bit of any metric.
+TEST(WaspSystemTest, ThreadCountCannotChangeAnyMetricBit) {
+  auto run = [](int threads) {
+    Testbed bed(13);
+    auto spec = bed.topk();
+    auto pattern = bed.uniform_rates(spec, 10'000.0);
+    pattern.add_step(100.0, 2.0);
+    SystemConfig config;
+    config.seed = 13;
+    config.threads = threads;
+    WaspSystem system(bed.network, std::move(spec), pattern, config);
+    system.run_until(300.0);
+    return std::make_pair(system.metrics().snapshot(),
+                          system.recorder().events().size());
+  };
+  const auto serial = run(1);
+  for (int threads : {2, 4}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(serial.second, parallel.second) << "threads=" << threads;
+    ASSERT_EQ(serial.first.size(), parallel.first.size());
+    for (std::size_t i = 0; i < serial.first.size(); ++i) {
+      EXPECT_EQ(serial.first[i].first, parallel.first[i].first);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(serial.first[i].second),
+                std::bit_cast<std::uint64_t>(parallel.first[i].second))
+          << "threads=" << threads << " metric " << serial.first[i].first;
+    }
+  }
 }
 
 TEST(WaspSystemTest, StatelessQueryDeploysAndAdapts) {

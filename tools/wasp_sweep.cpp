@@ -35,6 +35,7 @@ struct Options {
   exec::GridSpec grid;
   exec::SweepDefaults defaults;
   int jobs = exec::ThreadPool::hardware_workers();
+  int threads = 1;  // intra-run workers per cell
   std::string out = "sweep.jsonl";
   std::string trace_dir;
   std::string bench_out;
@@ -60,6 +61,12 @@ void print_usage() {
   --sweep-file=FILE         read axes from FILE (one per line, # comments)
   --jobs=N                  worker threads (default: hardware cores; results
                             are byte-identical for any N)
+  --threads=N               intra-run worker threads per cell (default 1;
+                            results are byte-identical for any N). Total
+                            concurrency is jobs*threads; when that exceeds
+                            the machine's cores, threads is clamped with a
+                            warning -- prefer raising --jobs while there are
+                            more cells than cores
   --out=FILE                merged JSONL (default sweep.jsonl; "-" = stdout)
   --trace-dir=DIR           per-run observability traces DIR/run_<cell>.jsonl
   --seed=N                  base seed forked per cell when no seeds axis
@@ -106,6 +113,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       }
     } else if (auto v = value_of("--jobs")) {
       opts->jobs = std::max(1, std::atoi(v->c_str()));
+    } else if (auto v = value_of("--threads")) {
+      opts->threads = std::max(1, std::atoi(v->c_str()));
     } else if (auto v = value_of("--out")) {
       opts->out = *v;
     } else if (auto v = value_of("--trace-dir")) {
@@ -174,6 +183,7 @@ std::vector<exec::RunResult> run_grid(const std::vector<exec::RunSpec>& cells,
                                       double* wall_ms) {
   exec::SweepOptions sweep_opts;
   sweep_opts.jobs = jobs;
+  sweep_opts.threads = opts.threads;
   sweep_opts.trace_dir = opts.trace_dir;
   if (!opts.quiet) {
     std::size_t done = 0;
@@ -211,6 +221,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Oversubscription guard: jobs * threads above the core count just makes
+  // every run slower (the intra-run regions spin-wait). Results do not
+  // depend on either knob, so clamping threads is always safe.
+  const int cores = exec::ThreadPool::hardware_workers();
+  if (opts.threads > 1 && opts.jobs * opts.threads > cores) {
+    const int clamped = std::max(1, cores / opts.jobs);
+    std::cerr << "wasp_sweep: --jobs=" << opts.jobs << " x --threads="
+              << opts.threads << " oversubscribes " << cores
+              << (cores == 1 ? " core" : " cores") << "; clamping --threads to "
+              << clamped << " (results are identical either way)\n";
+    opts.threads = clamped;
+  }
+
   double wall_ms = 0.0;
   const auto results = run_grid(*cells, opts, opts.jobs, &wall_ms);
   const std::string merged =
@@ -243,6 +266,7 @@ int main(int argc, char** argv) {
           << "  \"grid\": \"" << opts.grid.to_string() << "\",\n"
           << "  \"cells\": " << cells->size() << ",\n"
           << "  \"jobs\": " << opts.jobs << ",\n"
+          << "  \"threads\": " << opts.threads << ",\n"
           << "  \"hardware_cores\": " << exec::ThreadPool::hardware_workers()
           << ",\n"
           << "  \"serial_wall_ms\": " << serial_wall_ms << ",\n"
