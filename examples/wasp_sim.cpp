@@ -48,6 +48,7 @@ struct Options {
   std::uint64_t seed = 7;
   int sites = 0;    // 0 = the 16-site paper testbed
   int threads = 1;  // intra-run worker threads
+  int standby_replicas = 0;  // hot standbys per protected stage
   double slo = 10.0;
   std::string slo_spec;  // --slo=key=value,... (watchdog form)
   double alpha = 0.8;
@@ -85,6 +86,13 @@ void print_usage() {
                                    bit-identical for any N; combine with a
                                    sweep's --jobs so jobs x threads stays
                                    within the machine's cores
+  --standby-replicas=N             hot-standby replicas per protected stateful
+                                   stage (default 0 = replan-only recovery).
+                                   Replicas are placed in distinct failure
+                                   domains, kept warm by periodic delta syncs
+                                   over the shared WAN, and promoted -- no
+                                   solver on the hot path -- when a primary
+                                   site is confirmed failed (DESIGN.md §12)
   --slo=SECONDS                    degrade/hybrid SLO (default 10)
   --slo=SPEC                       declarative SLO watchdog instead: comma-
                                    separated bounds evaluated per tick over a
@@ -164,6 +172,12 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->threads = std::stoi(*v);
       if (opts->threads < 1) {
         std::cerr << "--threads must be >= 1\n";
+        return false;
+      }
+    } else if (auto v = value_of("--standby-replicas")) {
+      opts->standby_replicas = std::stoi(*v);
+      if (opts->standby_replicas < 0) {
+        std::cerr << "--standby-replicas must be >= 0\n";
         return false;
       }
     } else if (auto v = value_of("--slo")) {
@@ -368,6 +382,7 @@ int main(int argc, char** argv) {
   config.scheduler.alpha = opts.alpha;
   config.seed = opts.seed;
   config.threads = opts.threads;
+  config.standby_replicas = opts.standby_replicas;
   if (!opts.slo_spec.empty()) {
     std::string error;
     const auto spec = runtime::SloSpec::parse(opts.slo_spec, &error);
@@ -523,19 +538,21 @@ int main(int argc, char** argv) {
     }
   }
   if (injector != nullptr) {
-    std::size_t aborted = 0, abandoned = 0;
+    std::size_t aborted = 0, abandoned = 0, promotions = 0;
     for (const auto& e : rec.events()) {
       if (e.aborted()) ++aborted;
     }
     for (const auto& e : rec.recovery_events()) {
       if (e.kind == "abandon") ++abandoned;
+      if (e.kind == "failover") ++promotions;
     }
     // One parseable line the chaos-smoke CI job asserts on.
     std::cout << "\nchaos: recovery_events=" << rec.recovery_events().size()
               << " orphaned_bulk_flows=" << network.num_bulk_flows()
               << " aborted_transitions=" << aborted
               << " abandoned=" << abandoned
-              << " faults_injected=" << injector->applied() << "\n";
+              << " faults_injected=" << injector->applied()
+              << " standby_promotions=" << promotions << "\n";
     if (!rec.recovery_events().empty()) {
       std::cout << "recovery log:\n";
       for (const auto& e : rec.recovery_events()) {

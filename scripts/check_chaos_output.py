@@ -4,9 +4,10 @@
 Parses the machine-readable summary line
 
     chaos: recovery_events=N orphaned_bulk_flows=M aborted_transitions=A \
-abandoned=B faults_injected=F
+abandoned=B faults_injected=F standby_promotions=P
 
-and checks:
+(`standby_promotions` is optional for outputs predating hot standbys) and
+checks:
   - every scheduled fault was injected (faults_injected > 0);
   - the recovery event log is non-empty (the detector saw the faults);
   - zero orphaned bulk flows at the end of the run (every aborted
@@ -15,19 +16,27 @@ and checks:
     abandoned -- an abort without a matching retry/abandon entry in the
     recovery log is a leak;
   - the crashed site's full recovery chain is present:
-    suspect -> confirm_failure -> replan -> stabilized.
+    suspect -> confirm_failure -> replan|failover -> stabilized
+    (a hot-standby promotion replaces the replan step for the victim's
+    stateful stages, so either recovery kind satisfies the chain);
+  - if the run promoted standbys, the recovery log shows a failover line.
 
 With an optional second argument (the --trace-out JSONL file) it also
-cross-checks the span stream: every span_begin has a matching span_end
-and the run produced at least one adaptation or recovery span.
+cross-checks the span stream: every span_begin has a matching span_end,
+the run produced at least one adaptation or recovery span, and every
+`failover` event carries a recovery mode of `standby` (promotion fast
+path) or `replan` (solver fallback) -- any other mode is a failure.
 """
 import json
 import re
 import sys
 
+KNOWN_FAILOVER_MODES = {"standby", "replan"}
 
-def check_trace(path: str, failures: list) -> None:
+
+def check_trace(path: str, promotions: int, failures: list) -> None:
     begins, ends, names = {}, set(), set()
+    standby_failovers = 0
     for lineno, line in enumerate(open(path), 1):
         line = line.strip()
         if not line:
@@ -42,6 +51,21 @@ def check_trace(path: str, failures: list) -> None:
             names.add(event.get("name", "?"))
         elif event.get("type") == "span_end":
             ends.add(event["span_id"])
+        # Failover recovery-mode contract: both the flat `failover` events
+        # and the `failover` root spans must declare how the stage was
+        # recovered, and the mode must be one this checker knows about.
+        is_failover = (event.get("type") == "failover" or
+                       (event.get("type") == "span_begin" and
+                        event.get("name") == "failover"))
+        if is_failover:
+            mode = event.get("mode")
+            if mode not in KNOWN_FAILOVER_MODES:
+                failures.append(
+                    f"trace line {lineno}: failover event with unknown "
+                    f"recovery mode {mode!r} (expected one of "
+                    f"{sorted(KNOWN_FAILOVER_MODES)})")
+            if event.get("type") == "failover" and mode == "standby":
+                standby_failovers += 1
     unclosed = set(begins) - ends
     if unclosed:
         sample = ", ".join(
@@ -53,6 +77,11 @@ def check_trace(path: str, failures: list) -> None:
         failures.append(f"{len(orphans)} span_end(s) without a span_begin")
     if not names & {"adaptation", "recovery"}:
         failures.append("trace has no adaptation or recovery spans")
+    if promotions != standby_failovers:
+        failures.append(
+            f"summary reports {promotions} standby promotion(s) but the "
+            f"trace has {standby_failovers} failover event(s) with "
+            f"mode=standby")
 
 
 def main() -> int:
@@ -64,13 +93,16 @@ def main() -> int:
 
     m = re.search(
         r"chaos: recovery_events=(\d+) orphaned_bulk_flows=(\d+)"
-        r" aborted_transitions=(\d+) abandoned=(\d+) faults_injected=(\d+)",
+        r" aborted_transitions=(\d+) abandoned=(\d+) faults_injected=(\d+)"
+        r"(?: standby_promotions=(\d+))?",
         text,
     )
     if m is None:
         print("FAIL: no 'chaos:' summary line in output", file=sys.stderr)
         return 1
-    recovery, orphaned, aborted, abandoned, injected = map(int, m.groups())
+    recovery, orphaned, aborted, abandoned, injected = map(
+        int, m.groups()[:5])
+    promotions = int(m.group(6)) if m.group(6) is not None else 0
 
     failures = []
     if injected == 0:
@@ -86,22 +118,37 @@ def main() -> int:
             f"{aborted} aborted transition(s) with no retry or abandon")
 
     # The canned schedule crashes one site: its chain must appear in order.
-    chain = ["suspect", "confirm_failure", "replan", "stabilized"]
-    positions = [text.find(f" {kind}") for kind in chain]
+    # A hot-standby promotion ("failover") recovers the stateful stages
+    # without a solver pass, so it counts as the recovery step of the chain.
+    # Scan only the recovery log: the adaptation summary above it also
+    # prints `failover` lines, in metric order rather than event order.
+    log_start = text.find("recovery log:")
+    log = text[log_start:] if log_start >= 0 else text
+    first_recover = min(
+        (p for p in (log.find(" replan"), log.find(" failover")) if p >= 0),
+        default=-1)
+    positions = [log.find(" suspect"), log.find(" confirm_failure"),
+                 first_recover, log.find(" stabilized")]
     if any(p < 0 for p in positions) or positions != sorted(positions):
         failures.append(
-            "missing or out-of-order suspect -> confirm_failure -> replan"
-            " -> stabilized chain")
+            "missing or out-of-order suspect -> confirm_failure ->"
+            " replan|failover -> stabilized chain")
+
+    if promotions > 0 and log.find(" failover") < 0:
+        failures.append(
+            f"summary reports {promotions} standby promotion(s) but the "
+            f"recovery log has no failover line")
 
     if len(sys.argv) == 3:
-        check_trace(sys.argv[2], failures)
+        check_trace(sys.argv[2], promotions, failures)
 
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         return 1
     print(f"OK: recovery_events={recovery} orphaned=0 aborted={aborted}"
-          f" abandoned={abandoned} faults_injected={injected}")
+          f" abandoned={abandoned} faults_injected={injected}"
+          f" standby_promotions={promotions}")
     return 0
 
 

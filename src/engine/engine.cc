@@ -863,20 +863,44 @@ void Engine::tick(double t) {
   }
   set_flow_demands(dt);
 
-  // Periodic localized checkpoint (§5): record state sizes per group.
+  // Periodic localized checkpoint (§5), tiered (DESIGN.md §12): every Nth
+  // interval takes a full snapshot; the intervals between record only the
+  // groups whose state moved since the last snapshot, so the written size
+  // (and the standby-sync traffic priced off it) scales with the change
+  // rate, not the total state. Either way the snapshot arrays end up
+  // identical -- clean groups already match -- so restore semantics do not
+  // depend on the tier.
   if (t - last_checkpoint_ >= config_.checkpoint_interval_sec) {
+    const int every = std::max(1, config_.full_checkpoint_every);
+    const bool full = checkpoint_seq_ % every == 0;
+    ++checkpoint_seq_;
     double checkpointed_mb = 0.0;
+    double written_mb = 0.0;
+    int dirty_groups = 0;
     for (std::size_t i = 0; i < num_stages_; ++i) {
       for (std::size_t s = 0; s < num_sites_; ++s) {
         const std::size_t gi = gid(i, s);
-        checkpointed_state_[gi] = group_state_mb(i, s);
-        checkpointed_window_[gi] = g_window_events_[gi];
-        checkpointed_mb += checkpointed_state_[gi];
+        const double state = group_state_mb(i, s);
+        checkpointed_mb += state;
+        const bool dirty = state != checkpointed_state_[gi] ||
+                           g_window_events_[gi] != checkpointed_window_[gi];
+        if (dirty) {
+          ++dirty_groups;
+          if (!full) written_mb += std::abs(state - checkpointed_state_[gi]);
+          checkpointed_state_[gi] = state;
+          checkpointed_window_[gi] = g_window_events_[gi];
+        }
       }
     }
+    if (full) written_mb = checkpointed_mb;
     last_checkpoint_ = t;
+    last_checkpoint_written_mb_ = written_mb;
     if (config_.trace != nullptr && config_.trace->enabled()) {
-      config_.trace->event_at(t, "checkpoint").num("state_mb", checkpointed_mb);
+      config_.trace->event_at(t, "checkpoint")
+          .str("kind", full ? "full" : "delta")
+          .num("state_mb", checkpointed_mb)
+          .num("written_mb", written_mb)
+          .num("dirty_groups", static_cast<double>(dirty_groups));
     }
     if (config_.metrics != nullptr) mh_.checkpoints->inc();
   }
@@ -1388,7 +1412,10 @@ void Engine::restore_site(SiteId site) {
     if (g_tasks_[gi] == 0) continue;
     const double restore_sec =
         checkpointed_state_[gi] / config_.local_restore_mb_per_sec;
-    g_restore_until_[gi] = now_ + restore_sec;
+    // A replay already in progress (back-to-back failures) composes with the
+    // new one -- the group must finish the earlier replay and then this one;
+    // resetting to now_ + restore_sec would silently discount work.
+    g_restore_until_[gi] = std::max(g_restore_until_[gi], now_) + restore_sec;
     restore_mb += checkpointed_state_[gi];
     max_restore_sec = std::max(max_restore_sec, restore_sec);
 
@@ -1409,29 +1436,7 @@ void Engine::restore_site(SiteId site) {
 
   // Re-inject the lost delta at the replayable sources (rate-proportional
   // shares, mirroring apply_replan's in-flight replay).
-  if (lost_source_units > 0.0) {
-    for (OperatorId src : logical_.sources()) {
-      const std::size_t i = stage_index(src);
-      const double rate = source_generation_eps(src);
-      const double share =
-          total_src_eps > 0.0
-              ? rate / total_src_eps
-              : 1.0 / static_cast<double>(logical_.sources().size());
-      const double units = lost_source_units * share;
-      if (units <= 0.0) continue;
-      int active_sites = 0;
-      for (std::size_t st = 0; st < num_sites_; ++st) {
-        if (g_tasks_[gid(i, st)] > 0) ++active_sites;
-      }
-      if (active_sites == 0) continue;
-      for (std::size_t st = 0; st < num_sites_; ++st) {
-        const std::size_t gi = gid(i, st);
-        if (g_tasks_[gi] > 0) g_input_queue_[gi] += units / active_sites;
-      }
-      stage_tracker_[i]->record_generated(now_, units);
-      replay_pending_events_ += units;
-    }
-  }
+  if (lost_source_units > 0.0) replay_at_sources(lost_source_units);
 
   if (config_.trace != nullptr && config_.trace->enabled()) {
     config_.trace->event("site_restored")
@@ -1443,6 +1448,126 @@ void Engine::restore_site(SiteId site) {
   if (config_.metrics != nullptr) {
     config_.metrics->counter("engine.site_restores").inc();
   }
+}
+
+void Engine::replay_at_sources(double units) {
+  if (units <= 0.0) return;
+  double total_src_eps = 0.0;
+  for (OperatorId src : logical_.sources()) {
+    total_src_eps += source_generation_eps(src);
+  }
+  for (OperatorId src : logical_.sources()) {
+    const std::size_t i = stage_index(src);
+    const double rate = source_generation_eps(src);
+    const double share =
+        total_src_eps > 0.0
+            ? rate / total_src_eps
+            : 1.0 / static_cast<double>(logical_.sources().size());
+    const double src_units = units * share;
+    if (src_units <= 0.0) continue;
+    int active_sites = 0;
+    for (std::size_t st = 0; st < num_sites_; ++st) {
+      if (g_tasks_[gid(i, st)] > 0) ++active_sites;
+    }
+    if (active_sites == 0) continue;
+    for (std::size_t st = 0; st < num_sites_; ++st) {
+      const std::size_t gi = gid(i, st);
+      if (g_tasks_[gi] > 0) g_input_queue_[gi] += src_units / active_sites;
+    }
+    stage_tracker_[i]->record_generated(now_, src_units);
+    replay_pending_events_ += src_units;
+  }
+}
+
+Engine::PromotionResult Engine::promote_standby(OperatorId op,
+                                                SiteId failed_site,
+                                                SiteId standby_site,
+                                                double synced_window_events) {
+  PromotionResult result;
+  const std::size_t i = stage_index(op);
+  const auto sd = static_cast<std::size_t>(failed_site.value());
+  const auto sb = static_cast<std::size_t>(standby_site.value());
+  const std::size_t gd = gid(i, sd);
+  const std::size_t gs = gid(i, sb);
+  const int moved_tasks = g_tasks_[gd];
+  if (moved_tasks == 0 || sd == sb || failed_sites_[sb]) return result;
+
+  // The standby holds the window as of its last sync. Installing more than
+  // the primary actually had would fabricate events, so the effective
+  // replica is capped at the live window; everything past it -- post-sync
+  // window growth plus the queued-but-unprocessed input -- died with the
+  // primary and replays from the sources' durable logs.
+  const double live_window = g_window_events_[gd];
+  const double installed = std::min(synced_window_events, live_window);
+  const double lost = (live_window - installed) + g_input_queue_[gd];
+
+  g_tasks_[gd] = 0;
+  g_input_queue_[gd] = 0.0;
+  g_window_events_[gd] = 0.0;
+  g_restore_until_[gd] = -1.0;
+  checkpointed_state_[gd] = 0.0;
+  checkpointed_window_[gd] = 0.0;
+  g_tasks_[gs] += moved_tasks;
+  g_window_events_[gs] += installed;
+  // The replica is warm: no checkpoint-scan pause at the standby
+  // (g_restore_until_[gs] untouched).
+
+  physical::StagePlacement placement = stage_placement_[i];
+  placement.per_site[sb] += placement.per_site[sd];
+  placement.per_site[sd] = 0;
+  stage_placement_[i] = placement;
+  physical_.mutable_stage_for(op).placement = placement;
+  // Parallelism is unchanged: tasks moved, none were added or removed.
+
+  // Losing the hot-key site re-anchors partition skew, as in
+  // apply_placement.
+  if (stage_skew_site_[i] == static_cast<std::int32_t>(sd)) {
+    stage_skew_site_[i] = -1;
+    for (std::size_t s = 0; s < num_sites_; ++s) {
+      if (placement.per_site[s] > 0) {
+        stage_skew_site_[i] = static_cast<std::int32_t>(s);
+        break;
+      }
+    }
+  }
+
+  double lost_source_units = 0.0;
+  if (lost > 0.0) {
+    std::unordered_map<OperatorId, double> src_rates;
+    double total_src_eps = 0.0;
+    for (OperatorId src : logical_.sources()) {
+      const double eps = source_generation_eps(src);
+      src_rates.emplace(src, eps);
+      total_src_eps += eps;
+    }
+    const auto rates = logical_.estimate_rates(src_rates);
+    const double op_eps = rates.at(op).input_eps;
+    if (op_eps > 0.0 && total_src_eps > 0.0) {
+      lost_source_units = lost * (total_src_eps / op_eps);
+      replay_at_sources(lost_source_units);
+    }
+  }
+
+  rebuild_stage_sites();
+  rebuild_adjacent_channels(i);
+
+  result.moved_tasks = moved_tasks;
+  result.installed_window_events = installed;
+  result.replayed_source_units = lost_source_units;
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    config_.trace->event("standby_promoted")
+        .num("op", static_cast<double>(op.value()))
+        .str("name", logical_.op(op).name)
+        .num("from_site", static_cast<double>(failed_site.value()))
+        .num("to_site", static_cast<double>(standby_site.value()))
+        .num("tasks", static_cast<double>(moved_tasks))
+        .num("installed_window_events", installed)
+        .num("replayed_source_units", lost_source_units);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("engine.standby_promotions").inc();
+  }
+  return result;
 }
 
 bool Engine::site_failed(SiteId site) const {
@@ -1504,6 +1629,16 @@ double Engine::state_mb(OperatorId op, SiteId site) const {
 
 double Engine::total_state_mb(OperatorId op) const {
   return stage_total_state_mb(stage_index(op));
+}
+
+double Engine::window_events(OperatorId op, SiteId site) const {
+  return g_window_events_[gid(stage_index(op),
+                              static_cast<std::size_t>(site.value()))];
+}
+
+double Engine::restore_until(OperatorId op, SiteId site) const {
+  return g_restore_until_[gid(stage_index(op),
+                              static_cast<std::size_t>(site.value()))];
 }
 
 void Engine::op_metrics_into(OperatorId op, OperatorMetrics& m,

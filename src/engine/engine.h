@@ -82,6 +82,11 @@ struct EngineConfig {
   // localized checkpointing makes restore a local, fast operation).
   double local_restore_mb_per_sec = 200.0;
   double checkpoint_interval_sec = 30.0;
+  // Tiered checkpoints: every Nth checkpoint is a full snapshot; the ones
+  // between record only dirty-group deltas, so checkpoint cost scales with
+  // the change rate instead of total state size (DESIGN.md §12). 1 = every
+  // checkpoint is full (the pre-tiered behavior).
+  int full_checkpoint_every = 5;
   // When false, the vectorization-annotated per-tick kernels are swapped for
   // their scalar reference twins (src/engine/kernels.h). The two are
   // bit-identical by contract -- this switch exists so tests can prove it on
@@ -154,6 +159,22 @@ class Engine {
   void fail_site(SiteId site);
   void restore_site(SiteId site);
   [[nodiscard]] bool site_failed(SiteId site) const;
+
+  // Hot-standby promotion (DESIGN.md §12): moves the (op, failed_site) task
+  // group onto `standby_site`, which already holds a replica of the group's
+  // window synced up to `synced_window_events`. The synced prefix is
+  // installed at the standby with no restore pause (the replica is warm);
+  // only the delta the primary accumulated after the last sync -- plus the
+  // queued-but-unprocessed input -- is lost and replayed from the sources.
+  // No solver runs here: the standby site was chosen ahead of time.
+  struct PromotionResult {
+    int moved_tasks = 0;
+    double installed_window_events = 0.0;
+    double replayed_source_units = 0.0;
+  };
+  PromotionResult promote_standby(OperatorId op, SiteId failed_site,
+                                  SiteId standby_site,
+                                  double synced_window_events);
 
   // Toggles the degrade baseline (shed source events older than the SLO) at
   // runtime; the control plane flips this on as a graceful fallback when
@@ -228,6 +249,21 @@ class Engine {
   // Current state size of `op` at `site` / across all sites (MB).
   [[nodiscard]] double state_mb(OperatorId op, SiteId site) const;
   [[nodiscard]] double total_state_mb(OperatorId op) const;
+
+  // Open-window contents (events) of `op`'s group at `site`; what a standby
+  // replica snapshots when it syncs.
+  [[nodiscard]] double window_events(OperatorId op, SiteId site) const;
+
+  // Size (MB) actually written by the most recent checkpoint: the full state
+  // for a full checkpoint, the dirty-group delta for an incremental one.
+  // Standby sync flows are priced off the same delta.
+  [[nodiscard]] double last_checkpoint_written_mb() const {
+    return last_checkpoint_written_mb_;
+  }
+  // Checkpoint-replay deadline of `op`'s group at `site` (simulated seconds;
+  // <= now means no replay in progress). Exposed for the fail-during-replay
+  // regression tests.
+  [[nodiscard]] double restore_until(OperatorId op, SiteId site) const;
 
   // The *actual* workload: current generation rate of `source` (events/s),
   // independent of backpressure (§3.3's λ_O[src]).
@@ -314,6 +350,11 @@ class Engine {
   void rebuild_adjacent_channels(std::size_t stage_idx);
   void apply_degrade_drops(double t);
   void emit_tick_trace(double t, double dt);
+  // Re-injects `units` source-time events at the replayable sources
+  // (rate-proportional shares across sources, equal split across each
+  // source's hosting sites) -- the common tail of restore_site, replan
+  // replay, and standby promotion.
+  void replay_at_sources(double units);
   void set_flow_demands(double dt);
   void update_delay_metric(double t);
   [[nodiscard]] double stage_total_state_mb(std::size_t stage) const;
@@ -482,6 +523,8 @@ class Engine {
   double replay_pending_events_ = 0.0;  // re-injected by the last re-plan
   double now_ = 0.0;  // end time of the latest tick
   double last_checkpoint_ = 0.0;
+  int checkpoint_seq_ = 0;  // full when seq % full_checkpoint_every == 0
+  double last_checkpoint_written_mb_ = 0.0;
   // Per-group state size / open-window contents at the last checkpoint,
   // indexed by gid. restore_site() rolls a recovered group's window back to
   // this snapshot and re-injects the lost delta at the replayable sources.

@@ -68,6 +68,10 @@ void FaultInjector::apply(const FaultEvent& event) {
     if (event.kind == FaultKind::kControlStall) {
       ev.num("duration_sec", event.duration_sec);
     }
+    if (event.kind == FaultKind::kDomainDown ||
+        event.kind == FaultKind::kDomainRestore) {
+      ev.num("domain", static_cast<double>(event.domain));
+    }
   }
   switch (event.kind) {
     case FaultKind::kSiteCrash:
@@ -90,6 +94,21 @@ void FaultInjector::apply(const FaultEvent& event) {
     case FaultKind::kControlStall:
       if (hooks_.stall_control) hooks_.stall_control(event.duration_sec);
       break;
+    case FaultKind::kDomainDown:
+    case FaultKind::kDomainRestore: {
+      // A domain fault is a correlated burst of per-site faults: every site
+      // labeled with the domain crashes (or restores) at the same instant,
+      // in dense site-id order so replays are deterministic.
+      const bool down = event.kind == FaultKind::kDomainDown;
+      for (SiteId s : network_.topology().sites_in_domain(event.domain)) {
+        if (down) {
+          if (hooks_.crash_site) hooks_.crash_site(s);
+        } else {
+          if (hooks_.restore_site) hooks_.restore_site(s);
+        }
+      }
+      break;
+    }
   }
 }
 

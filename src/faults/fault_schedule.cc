@@ -76,6 +76,10 @@ const char* to_string(FaultKind kind) {
       return "straggler";
     case FaultKind::kControlStall:
       return "stall";
+    case FaultKind::kDomainDown:
+      return "domain_down";
+    case FaultKind::kDomainRestore:
+      return "domain_restore";
   }
   return "?";
 }
@@ -151,6 +155,15 @@ bool FaultSchedule::parse(std::istream& in, FaultSchedule* out,
         return fail(why);
       }
       if (event.factor <= 0.0) return fail("straggler factor must be > 0");
+    } else if (kind_tok == "domain_down" || kind_tok == "domain_restore") {
+      event.kind = kind_tok == "domain_down" ? FaultKind::kDomainDown
+                                             : FaultKind::kDomainRestore;
+      double v = 0.0;
+      if (!parse_num(kvs, "domain", true, &v, &why)) return fail(why);
+      if (v < 0.0 || v != static_cast<int>(v)) {
+        return fail("bad domain id in domain=");
+      }
+      event.domain = static_cast<int>(v);
     } else if (kind_tok == "stall") {
       event.kind = FaultKind::kControlStall;
       if (!parse_num(kvs, "duration", true, &event.duration_sec, &why)) {

@@ -12,6 +12,8 @@
 //   100 flap from=1 to=0 period=12 duration=90
 //   400 straggler site=5 factor=0.2           # factor=1 clears
 //   600 stall duration=30                     # control plane freezes 30 s
+//   500 domain_down domain=2                  # every site in domain 2 crashes
+//   620 domain_restore domain=2
 //
 // The schedule itself is pure data; the FaultInjector turns it into calls on
 // the Network / engine hooks at the right simulated times, with any jitter
@@ -35,6 +37,8 @@ enum class FaultKind {
   kLinkFlap,       // from=A to=B period=P duration=D
   kStraggler,      // site=S factor=F  (factor >= 1 clears)
   kControlStall,   // duration=D
+  kDomainDown,     // domain=D  (crashes every site labeled with the domain)
+  kDomainRestore,  // domain=D
 };
 
 struct FaultEvent {
@@ -46,6 +50,7 @@ struct FaultEvent {
   double duration_sec = 0.0;
   double period_sec = 0.0;
   double factor = 1.0;
+  int domain = -1;
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);

@@ -20,6 +20,11 @@ struct Site {
   std::string name;
   SiteType type = SiteType::kDataCenter;
   int slots = 0;
+  // Failure domain: sites sharing a domain fail together under correlated
+  // faults (rack/zone outages). Placement anti-affinity keeps a stage's
+  // primary and hot-standby replicas in distinct domains. Defaults to a
+  // per-site singleton domain (== site index) when not assigned.
+  int domain = -1;
 };
 
 [[nodiscard]] inline const char* to_string(SiteType type) {

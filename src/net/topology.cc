@@ -6,9 +6,11 @@
 
 namespace wasp::net {
 
-SiteId Topology::add_site(std::string name, SiteType type, int slots) {
+SiteId Topology::add_site(std::string name, SiteType type, int slots,
+                          int domain) {
   const SiteId id(static_cast<std::int64_t>(sites_.size()));
-  sites_.push_back(Site{id, std::move(name), type, slots});
+  if (domain < 0) domain = static_cast<int>(sites_.size());
+  sites_.push_back(Site{id, std::move(name), type, slots, domain});
 
   // Grow the dense matrices, preserving existing entries.
   const std::size_t n = sites_.size();
@@ -52,6 +54,16 @@ int Topology::total_slots() const {
   return total;
 }
 
+int Topology::domain_of(SiteId id) const { return sites_[index(id)].domain; }
+
+std::vector<SiteId> Topology::sites_in_domain(int domain) const {
+  std::vector<SiteId> ids;
+  for (const Site& s : sites_) {
+    if (s.domain == domain) ids.push_back(s.id);
+  }
+  return ids;
+}
+
 std::size_t Topology::index(SiteId id) const {
   assert(id.valid());
   const auto i = static_cast<std::size_t>(id.value());
@@ -63,19 +75,23 @@ Topology Topology::make_paper_testbed(Rng& rng) {
   Topology topo;
 
   // 8 data centers named after the EC2 regions measured in the paper, 8
-  // slots each (§8.2).
+  // slots each (§8.2). Failure domains pair geographically adjacent regions
+  // (availability-zone style): domains 0-3 cover the DCs, 4-7 the edges.
+  // The assignment is a fixed function of the site index so it draws nothing
+  // from `rng` and leaves the link distributions untouched.
   const char* kRegions[] = {"oregon", "ohio",      "ireland", "frankfurt",
                             "seoul",  "singapore", "mumbai",  "saopaulo"};
   std::vector<SiteId> dcs;
-  for (const char* name : kRegions) {
-    dcs.push_back(topo.add_site(name, SiteType::kDataCenter, 8));
+  for (int i = 0; i < 8; ++i) {
+    dcs.push_back(topo.add_site(kRegions[i], SiteType::kDataCenter, 8, i / 2));
   }
   // 8 edge sites with 2-4 slots each.
   std::vector<SiteId> edges;
   for (int i = 0; i < 8; ++i) {
     edges.push_back(topo.add_site("edge-" + std::to_string(i),
                                   SiteType::kEdge,
-                                  static_cast<int>(rng.uniform_int(2, 4))));
+                                  static_cast<int>(rng.uniform_int(2, 4)),
+                                  4 + i / 2));
   }
 
   // DC <-> DC links follow the Fig. 7 EC2 distribution: bandwidth spread

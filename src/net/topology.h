@@ -27,8 +27,10 @@ class Topology {
  public:
   Topology() = default;
 
-  // Adds a site and returns its id (ids are dense, starting at 0).
-  SiteId add_site(std::string name, SiteType type, int slots);
+  // Adds a site and returns its id (ids are dense, starting at 0). `domain`
+  // is the failure domain label; -1 (default) assigns the site its own
+  // singleton domain so topologies that ignore domains behave as before.
+  SiteId add_site(std::string name, SiteType type, int slots, int domain = -1);
 
   // Sets the directed link properties from -> to.
   void set_link(SiteId from, SiteId to, double bandwidth_mbps,
@@ -46,6 +48,11 @@ class Topology {
   [[nodiscard]] double latency_ms(SiteId from, SiteId to) const;
 
   [[nodiscard]] int total_slots() const;
+
+  // Failure-domain helpers. Domains are plain integer labels on sites; two
+  // sites with the same label share fate under `domain_down` faults.
+  [[nodiscard]] int domain_of(SiteId id) const;
+  [[nodiscard]] std::vector<SiteId> sites_in_domain(int domain) const;
 
   // The 16-node testbed of §8.2: 8 edge sites (2-4 slots) with public-
   // Internet-like links, 8 data centers (8 slots) with EC2-like links

@@ -76,6 +76,10 @@ void placement_cache_key(std::string& key, const StageContext& context,
   for (const TrafficEndpoint& d : context.downstream) {
     append_endpoint(key, d, view, /*upstream=*/false);
   }
+  // Anti-affinity is a solver input like any other: two contexts differing
+  // only in exclusions must never collide (exact-byte key contract).
+  append_int(key, static_cast<std::int64_t>(context.excluded_sites.size()));
+  for (SiteId ex : context.excluded_sites) append_int(key, ex.value());
 }
 
 const std::optional<PlacementOutcome>* PlacementCache::find(

@@ -47,6 +47,14 @@ std::optional<PlacementOutcome> solve_ilp(const StageContext& ctx,
     }
     int slots = view.available_slots(site);
     if (s < extra_slots.size()) slots += extra_slots[s];
+    // Anti-affinity: an excluded site contributes zero capacity (Eq. 4 with
+    // A[s] forced to 0), regardless of its actual slots.
+    for (SiteId ex : ctx.excluded_sites) {
+      if (ex == site) {
+        slots = 0;
+        break;
+      }
+    }
     const int lo = s < ctx.min_per_site.size() ? ctx.min_per_site[s] : 0;
     // Constraint (4): lo <= p[s] <= A[s].
     if (lo > slots) return std::nullopt;  // pinned floor exceeds capacity

@@ -53,6 +53,10 @@ struct StageContext {
   // Per-site lower bounds on p[s] (empty = all zero). Used by scale-up so
   // existing tasks stay where they are and only the new tasks are placed.
   std::vector<int> min_per_site;
+  // Anti-affinity: sites the stage must not place on (their slot bound is
+  // forced to zero). Standby placement excludes every site sharing a failure
+  // domain with the primary so one domain_down cannot take both copies.
+  std::vector<SiteId> excluded_sites;
 };
 
 // PlacementOutcome lives in physical/placement.h (shared with the cache).

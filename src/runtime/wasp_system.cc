@@ -61,6 +61,12 @@ class WaspSystem::MonitorView final : public physical::NetworkView {
       const auto peers = system_.config_.peer_slot_usage();
       if (s < peers.size()) used += peers[s];
     }
+    // Hot-standby reservations: slots held warm for passive replicas are not
+    // offered to the placement ILP, so adaptation can't double-book them.
+    if (system_.standby_ != nullptr) {
+      const auto& reserved = system_.standby_->reserved_slots();
+      if (s < reserved.size()) used += reserved[s];
+    }
     return system_.network_.topology().sites()[s].slots - used;
   }
 
@@ -78,7 +84,8 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
       wan_monitor_(network, config.wan_monitor, Rng(config.seed ^ 0x9E37)),
       detector_(network, config.detector),
       scheduler_(config.scheduler),
-      planner_() {
+      planner_(),
+      backoff_rng_(config.seed ^ 0xB0FF) {
   recovery_abandoned_.assign(network_.topology().num_sites(), false);
   // Map the adaptation mode onto the policy switches (§8.5 baselines).
   adapt::AdaptationPolicy::Config pc = config_.policy;
@@ -136,6 +143,16 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
     pool_ = std::make_unique<exec::ThreadPool>(config_.threads - 1);
     config_.engine.pool = pool_.get();
     network_.set_pool(pool_.get());
+  }
+
+  // Hot-standby replication: the manager plans replica placements in the
+  // background and keeps them warm with delta syncs; the promotion decision
+  // itself lives in maybe_recover (promote_standbys).
+  if (config_.standby_replicas > 0) {
+    config_.standby.replicas = config_.standby_replicas;
+    standby_ =
+        std::make_unique<resilience::StandbyManager>(network_, config_.standby);
+    standby_->set_trace(&trace_);
   }
 
   for (OperatorId src : spec.plan.sources()) {
@@ -301,6 +318,11 @@ void WaspSystem::step(bool drive_network) {
                                    : "confirm_failure";
       record_recovery(kind, ht.site.value(), /*op=*/-1, /*attempt=*/0,
                       /*backoff_sec=*/0.0, to_string(ht.from));
+      if (ht.to == faults::SiteHealth::kConfirmedFailed) {
+        // Anchor for the recovery time-to-stabilize metric: measured from
+        // the *last* confirmation of the episode to stabilization.
+        last_confirm_at_ = now_;
+      }
       if (ht.to == faults::SiteHealth::kTrusted) {
         // A re-trusted site wipes its abandon flag: recovery may be
         // attempted afresh if it fails again later.
@@ -319,6 +341,18 @@ void WaspSystem::step(bool drive_network) {
                           "all abandoned sites re-trusted");
         }
       }
+    }
+
+    // Standby upkeep runs with the rest of the control plane (and freezes
+    // with it): pump sync flows, drop dead replicas, re-plan and re-sync at
+    // the configured cadence. The trust predicate is a member for the same
+    // no-per-tick-allocation reason as site_alive_.
+    if (standby_ != nullptr) {
+      if (!site_trusted_) {
+        site_trusted_ = [this](SiteId s) { return detector_.trusted(s); };
+      }
+      const MonitorView view(*this);
+      standby_->tick(now_, *engine_, scheduler_, view, site_trusted_);
     }
 
     if (transition_.has_value()) {
@@ -518,6 +552,9 @@ void WaspSystem::finalize_transition() {
       engine_->apply_replan(std::move(*action.new_logical),
                             std::move(*action.new_physical));
       engine_->resume_all();
+      // A re-plan renumbers operator ids: every replica keyed by the old ids
+      // is garbage. Drop them all; the next sync boundary rebuilds.
+      if (standby_ != nullptr) standby_->reset();
     } else {
       engine_->apply_placement(action.op, action.new_placement);
       engine_->resume_stage(action.op);
@@ -681,9 +718,15 @@ void WaspSystem::schedule_retry(const std::string& why) {
           ? config_.transition_backoff_initial_sec
           : std::min(config_.transition_backoff_max_sec,
                      2.0 * retry_.backoff_sec);
-  retry_.next_attempt_at = now_ + retry_.backoff_sec;
+  // The doubling chain above stays un-jittered (so caps are exact); only the
+  // actual wait is spread, desynchronizing retries that a shared fault
+  // aborted in the same tick.
+  const double wait = state::jittered_backoff_sec(
+      retry_.backoff_sec, config_.transition_backoff_jitter_frac,
+      backoff_rng_);
+  retry_.next_attempt_at = now_ + wait;
   retry_.pending = true;
-  record_recovery("retry", -1, -1, retry_.attempts, retry_.backoff_sec, why);
+  record_recovery("retry", -1, -1, retry_.attempts, wait, why);
   metrics_.counter("runtime.transition_retries").inc();
 }
 
@@ -728,6 +771,12 @@ void WaspSystem::maybe_recover() {
     return;
   }
 
+  // Fast path first: promote warm standbys where one exists (pure lookup +
+  // pointer surgery, no solver). Sites fully evacuated this way drop out of
+  // `dead`; only the remainder pays for a recovery re-plan.
+  promote_standbys(dead);
+  if (dead.empty()) return;
+
   // Failure recovery bypasses the monitoring interval: stranded tasks are
   // re-placed as soon as the failure is confirmed.
   std::uint64_t root = obs::kNoSpan;
@@ -751,6 +800,14 @@ void WaspSystem::maybe_recover() {
   }
   adaptation_span_ = root;  // begin_transition adopts it below
   retry_.pending = false;
+  if (trace_.enabled()) {
+    // Recovery-path selection record (DESIGN.md §12): no viable standby, so
+    // this failure pays for the full re-plan. The fast path emits the same
+    // event with mode="standby" from promote_standbys.
+    trace_.event("failover")
+        .str("mode", "replan")
+        .num("dead_sites", static_cast<double>(dead.size()));
+  }
   for (SiteId s : dead) {
     record_recovery("replan", s.value(), -1, retry_.attempts, 0.0,
                     actions.front().reason);
@@ -758,6 +815,127 @@ void WaspSystem::maybe_recover() {
   log(LogLevel::kInfo, "t=", now_, " failure recovery: re-placing ",
       actions.size(), " stage(s) off ", dead.size(), " dead site(s)");
   begin_transition(std::move(actions), /*recovery=*/true);
+}
+
+void WaspSystem::promote_standbys(std::vector<SiteId>& dead) {
+  if (standby_ == nullptr) return;
+  if (!site_trusted_) {
+    site_trusted_ = [this](SiteId s) { return detector_.trusted(s); };
+  }
+
+  // Census first, mutate after: viable_standby is a pure lookup, and the
+  // per-primary sync snapshots stay valid across earlier promotions in the
+  // same tick (promoting op X off site A does not touch site B's group).
+  struct Candidate {
+    OperatorId op;
+    SiteId failed;
+    resilience::StandbyManager::Promotion promo;
+  };
+  std::vector<Candidate> candidates;
+  for (SiteId site : dead) {
+    const auto s = static_cast<std::size_t>(site.value());
+    for (const query::LogicalOperator& lop : engine_->logical().operators()) {
+      const physical::StagePlacement& placement = engine_->placement(lop.id);
+      if (s >= placement.per_site.size() || placement.per_site[s] == 0) {
+        continue;
+      }
+      auto promo = standby_->viable_standby(lop.id, site, now_, site_trusted_);
+      if (promo.has_value()) {
+        candidates.push_back(Candidate{lop.id, site, *promo});
+      }
+    }
+  }
+  if (candidates.empty()) return;
+
+  // One "failover" episode root covers every promotion this tick, mirroring
+  // the re-plan path's "recovery" root; after the promotions it stays open
+  // (as stabilizing_root_) with a "stabilize" child until the deployment
+  // settles, so wasp_trace sees the same span shape on both recovery paths.
+  std::uint64_t root = obs::kNoSpan;
+  if (trace_.enabled()) {
+    trace_.begin_span_event("failover", &root, /*parent=*/obs::kNoSpan)
+        .str("mode", "standby")
+        .num("promotions", static_cast<double>(candidates.size()));
+  }
+  obs::TraceEmitter::ParentScope in_episode(&trace_, root);
+  pre_transition_delay_ = engine_->last_tick().delay_sec;
+
+  std::optional<std::size_t> first_event;
+  for (const Candidate& c : candidates) {
+    const engine::Engine::PromotionResult result = engine_->promote_standby(
+        c.op, c.failed, c.promo.standby_site, c.promo.synced_window_events);
+    standby_->consume(c.op, c.promo.standby_site);
+    if (result.moved_tasks == 0) continue;
+
+    AdaptationEvent event;
+    event.decided_at = now_;
+    event.transition_end = now_;  // promotion is a pointer swap: no transfer
+    event.kind = "failover";
+    event.reason = "standby promotion off failed site " +
+                   std::to_string(c.failed.value());
+    event.op = c.op.value();
+    recorder_.events().push_back(event);
+    if (!first_event.has_value()) {
+      first_event = recorder_.events().size() - 1;
+    }
+
+    if (trace_.enabled()) {
+      trace_.event("failover")
+          .str("mode", "standby")
+          .num("op", static_cast<double>(c.op.value()))
+          .num("site", static_cast<double>(c.failed.value()))
+          .num("standby_site", static_cast<double>(c.promo.standby_site.value()))
+          .num("staleness_sec", c.promo.staleness_sec)
+          .num("moved_tasks", static_cast<double>(result.moved_tasks))
+          .num("installed_window_events", result.installed_window_events)
+          .num("replayed_source_units", result.replayed_source_units);
+    }
+    record_recovery("failover", c.failed.value(), c.op.value(), /*attempt=*/0,
+                    /*backoff_sec=*/0.0,
+                    "promoted standby at site " +
+                        std::to_string(c.promo.standby_site.value()));
+    log(LogLevel::kInfo, "t=", now_, " failover: promoted standby of op ",
+        c.op.value(), " at site ", c.promo.standby_site.value(),
+        " (staleness ", c.promo.staleness_sec, "s, replay ",
+        result.replayed_source_units, " source events)");
+    metrics_.counter("runtime.failovers").inc();
+    metrics_.histogram("failover.staleness_sec").add(c.promo.staleness_sec);
+    metrics_.histogram("failover.replayed_source_units")
+        .add(result.replayed_source_units);
+  }
+
+  if (!first_event.has_value()) {
+    trace_.end_span(root).str("status", "no-op");
+  } else {
+    // Same supersede-then-settle dance as finalize_transition: a new episode
+    // overwrites stabilizing_event_, so close the previous spans first.
+    if (stabilize_span_ != obs::kNoSpan) {
+      trace_.end_span(stabilize_span_).str("status", "superseded");
+      trace_.end_span(stabilizing_root_).str("status", "superseded");
+      stabilize_span_ = stabilizing_root_ = obs::kNoSpan;
+    }
+    stabilizing_root_ = root;
+    if (trace_.enabled() && stabilizing_root_ != obs::kNoSpan) {
+      trace_.begin_span_event("stabilize", &stabilize_span_,
+                              /*parent=*/stabilizing_root_)
+          .num("pre_transition_delay_sec", pre_transition_delay_);
+    }
+    stabilizing_event_ = *first_event;
+    stabilizing_recovery_ = true;
+    retry_ = RetryState{};
+    metric_monitor_.reset_window();
+    last_decision_ = now_;
+  }
+
+  // Re-census: sites fully evacuated by promotions exit the re-plan path.
+  const auto used = engine_->slots_in_use();
+  std::vector<SiteId> remaining;
+  for (SiteId site : dead) {
+    if (used[static_cast<std::size_t>(site.value())] > 0) {
+      remaining.push_back(site);
+    }
+  }
+  dead.swap(remaining);
 }
 
 void WaspSystem::record_recovery(const std::string& kind, std::int64_t site,
@@ -812,6 +990,13 @@ void WaspSystem::watch_stabilization() {
     if (stabilizing_recovery_) {
       record_recovery("stabilized", -1, event.op, event.attempt, 0.0,
                       event.reason);
+      // Time-to-stabilize: last failure confirmation -> settled. The CI
+      // chaos matrix compares this across --standby-replicas settings.
+      if (last_confirm_at_ >= 0.0) {
+        metrics_.histogram("recovery.time_to_stabilize_sec")
+            .add(now_ - last_confirm_at_);
+        last_confirm_at_ = -1.0;
+      }
       stabilizing_recovery_ = false;
     }
     trace_.end_span(stabilize_span_)

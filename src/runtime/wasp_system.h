@@ -56,6 +56,7 @@
 #include "obs/trace.h"
 #include "physical/scheduler.h"
 #include "query/planner.h"
+#include "resilience/standby.h"
 #include "runtime/recorder.h"
 #include "runtime/slo_watchdog.h"
 #include "state/migration.h"
@@ -109,6 +110,18 @@ struct SystemConfig {
   int transition_retry_budget = 4;
   double transition_backoff_initial_sec = 5.0;
   double transition_backoff_max_sec = 60.0;
+  // Seeded retry desynchronization: each backoff wait is jittered uniformly
+  // by +/- this fraction (state::jittered_backoff_sec) from a dedicated RNG
+  // stream, so retries aborted by one shared fault don't re-collide. 0
+  // disables (pure capped-exponential, the pre-jitter behavior).
+  double transition_backoff_jitter_frac = 0.25;
+  // Hot-standby replication (DESIGN.md §12): K passive replicas per
+  // protected stateful stage, placed in distinct failure domains and kept
+  // warm by periodic delta syncs. On a confirmed failure a fresh replica is
+  // promoted instead of running the recovery ILP. 0 disables (replan-only
+  // recovery, the paper's §8.6 behavior).
+  int standby_replicas = 0;
+  resilience::StandbyConfig standby;
   // Graceful degradation: when recovery placement is infeasible (or the
   // retry budget is exhausted) with sites suspected, shed events past the
   // SLO until the sites re-trust. Off by default: modes other than Degrade/
@@ -177,6 +190,10 @@ class WaspSystem {
   // Null when no SLO spec was configured.
   [[nodiscard]] const SloWatchdog* slo_watchdog() const {
     return slo_watchdog_.has_value() ? &*slo_watchdog_ : nullptr;
+  }
+  // Null unless standby_replicas > 0 was configured.
+  [[nodiscard]] const resilience::StandbyManager* standby() const {
+    return standby_.get();
   }
 
   // Failure injection: fails the site in the engine AND marks it down in
@@ -247,6 +264,10 @@ class WaspSystem {
   // Detector-driven recovery: re-plans stages stranded on confirmed-failed
   // sites, and fires pending backoff retries.
   void maybe_recover();
+  // Fast recovery path: promotes viable hot standbys for the stages stranded
+  // on `dead` sites (no ILP in the hot path). Sites fully recovered this way
+  // are removed from `dead`; the remainder falls through to the re-plan path.
+  void promote_standbys(std::vector<SiteId>& dead);
   void record_recovery(const std::string& kind, std::int64_t site,
                        std::int64_t op, int attempt, double backoff_sec,
                        const std::string& detail);
@@ -260,6 +281,7 @@ class WaspSystem {
   net::WanMonitor wan_monitor_;
   faults::FailureDetector detector_;
   std::function<bool(SiteId)> site_alive_;  // built once, reused per tick
+  std::function<bool(SiteId)> site_trusted_;  // detector-trusted predicate
   physical::Scheduler scheduler_;
   query::QueryPlanner planner_;
   // Declared before policy_/engine_: both hold raw pointers into these and
@@ -273,6 +295,8 @@ class WaspSystem {
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<adapt::AdaptationPolicy> policy_;
   std::unique_ptr<engine::Engine> engine_;
+  // Null unless config.standby_replicas > 0.
+  std::unique_ptr<resilience::StandbyManager> standby_;
   Recorder recorder_;
   std::optional<SloWatchdog> slo_watchdog_;
 
@@ -304,6 +328,12 @@ class WaspSystem {
 
   double control_stalled_until_ = -1.0;
   RetryState retry_;
+  // Dedicated stream for backoff jitter: never forked from rng_, whose draw
+  // order downstream components depend on (same rule as the WAN monitor).
+  Rng backoff_rng_;
+  // Time of the most recent confirm_failure, for the recovery
+  // time-to-stabilize histogram observed when the episode stabilizes.
+  double last_confirm_at_ = -1.0;
   // Sites whose recovery was abandoned after the retry budget; cleared when
   // the detector re-trusts them.
   std::vector<bool> recovery_abandoned_;

@@ -52,6 +52,19 @@ struct MigrationPlan {
   double estimated_transition_sec = 0.0;
 };
 
+// Deterministic seeded jitter for migration/transition retry backoff. A bare
+// capped-exponential backoff synchronizes every retry that a shared fault
+// (e.g. a healed partition) aborted at the same instant -- they all come back
+// together and collide again. Spreading each wait uniformly over
+// [base · (1 - frac), base · (1 + frac)] desynchronizes them; drawing from a
+// dedicated stream forked off the run seed (never the run's main Rng, whose
+// consumption order other components depend on) keeps replays byte-identical.
+[[nodiscard]] inline double jittered_backoff_sec(double base_sec, double frac,
+                                                 Rng& jitter_rng) {
+  if (frac <= 0.0 || base_sec <= 0.0) return base_sec;
+  return base_sec * jitter_rng.uniform(1.0 - frac, 1.0 + frac);
+}
+
 // State leaving a site / share of state a site must receive.
 struct StateSource {
   SiteId site;

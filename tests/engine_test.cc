@@ -526,6 +526,36 @@ TEST(EngineTest, StragglerFactorSurvivesFailAndRestore) {
   EXPECT_DOUBLE_EQ(f.engine->straggler_factor(SiteId(1)), 0.25);
 }
 
+TEST(EngineTest, FailDuringReplayComposesRestorePauseInsteadOfResetting) {
+  // A site that fails again *while already replaying* a checkpoint must
+  // serve the remainder of the first pause plus the new restore: the second
+  // replay reads the same snapshot and cannot start before the first one
+  // would have finished. Pre-fix, restore_site reset the deadline to
+  // now + restore_sec, silently forgiving the time already owed.
+  Fixture f;
+  f.engine->set_state_override_mb(f.map_id, 2'000.0);  // 10 s at 200 MB/s
+  f.run(0.0, 35.0, 10'000.0);  // checkpoint at t~30 records the 2 GB state
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));
+  const double first_until = f.engine->restore_until(f.map_id, SiteId(1));
+  ASSERT_NEAR(first_until, 45.0, 1.5);
+
+  // Two ticks into the replay the site crashes and restores again.
+  f.run(35.0, 37.0, 10'000.0);
+  f.engine->fail_site(SiteId(1));
+  f.engine->restore_site(SiteId(1));
+  const double second_until = f.engine->restore_until(f.map_id, SiteId(1));
+  EXPECT_NEAR(second_until, first_until + 10.0, 1e-6)
+      << "second restore must queue behind the in-progress replay";
+
+  // The group stays paused through the composed deadline, then drains.
+  f.run(37.0, second_until - 1.0, 10'000.0);
+  EXPECT_DOUBLE_EQ(f.engine->op_metrics(f.map_id).processed_eps, 0.0)
+      << "replay pause ended early: deadline was reset, not composed";
+  f.run(second_until - 1.0, second_until + 5.0, 10'000.0);
+  EXPECT_GT(f.engine->op_metrics(f.map_id).processed_eps, 0.0);
+}
+
 TEST(EngineTest, SecondFailureDuringReplayRerollsWithoutDoubleInject) {
   // A site that fails again while still replaying its checkpoint re-rolls
   // to the same snapshot. Since nothing was processed since the first

@@ -310,6 +310,73 @@ TEST(FaultSystemTest, CrashTriggersSuspectConfirmReplanStabilizedChain) {
   EXPECT_EQ(bed.network.num_bulk_flows(), 0u);
 }
 
+TEST(FaultSystemTest, TwoSitesConfirmedInSameWindowRecoverWithoutClobbering) {
+  // Two sites failed in the same tick are confirmed in the same detection
+  // window. The recovery must evacuate *both* (one dead-list covering the
+  // pair, or sequential episodes that do not supersede each other's work)
+  // and leave no orphaned bulk transfers behind.
+  Testbed bed;
+  auto spec = bed.topk();
+  auto pattern = bed.uniform_rates(spec, 10'000.0);
+  runtime::SystemConfig config;
+  config.mode = runtime::AdaptationMode::kWasp;
+  runtime::WaspSystem system(bed.network, std::move(spec), pattern, config);
+  system.run_until(100.0);
+
+  // The task-hosting DC plus one more non-coordinator DC, crashed together.
+  const SiteId first = task_hosting_dc(system);
+  ASSERT_TRUE(first.valid());
+  SiteId second;
+  const auto used_before = system.engine().slots_in_use();
+  const SiteId coordinator = system.detector().coordinator();
+  for (std::size_t s = 0; s < 8 && s < used_before.size(); ++s) {
+    const SiteId site(static_cast<std::int64_t>(s));
+    if (site != coordinator && site != first) {
+      second = site;
+      if (used_before[s] > 0) break;  // prefer a second task-hosting DC
+    }
+  }
+  ASSERT_TRUE(second.valid());
+  system.fail_sites({first, second});
+  system.run_until(400.0);
+
+  // Both confirmations landed, in the same detection window.
+  double confirm_first = -1.0, confirm_second = -1.0;
+  for (const auto& e : system.recorder().recovery_events()) {
+    if (e.kind != "confirm_failure") continue;
+    if (e.site == first.value() && confirm_first < 0.0) confirm_first = e.t;
+    if (e.site == second.value() && confirm_second < 0.0) confirm_second = e.t;
+  }
+  ASSERT_GT(confirm_first, 100.0);
+  ASSERT_GT(confirm_second, 100.0);
+  EXPECT_NEAR(confirm_first, confirm_second, 5.0);
+
+  // Every site that hosted tasks has a recovery decision at or after its
+  // confirmation, the episode stabilized, and nothing was clobbered: both
+  // sites end empty with zero orphaned flows.
+  const auto used_after = system.engine().slots_in_use();
+  for (SiteId v : {first, second}) {
+    if (used_before[static_cast<std::size_t>(v.value())] == 0) continue;
+    double recovered_t = -1.0;
+    for (const auto& e : system.recorder().recovery_events()) {
+      if (e.site == v.value() &&
+          (e.kind == "replan" || e.kind == "failover") && recovered_t < 0.0) {
+        recovered_t = e.t;
+      }
+    }
+    EXPECT_GE(recovered_t, std::min(confirm_first, confirm_second))
+        << "no recovery decision for site " << v.value();
+    EXPECT_EQ(used_after[static_cast<std::size_t>(v.value())], 0)
+        << "site " << v.value() << " still hosts tasks";
+  }
+  bool stabilized = false;
+  for (const auto& e : system.recorder().recovery_events()) {
+    if (e.kind == "stabilized") stabilized = true;
+  }
+  EXPECT_TRUE(stabilized);
+  EXPECT_EQ(bed.network.num_bulk_flows(), 0u);
+}
+
 TEST(FaultSystemTest, MidMigrationDestinationFailureAbortsAndRollsBack) {
   Testbed bed;
   auto spec = bed.topk();
@@ -353,13 +420,18 @@ TEST(FaultSystemTest, MidMigrationDestinationFailureAbortsAndRollsBack) {
   const auto& event = system.recorder().events()[0];
   EXPECT_TRUE(event.aborted());
   EXPECT_FALSE(event.abort_reason.empty());
-  // The abort and its backoff retry are in the recovery log.
+  // The abort and its backoff retry are in the recovery log. The recorded
+  // wait is the seeded-jittered initial backoff: within the jitter band
+  // around transition_backoff_initial_sec (DESIGN.md §12).
   bool saw_abort = false, saw_retry = false;
   for (const auto& e : system.recorder().recovery_events()) {
     if (e.kind == "transition_abort") saw_abort = true;
     if (e.kind == "retry") {
       saw_retry = true;
-      EXPECT_DOUBLE_EQ(e.backoff_sec, config.transition_backoff_initial_sec);
+      const double base = config.transition_backoff_initial_sec;
+      const double frac = config.transition_backoff_jitter_frac;
+      EXPECT_GE(e.backoff_sec, (1.0 - frac) * base);
+      EXPECT_LT(e.backoff_sec, (1.0 + frac) * base);
     }
   }
   EXPECT_TRUE(saw_abort);

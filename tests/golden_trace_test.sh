@@ -40,6 +40,11 @@ case "${SCENARIO}" in
       --duration=560 --seed=7 --threads="${THREADS}" --trace-out="${OUT}" \
       >/dev/null || exit 1
     ;;
+  domain_down_standby)
+    "${SIM}" --fault-schedule="${ROOT}/examples/domain_down.fsched" \
+      --duration=600 --seed=7 --standby-replicas=1 --threads="${THREADS}" \
+      --trace-out="${OUT}" >/dev/null || exit 1
+    ;;
   *)
     echo "unknown scenario: ${SCENARIO}" >&2
     exit 2

@@ -206,5 +206,51 @@ TEST_P(MigrationOptimalityProperty, AwareBeatsAgnosticBaselines) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, MigrationOptimalityProperty,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// ---------------------------------------------------------------------------
+// Seeded retry-backoff jitter
+// ---------------------------------------------------------------------------
+
+TEST(JitteredBackoffTest, StaysInBandAndIsSeedDeterministic) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 200; ++i) {
+    const double base = 5.0 * (1 + i % 7);
+    const double wa = jittered_backoff_sec(base, 0.25, a);
+    const double wb = jittered_backoff_sec(base, 0.25, b);
+    // In band: base * [0.75, 1.25).
+    EXPECT_GE(wa, 0.75 * base);
+    EXPECT_LT(wa, 1.25 * base);
+    // Same seed, same draw sequence: identical waits (replay determinism).
+    EXPECT_DOUBLE_EQ(wa, wb);
+  }
+  // A different seed diverges somewhere in the sequence.
+  Rng a2(42);
+  bool diverged = false;
+  for (int i = 0; i < 200; ++i) {
+    if (jittered_backoff_sec(10.0, 0.25, a2) !=
+        jittered_backoff_sec(10.0, 0.25, c)) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(JitteredBackoffTest, ZeroFractionIsIdentityAndDrawsNothing) {
+  Rng rng(7);
+  const std::uint64_t before = Rng(7).next_u64();
+  EXPECT_DOUBLE_EQ(jittered_backoff_sec(12.0, 0.0, rng), 12.0);
+  EXPECT_DOUBLE_EQ(jittered_backoff_sec(0.0, 0.25, rng), 0.0);
+  // Neither call consumed a draw: the stream's next value is untouched.
+  EXPECT_EQ(rng.next_u64(), before);
+}
+
+TEST(JitteredBackoffTest, DesynchronizesIdenticalBackoffs) {
+  // Two retry chains with the same base backoff but distinct streams land at
+  // distinct times -- the point of jitter after a shared abort.
+  Rng s1(42 ^ 0xB0FF), s2(43 ^ 0xB0FF);
+  EXPECT_NE(jittered_backoff_sec(30.0, 0.25, s1),
+            jittered_backoff_sec(30.0, 0.25, s2));
+}
+
 }  // namespace
 }  // namespace wasp::state
