@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
     pattern.add_step(300.0, 2.0);
     runtime::SystemConfig config;
     config.threads = opts.threads;
+    opts.apply_profile(&config);
     config.mode = runtime::AdaptationMode::kWasp;
     config.scheduler.alpha = alpha;
     config.trace_sink = opts.sink_for("alpha=" + TextTable::fmt(alpha, 2));

@@ -38,6 +38,7 @@ Outcome run(wasp::runtime::AdaptationMode mode,
   pattern.add_step(800.0, 1.0);
   runtime::SystemConfig config;
   config.threads = opts.threads;
+  opts.apply_profile(&config);
   config.mode = mode;
   config.slo_sec = 10.0;
   if (mode != runtime::AdaptationMode::kNoAdapt) {

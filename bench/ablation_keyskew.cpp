@@ -37,6 +37,7 @@ Outcome run(wasp::runtime::AdaptationMode mode, double skew,
   pattern.add_step(200.0, 2.0);
   runtime::SystemConfig config;
   config.threads = opts.threads;
+  opts.apply_profile(&config);
   config.mode = mode;
   if (mode != runtime::AdaptationMode::kNoAdapt) {
     config.trace_sink = opts.sink;

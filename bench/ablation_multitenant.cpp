@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     auto p_ysb = uniform_rates(ysb, 10'000.0);
     runtime::SystemConfig cfg;
     cfg.threads = opts.threads;
+    opts.apply_profile(&cfg);
     cfg.mode = adapt ? runtime::AdaptationMode::kWasp
                      : runtime::AdaptationMode::kNoAdapt;
     if (adapt) cfg.trace_sink = opts.sink;

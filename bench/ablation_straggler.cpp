@@ -31,6 +31,7 @@ Outcome run(wasp::runtime::AdaptationMode mode,
   auto pattern = uniform_rates(spec, 10'000.0);
   runtime::SystemConfig config;
   config.threads = opts.threads;
+  opts.apply_profile(&config);
   config.mode = mode;
   if (mode != runtime::AdaptationMode::kNoAdapt) {
     config.trace_sink = opts.sink;

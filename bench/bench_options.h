@@ -48,6 +48,16 @@ struct BenchOptions {
   std::string metrics_out;  // empty unless --metrics was given
   int jobs = 1;             // worker threads for the driver's independent runs
   int threads = 1;          // intra-run worker threads per simulation
+  bool profile = false;     // always-on phase profiler (DESIGN.md §13)
+  int profile_every = 60;   // profile-event cadence in ticks
+
+  // Copies the profiler knobs into a run's SystemConfig; drivers call this
+  // on every config they build so `--profile` covers all of a driver's runs.
+  template <typename SystemConfigT>
+  void apply_profile(SystemConfigT* config) const {
+    config->profile = profile;
+    config->profile_every = profile_every;
+  }
 
   // Parses argv; exits with usage on an unknown flag or an unopenable file.
   static BenchOptions parse(int argc, char** argv) {
@@ -58,9 +68,10 @@ struct BenchOptions {
       const std::string metrics_prefix = "--metrics=";
       const std::string jobs_prefix = "--jobs=";
       const std::string threads_prefix = "--threads=";
+      const std::string profile_every_prefix = "--profile-every=";
       if (arg == "--help" || arg == "-h") {
         std::cout << argv[0]
-                  << " [--jobs=N] [--threads=N] [--trace-out=FILE] "
+                  << " [--jobs=N] [--threads=N] [--profile] [--trace-out=FILE] "
                      "[--metrics=FILE]\n"
                      "  --jobs=N          fan independent runs across N "
                      "worker threads\n"
@@ -77,7 +88,15 @@ struct BenchOptions {
                      "                    label inserted before the "
                      "extension\n"
                      "  --metrics=FILE    write per-run metrics snapshots "
-                     "(JSONL) to FILE\n";
+                     "(JSONL) to FILE\n"
+                     "  --profile         always-on phase profiler: emit "
+                     "periodic `profile`\n"
+                     "                    events into the trace (pure "
+                     "observer; results\n"
+                     "                    stay bit-identical)\n"
+                     "  --profile-every=N profile-event cadence in ticks "
+                     "(default 60;\n"
+                     "                    implies --profile)\n";
         std::exit(0);
       } else if (arg.rfind(trace_prefix, 0) == 0) {
         opts.trace_out = arg.substr(trace_prefix.size());
@@ -88,10 +107,16 @@ struct BenchOptions {
       } else if (arg.rfind(threads_prefix, 0) == 0) {
         opts.threads =
             std::max(1, std::atoi(arg.substr(threads_prefix.size()).c_str()));
+      } else if (arg.rfind(profile_every_prefix, 0) == 0) {
+        opts.profile_every = std::max(
+            1, std::atoi(arg.substr(profile_every_prefix.size()).c_str()));
+        opts.profile = true;
+      } else if (arg == "--profile") {
+        opts.profile = true;
       } else {
         std::cerr << "unknown argument: " << arg
-                  << " (supported: --jobs=N --threads=N --trace-out=FILE "
-                     "--metrics=FILE)\n";
+                  << " (supported: --jobs=N --threads=N --profile "
+                     "--profile-every=N --trace-out=FILE --metrics=FILE)\n";
         std::exit(2);
       }
     }

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     pattern.add_step(600.0, 1.0);
     runtime::SystemConfig config;
     config.threads = opts.threads;
+    opts.apply_profile(&config);
     config.mode = kModes[m];
     config.slo_sec = 10.0;
     if (kModes[m] == runtime::AdaptationMode::kWasp) {

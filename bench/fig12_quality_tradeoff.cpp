@@ -45,6 +45,7 @@ QualityRun run_mode(wasp::runtime::AdaptationMode mode,
 
   runtime::SystemConfig config;
   config.threads = opts.threads;
+  opts.apply_profile(&config);
   config.mode = mode;
   config.slo_sec = 10.0;
   if (mode != runtime::AdaptationMode::kNoAdapt) {

@@ -40,6 +40,7 @@ MigrationRun run_strategy(wasp::state::MigrationStrategy strategy,
 
   runtime::SystemConfig config;
   config.threads = opts.threads;
+  opts.apply_profile(&config);
   config.mode = runtime::AdaptationMode::kNoAdapt;  // controlled experiment
   config.migration = strategy;
   config.trace_sink = opts.sink;  // forced migrations still emit spans

@@ -43,6 +43,7 @@ Run run_case(double state_mb, bool partitioned,
 
   runtime::SystemConfig config;
   config.threads = opts.threads;
+  opts.apply_profile(&config);
   config.mode = runtime::AdaptationMode::kNoAdapt;
   config.migration = state::MigrationStrategy::kNetworkAware;
   config.trace_sink = opts.sink;  // forced migrations still emit spans

@@ -13,6 +13,7 @@
 //
 // Run `wasp_sim --help` for the full flag list.
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,6 +27,7 @@
 #include "common/table.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_schedule.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "net/bandwidth_model.h"
 #include "net/network.h"
@@ -39,6 +41,14 @@
 namespace {
 
 using namespace wasp;
+
+// SIGINT/SIGTERM land here; the run loops stop at the next tick boundary and
+// fall through the normal finish path (flush the FileSink, final profile
+// event, metrics dump, report), so an interrupted run still produces a
+// `wasp_trace validate`-clean trace.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_stop_signal(int /*signum*/) { g_interrupted = 1; }
 
 struct Options {
   std::string query = "topk";
@@ -56,6 +66,8 @@ struct Options {
   bool live_workload = false;
   bool csv = false;
   bool verbose = false;
+  bool profile = false;
+  int profile_every = 60;
   std::string trace_file;
   std::string workload_trace_file;
   std::string trace_out;
@@ -119,6 +131,16 @@ void print_usage() {
                                    straggler / stall lines; see DESIGN.md §8)
   --trace-out=FILE                 write the structured observability trace
                                    (schema-versioned JSONL) to FILE
+  --profile                        always-on phase profiler (DESIGN.md §13):
+                                   per-tick phase timings and thread-pool
+                                   stats, printed as a table at exit and --
+                                   with --trace-out -- emitted as periodic
+                                   `profile` trace events for `wasp_trace
+                                   profile`. Pure observer: results and
+                                   traces stay bit-identical (timing fields
+                                   are wall_*-prefixed and diff-exempt)
+  --profile-every=N                emit a profile event every N ticks
+                                   (default 60; implies --profile)
   --metrics=FILE                   write the final metrics-registry snapshot
                                    (flat JSON object) to FILE
   --bench-out=FILE                 write a wall-clock benchmark JSON (wall_ms,
@@ -214,6 +236,15 @@ bool parse_args(int argc, char** argv, Options* opts) {
       std::pair<double, double> f;
       if (!parse_pair(*v, &f)) return false;
       opts->failure = f;
+    } else if (auto v = value_of("--profile-every")) {
+      opts->profile_every = std::stoi(*v);
+      if (opts->profile_every < 1) {
+        std::cerr << "--profile-every must be >= 1\n";
+        return false;
+      }
+      opts->profile = true;
+    } else if (arg == "--profile") {
+      opts->profile = true;
     } else if (arg == "--live-bandwidth") {
       opts->live_bandwidth = true;
     } else if (arg == "--live-workload") {
@@ -383,6 +414,8 @@ int main(int argc, char** argv) {
   config.seed = opts.seed;
   config.threads = opts.threads;
   config.standby_replicas = opts.standby_replicas;
+  config.profile = opts.profile;
+  config.profile_every = opts.profile_every;
   if (!opts.slo_spec.empty()) {
     std::string error;
     const auto spec = runtime::SloSpec::parse(opts.slo_spec, &error);
@@ -430,20 +463,33 @@ int main(int argc, char** argv) {
     injector->set_trace(&system.trace());
   }
 
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  // Tick-at-a-time run loop (instead of run_until) so SIGINT/SIGTERM can
+  // stop at a tick boundary and still reach the normal finish path below.
+  auto run_to = [&](double until) {
+    while (g_interrupted == 0 &&
+           system.now() + config.tick_sec <= until + 1e-9) {
+      system.step();
+    }
+  };
+
   const auto wall_start = std::chrono::steady_clock::now();
   if (opts.failure.has_value()) {
-    system.run_until(opts.failure->first);
+    run_to(opts.failure->first);
     system.fail_all_sites();
-    system.run_until(opts.failure->first + opts.failure->second);
+    run_to(opts.failure->first + opts.failure->second);
     system.restore_all_sites();
   }
   if (injector != nullptr) {
-    while (system.now() + config.tick_sec <= opts.duration + 1e-9) {
+    while (g_interrupted == 0 &&
+           system.now() + config.tick_sec <= opts.duration + 1e-9) {
       injector->tick(system.now());
       system.step();
     }
   } else {
-    system.run_until(opts.duration);
+    run_to(opts.duration);
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
@@ -457,7 +503,9 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open bench output '" << opts.bench_out << "'\n";
       return 1;
     }
-    const double ticks = opts.duration;  // 1 Hz simulation loop
+    // 1 Hz simulation loop; now() counts executed ticks even when a signal
+    // stopped the run early.
+    const double ticks = system.now();
     bench << "{\n  \"schema\": \"wasp-bench-e2e-v1\",\n"
           << "  \"query\": \"" << opts.query << "\",\n"
           << "  \"mode\": \"" << opts.mode << "\",\n"
@@ -472,6 +520,11 @@ int main(int argc, char** argv) {
                                                        : 0.0)
           << "\n}\n";
   }
+
+  // Profiler gauges enter the registry only here, after the run: the
+  // registry contents stay bit-identical with profiling on or off for the
+  // whole simulation (the pure-observer contract, DESIGN.md §13).
+  if (opts.profile) system.export_profiler_metrics();
 
   if (!opts.metrics_out.empty()) {
     std::ofstream metrics(opts.metrics_out);
@@ -522,6 +575,35 @@ int main(int argc, char** argv) {
               << " violation_seconds=" << watchdog->violation_seconds()
               << " in_violation=" << (watchdog->in_violation() ? 1 : 0)
               << "\n";
+  }
+  if (g_interrupted != 0) {
+    std::cout << "\n[interrupted at t=" << system.now()
+              << "s; trace, metrics and report cover the completed ticks]\n";
+  }
+  if (opts.profile) {
+    const auto& accums = system.profiler().accums();
+    const auto& step =
+        accums[static_cast<std::size_t>(obs::Phase::kStep)];
+    std::cout << "\nprofile (" << step.calls << " ticks, "
+              << TextTable::fmt(static_cast<double>(step.total_ns) / 1e6, 1)
+              << " ms measured):\n";
+    TextTable profile_table({"phase", "calls", "total ms", "self ms", "self %"});
+    for (std::size_t p = 0; p < accums.size(); ++p) {
+      const auto& a = accums[p];
+      if (a.calls == 0) continue;
+      const double self_pct =
+          step.total_ns > 0
+              ? 100.0 * static_cast<double>(a.self_ns) /
+                    static_cast<double>(step.total_ns)
+              : 0.0;
+      profile_table.add_row(
+          {obs::phase_name(static_cast<obs::Phase>(p)),
+           std::to_string(a.calls),
+           TextTable::fmt(static_cast<double>(a.total_ns) / 1e6, 2),
+           TextTable::fmt(static_cast<double>(a.self_ns) / 1e6, 2),
+           TextTable::fmt(self_pct, 1)});
+    }
+    profile_table.print(std::cout);
   }
   if (!rec.events().empty()) {
     std::cout << "\nadaptations:\n";

@@ -26,6 +26,10 @@ cross-checks the span stream: every span_begin has a matching span_end,
 the run produced at least one adaptation or recovery span, and every
 `failover` event carries a recovery mode of `standby` (promotion fast
 path) or `replan` (solver fallback) -- any other mode is a failure.
+`profile` events (from --profile runs, DESIGN.md §13) are accepted and
+sanity-checked: each must carry a phase tag and a cumulative tick counter
+that never decreases within a segment (seq restarting at 0 starts a new
+segment).
 """
 import json
 import re
@@ -37,6 +41,8 @@ KNOWN_FAILOVER_MODES = {"standby", "replan"}
 def check_trace(path: str, promotions: int, failures: list) -> None:
     begins, ends, names = {}, set(), set()
     standby_failovers = 0
+    last_profile_ticks = -1.0
+    prev_seq = None
     for lineno, line in enumerate(open(path), 1):
         line = line.strip()
         if not line:
@@ -46,6 +52,26 @@ def check_trace(path: str, promotions: int, failures: list) -> None:
         except json.JSONDecodeError as exc:
             failures.append(f"trace line {lineno}: invalid JSON ({exc})")
             return
+        seq = event.get("seq")
+        if prev_seq is not None and seq == 0:
+            last_profile_ticks = -1.0  # new emitter segment
+        prev_seq = seq
+        if event.get("type") == "profile":
+            # Profiler snapshots are cumulative: ticks must never decrease
+            # within a segment, and every snapshot names its phase.
+            if not event.get("phase"):
+                failures.append(
+                    f"trace line {lineno}: profile event without a phase")
+            ticks = event.get("ticks")
+            if not isinstance(ticks, (int, float)):
+                failures.append(
+                    f"trace line {lineno}: profile event without ticks")
+            elif ticks < last_profile_ticks:
+                failures.append(
+                    f"trace line {lineno}: profile ticks {ticks} below "
+                    f"previous {last_profile_ticks} (non-monotonic)")
+            else:
+                last_profile_ticks = ticks
         if event.get("type") == "span_begin":
             begins[event["span_id"]] = event.get("name", "?")
             names.add(event.get("name", "?"))

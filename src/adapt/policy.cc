@@ -86,6 +86,11 @@ void AdaptationPolicy::set_trace(obs::TraceEmitter* trace) {
   scheduler_.set_trace(trace);
 }
 
+void AdaptationPolicy::set_profiler(obs::Profiler* profiler) {
+  migration_planner_.set_profiler(profiler);
+  scheduler_.set_profiler(profiler);
+}
+
 void AdaptationPolicy::on_replan_applied(const query::LogicalPlan& old_plan,
                                          const query::LogicalPlan& new_plan) {
   std::unordered_map<OperatorId, double> remapped;

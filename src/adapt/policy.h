@@ -37,6 +37,7 @@
 #include "state/migration.h"
 
 namespace wasp::obs {
+class Profiler;
 class TraceEmitter;
 }  // namespace wasp::obs
 
@@ -112,6 +113,11 @@ class AdaptationPolicy {
   // action, and "policy_reject" for considered-but-discarded alternatives.
   // Also forwarded to the embedded migration planner.
   void set_trace(obs::TraceEmitter* trace);
+
+  // Tick-phase profiler hook (DESIGN.md §13), forwarded to the embedded
+  // scheduler copy and migration planner so their solver calls land in the
+  // control.solver.* phases. Null (the default) disables.
+  void set_profiler(obs::Profiler* profiler);
 
   // Must be called when a kReplan action is applied to the engine. The new
   // plan can reuse OperatorIds for different operators, so the scale-down

@@ -10,6 +10,7 @@
 #include "engine/kernels.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace wasp::engine {
@@ -782,6 +783,13 @@ void Engine::tick(double t) {
   const double dt = config_.tick_sec;
   now_ = t;
 
+  // Tick-phase accounting (DESIGN.md §13): one inclusive "engine" frame,
+  // then a chain of sibling segments -- each boundary costs one clock read,
+  // and a null/disabled profiler reduces every line to a predictable branch.
+  obs::Profiler::Scope profile_tick(config_.profiler, obs::Phase::kEngine);
+  obs::Profiler::Chain profile(config_.profiler);
+  profile.next(obs::Phase::kEngineReset);
+
   // delivered_prev is the channel's last *live* drain rate: while the
   // receiver is suspended (mid-transition), delivery skips it and
   // `delivered` decays to zero, which must not erase the drain estimate
@@ -813,6 +821,7 @@ void Engine::tick(double t) {
   // sites are independent -- one region chunk per site -- and the cross-site
   // reductions below recombine the per-site partials serially in the exact
   // operand order the legacy per-object loops used.
+  profile.next(obs::Phase::kEngineStage);
   for (const std::size_t idx : topo_order_) {
     // Sources generate regardless of suspension: the external stream does
     // not pause for us; events accumulate in the (replayable) source
@@ -861,6 +870,7 @@ void Engine::tick(double t) {
       last_.sink_eps += total_processed / dt;
     }
   }
+  profile.next(obs::Phase::kEngineChannel);
   set_flow_demands(dt);
 
   // Periodic localized checkpoint (§5), tiered (DESIGN.md §12): every Nth
@@ -870,6 +880,7 @@ void Engine::tick(double t) {
   // rate, not the total state. Either way the snapshot arrays end up
   // identical -- clean groups already match -- so restore semantics do not
   // depend on the tier.
+  profile.next(obs::Phase::kEngineCheckpoint);
   if (t - last_checkpoint_ >= config_.checkpoint_interval_sec) {
     const int every = std::max(1, config_.full_checkpoint_every);
     const bool full = checkpoint_seq_ % every == 0;
@@ -905,6 +916,7 @@ void Engine::tick(double t) {
     if (config_.metrics != nullptr) mh_.checkpoints->inc();
   }
 
+  profile.next(obs::Phase::kEngineDelay);
   update_delay_metric(t);
   if (replay_pending_events_ > 0.0) {
     last_.generated_eps += replay_pending_events_ / dt;
@@ -914,6 +926,7 @@ void Engine::tick(double t) {
       last_.generated_eps > 0.0 ? last_.admitted_eps / last_.generated_eps
                                 : 1.0;
 
+  profile.next(obs::Phase::kEngineEmit);
   emit_tick_trace(t, dt);
 }
 

@@ -53,6 +53,7 @@ namespace wasp::obs {
 class Counter;
 class Gauge;
 class MetricsRegistry;
+class Profiler;
 class TraceEmitter;
 }  // namespace wasp::obs
 
@@ -97,6 +98,10 @@ struct EngineConfig {
   // receives engine.* counters and gauges. See DESIGN.md §6.
   obs::TraceEmitter* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional tick-phase profiler (non-owning; may be null = untimed). A pure
+  // observer by contract: it reads the steady clock and nothing else, so it
+  // cannot move a byte of any trace or metric (DESIGN.md §13).
+  obs::Profiler* profiler = nullptr;
   // Optional intra-run executor (non-owning; may be null = serial). When set,
   // the per-tick element sweeps and per-site update loops are chunked across
   // the pool. Chunk boundaries are fixed by the data layout -- never by the

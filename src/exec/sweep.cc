@@ -343,7 +343,7 @@ std::optional<std::vector<RunSpec>> expand_grid(const GridSpec& grid,
 }
 
 RunResult run_one(const RunSpec& spec, const std::string& trace_path,
-                  int threads) {
+                  int threads, bool profile, int profile_every) {
   RunResult result;
   result.spec = spec;
   const auto wall_start = std::chrono::steady_clock::now();
@@ -423,6 +423,8 @@ RunResult run_one(const RunSpec& spec, const std::string& trace_path,
   config.scheduler.alpha = spec.alpha;
   config.seed = spec.seed;
   config.threads = std::max(1, threads);
+  config.profile = profile;
+  config.profile_every = std::max(1, profile_every);
   std::shared_ptr<obs::FileSink> trace_sink;
   if (!trace_path.empty()) {
     trace_sink = std::make_shared<obs::FileSink>(trace_path);
@@ -551,7 +553,8 @@ std::vector<RunResult> run_sweep(const std::vector<RunSpec>& cells,
       trace_path =
           opts.trace_dir + "/run_" + std::to_string(cells[i].index) + ".jsonl";
     }
-    results[i] = run_one(cells[i], trace_path, opts.threads);
+    results[i] = run_one(cells[i], trace_path, opts.threads, opts.profile,
+                         opts.profile_every);
     if (opts.on_cell_done) {
       std::lock_guard<std::mutex> lock(progress_mu);
       opts.on_cell_done(results[i]);

@@ -149,6 +149,11 @@ struct SweepOptions {
   // When non-empty, each run writes its private observability trace to
   // "<trace_dir>/run_<index>.jsonl" (the directory must exist).
   std::string trace_dir;
+  // Always-on phase profiler (DESIGN.md §13): each cell emits periodic
+  // `profile` events into its private trace. Pure observer -- the merged
+  // sweep stream and every cell's results are bit-identical either way.
+  bool profile = false;
+  int profile_every = 60;
   // Optional progress hook, invoked from worker threads under an internal
   // mutex as each cell finishes (completion order, i.e. nondeterministic --
   // for stderr progress only, never for results).
@@ -157,9 +162,11 @@ struct SweepOptions {
 
 // Executes one cell in a fresh, self-contained context. `trace_path` (may be
 // empty) is the run's private JSONL trace destination; `threads` is the
-// cell's intra-run worker count (SystemConfig::threads).
+// cell's intra-run worker count (SystemConfig::threads); `profile` /
+// `profile_every` mirror SweepOptions.
 RunResult run_one(const RunSpec& spec, const std::string& trace_path = {},
-                  int threads = 1);
+                  int threads = 1, bool profile = false,
+                  int profile_every = 60);
 
 // Executes all cells across opts.jobs workers and returns results ordered by
 // cell index regardless of completion order.

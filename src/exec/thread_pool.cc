@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/log.h"
@@ -43,6 +44,13 @@ struct SpinWait {
   }
 };
 
+inline std::uint64_t stats_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 std::uint64_t fork_seed(std::uint64_t base_seed, std::uint64_t index) {
@@ -55,11 +63,14 @@ std::uint64_t fork_seed(std::uint64_t base_seed, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
-ThreadPool::ThreadPool(int workers) {
+ThreadPool::ThreadPool(int workers)
+    : counters_(static_cast<std::size_t>(std::max(1, workers)) + 1) {
   const int n = std::max(1, workers);
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    // Stats slot 0 belongs to the controller thread; workers take 1..n.
+    const std::size_t slot = static_cast<std::size_t>(i) + 1;
+    threads_.emplace_back([this, slot] { worker_loop(slot); });
   }
 }
 
@@ -92,6 +103,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    queue_peak_ = std::max(queue_peak_, static_cast<std::uint64_t>(queue_.size()));
     queue_has_work_.store(true, std::memory_order_release);
   }
   work_available_.notify_one();
@@ -142,7 +154,9 @@ void ThreadPool::wait_idle() {
 // Generations wrap after 2^31 publishes; a stale claim word surviving an
 // exact wrap is not a realistic schedule (workers re-read the word every
 // loop iteration).
-std::uint64_t ThreadPool::run_region_chunks() {
+std::uint64_t ThreadPool::run_region_chunks(std::size_t stats_slot) {
+  ThreadCounters& counters = counters_[stats_slot];
+  const bool timing = stats_timing_.load(std::memory_order_relaxed);
   SpinWait spin;
   std::uint64_t c = region_claim_.load(std::memory_order_acquire);
   while (claim_gen(c) % 2 != 0) {  // mid-publish: wait for the window to open
@@ -159,6 +173,7 @@ std::uint64_t ThreadPool::run_region_chunks() {
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
         const RegionFn* fn = region_fn_.load(std::memory_order_acquire);
+        const std::uint64_t start = timing ? stats_now_ns() : 0;
         try {
           (*fn)(i);
         } catch (...) {
@@ -167,6 +182,11 @@ std::uint64_t ThreadPool::run_region_chunks() {
             region_error_index_ = i;
             region_error_ = std::current_exception();
           }
+        }
+        counters.chunks.fetch_add(1, std::memory_order_relaxed);
+        if (timing) {
+          counters.busy_ns.fetch_add(stats_now_ns() - start,
+                                     std::memory_order_relaxed);
         }
         region_done_.fetch_add(1, std::memory_order_release);
         c = region_claim_.load(std::memory_order_acquire);
@@ -207,8 +227,9 @@ void ThreadPool::parallel_for(std::size_t n, const RegionFn& fn) {
     std::unique_lock<std::mutex> lock(mu_);
     region_claim_.store((g + 2) << kGenShift, std::memory_order_release);
   }
+  ++regions_;
   work_available_.notify_all();
-  run_region_chunks();
+  run_region_chunks(/*stats_slot=*/0);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -217,7 +238,7 @@ void ThreadPool::parallel_for(std::size_t n, const RegionFn& fn) {
   if (error != nullptr) std::rethrow_exception(error);
 }
 
-bool ThreadPool::take_and_run_one_task() {
+bool ThreadPool::take_and_run_one_task(std::size_t stats_slot) {
   std::function<void()> task;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -230,11 +251,19 @@ bool ThreadPool::take_and_run_one_task() {
     queue_has_work_.store(!queue_.empty(), std::memory_order_release);
     ++in_flight_;
   }
+  ThreadCounters& counters = counters_[stats_slot];
+  const bool timing = stats_timing_.load(std::memory_order_relaxed);
+  const std::uint64_t start = timing ? stats_now_ns() : 0;
   try {
     task();
   } catch (...) {
     std::unique_lock<std::mutex> lock(mu_);
     if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+  counters.tasks.fetch_add(1, std::memory_order_relaxed);
+  if (timing) {
+    counters.busy_ns.fetch_add(stats_now_ns() - start,
+                               std::memory_order_relaxed);
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -244,7 +273,7 @@ bool ThreadPool::take_and_run_one_task() {
   return true;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t stats_slot) {
   std::uint64_t seen_gen = 0;
   SpinWait spin;
   for (;;) {
@@ -254,12 +283,12 @@ void ThreadPool::worker_loop() {
       // A new region (or its odd mid-publish window) appeared. Help run it;
       // run_region_chunks returns the even generation whose completion it
       // confirmed, which de-duplicates re-entry into a finished region.
-      seen_gen = run_region_chunks();
+      seen_gen = run_region_chunks(stats_slot);
       spin.spins = 0;
       continue;
     }
     if (queue_has_work_.load(std::memory_order_acquire)) {
-      if (take_and_run_one_task()) {
+      if (take_and_run_one_task(stats_slot)) {
         spin.spins = 0;
         continue;
       }
@@ -285,6 +314,27 @@ void ThreadPool::worker_loop() {
     });
     spin.spins = 0;
   }
+}
+
+ThreadPool::PoolStats ThreadPool::stats() {
+  PoolStats out;
+  out.per_thread.reserve(counters_.size());
+  for (const ThreadCounters& counters : counters_) {
+    PoolStats::PerThread t;
+    t.busy_ns = counters.busy_ns.load(std::memory_order_relaxed);
+    t.tasks = counters.tasks.load(std::memory_order_relaxed);
+    t.chunks = counters.chunks.load(std::memory_order_relaxed);
+    out.tasks += t.tasks;
+    out.chunks += t.chunks;
+    out.busy_ns += t.busy_ns;
+    out.per_thread.push_back(t);
+  }
+  out.regions = regions_;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    out.queue_peak = queue_peak_;
+  }
+  return out;
 }
 
 int ThreadPool::hardware_workers() {

@@ -112,14 +112,55 @@ class ThreadPool {
   // max(1, std::thread::hardware_concurrency()) -- the default --jobs.
   [[nodiscard]] static int hardware_workers();
 
+  // --- observability (DESIGN.md §13) -------------------------------------
+  // Counters the pool maintains about its own scheduling. The task / chunk /
+  // region *totals* are deterministic (they are fixed by what callers
+  // submit); per-thread attribution, busy time, and the queue high-water
+  // mark depend on real scheduling and must only surface through wall_*
+  // trace fields or explicitly profile-gated exports.
+  struct PoolStats {
+    struct PerThread {
+      std::uint64_t busy_ns = 0;  // time inside task/chunk bodies
+      std::uint64_t tasks = 0;
+      std::uint64_t chunks = 0;
+    };
+    std::uint64_t regions = 0;     // parallel_for regions published
+    std::uint64_t tasks = 0;       // queue tasks executed (total)
+    std::uint64_t chunks = 0;      // region chunks executed (total)
+    std::uint64_t queue_peak = 0;  // queue-depth high-water mark
+    std::uint64_t busy_ns = 0;     // sum of per_thread busy_ns
+    // [0] is the controller thread (it claims chunks inside parallel_for);
+    // [1..] are the pool workers.
+    std::vector<PerThread> per_thread;
+  };
+
+  // Busy-time measurement costs two extra clock reads per task/chunk body,
+  // so it is off by default; `--profile` turns it on. Event counts are
+  // always maintained (relaxed increments, no clock involved).
+  void set_stats_timing(bool enabled) {
+    stats_timing_.store(enabled, std::memory_order_relaxed);
+  }
+  // Serial-merge of the per-thread counters. Call from the controller at a
+  // point where no region is in flight (between ticks); concurrently running
+  // queue tasks only make the snapshot slightly stale, never torn per-field.
+  [[nodiscard]] PoolStats stats();
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t stats_slot);
   // Latches onto the current region, claims and runs its chunks, and returns
   // once that region is known complete (every chunk done, or a newer region
   // has been published -- which implies completion). Returns the generation
   // it processed so the caller can de-duplicate re-entry.
-  std::uint64_t run_region_chunks();
-  bool take_and_run_one_task();
+  std::uint64_t run_region_chunks(std::size_t stats_slot);
+  bool take_and_run_one_task(std::size_t stats_slot);
+
+  // One cache line per thread so workers never contend on the counters;
+  // updates are relaxed (totals are read serially between regions).
+  struct alignas(64) ThreadCounters {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> chunks{0};
+  };
 
   std::mutex mu_;
   std::condition_variable work_available_;
@@ -142,6 +183,12 @@ class ThreadPool {
   std::atomic<std::size_t> region_done_{0};
   std::size_t region_error_index_ = 0;   // guarded by mu_
   std::exception_ptr region_error_;      // guarded by mu_
+
+  // --- observability state (sized at construction, never resized) ---------
+  std::atomic<bool> stats_timing_{false};
+  std::vector<ThreadCounters> counters_;  // [0] controller, [1..] workers
+  std::uint64_t regions_ = 0;             // controller-only
+  std::uint64_t queue_peak_ = 0;          // guarded by mu_
 };
 
 // Fork/join helper: runs fn(0) .. fn(n-1) across up to `jobs` workers and

@@ -12,6 +12,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/profiler.h"
+
 namespace wasp::obs {
 namespace {
 
@@ -459,9 +461,11 @@ ValidationReport validate_trace(const TraceFile& file) {
   report.errors = file.errors;
   bool have_prev_seq = false;
   std::uint64_t prev_seq = 0;
+  double last_profile_ticks = -1.0;  // per segment; profile ticks are cumulative
   for (std::size_t i = 0; i < file.events.size(); ++i) {
     const TraceEvent& event = file.events[i];
     const int schema = file.schemas[i];
+    if (have_prev_seq && event.seq == 0) last_profile_ticks = -1.0;
     if (schema != 1 && schema != 2) {
       report.errors.push_back("seq " + std::to_string(event.seq) +
                               ": unsupported schema version " +
@@ -481,6 +485,26 @@ ValidationReport validate_trace(const TraceFile& file) {
       report.errors.push_back("seq " + std::to_string(event.seq) +
                               " not strictly increasing (previous " +
                               std::to_string(prev_seq) + ")");
+    }
+    if (event.type == "profile") {
+      // Profiler snapshots (DESIGN.md §13): each needs a phase tag and a
+      // cumulative tick counter that never moves backwards in a segment.
+      if (event.str("phase").empty()) {
+        report.errors.push_back("seq " + std::to_string(event.seq) +
+                                ": profile event without a phase field");
+      }
+      const double ticks = event.num("ticks", -1.0);
+      if (ticks < 0.0) {
+        report.errors.push_back("seq " + std::to_string(event.seq) +
+                                ": profile event without a ticks field");
+      } else if (ticks < last_profile_ticks) {
+        report.errors.push_back(
+            "seq " + std::to_string(event.seq) + ": profile ticks " +
+            std::to_string(ticks) + " below previous " +
+            std::to_string(last_profile_ticks) + " (non-monotonic)");
+      } else {
+        last_profile_ticks = ticks;
+      }
     }
     prev_seq = event.seq;
     have_prev_seq = true;
@@ -685,6 +709,159 @@ void export_chrome_trace(const std::vector<TraceEvent>& events,
       append_args(event);
       line += "}}";
     }
+    out << line;
+  }
+  out << "]}\n";
+}
+
+// ---- Profile aggregation ----------------------------------------------
+
+namespace {
+
+// Registry sort key: known phases in enum (presentation) order, names the
+// registry does not know after them.
+int phase_sort_key(const std::string& name) {
+  Phase phase;
+  if (phase_from_name(name.c_str(), &phase)) return static_cast<int>(phase);
+  return static_cast<int>(Phase::kCount);
+}
+
+}  // namespace
+
+const ProfilePhase* ProfileSummary::find(std::string_view name) const {
+  for (const ProfilePhase& phase : phases) {
+    if (phase.name == name) return &phase;
+  }
+  return nullptr;
+}
+
+ProfileSummary aggregate_profile(const TraceFile& file) {
+  ProfileSummary out;
+  // Latest cumulative snapshot per phase within the current segment; folded
+  // into the totals at every seq restart (and once at EOF).
+  std::vector<ProfilePhase> segment;
+  PoolProfile segment_pool;
+
+  auto snapshot_of = [&segment](const std::string& name) -> ProfilePhase& {
+    for (ProfilePhase& phase : segment) {
+      if (phase.name == name) return phase;
+    }
+    segment.emplace_back();
+    segment.back().name = name;
+    return segment.back();
+  };
+
+  auto fold_segment = [&out, &segment, &segment_pool] {
+    for (const ProfilePhase& snap : segment) {
+      ProfilePhase* total = nullptr;
+      for (ProfilePhase& phase : out.phases) {
+        if (phase.name == snap.name) total = &phase;
+      }
+      if (total == nullptr) {
+        out.phases.emplace_back();
+        out.phases.back().name = snap.name;
+        total = &out.phases.back();
+      }
+      total->ticks += snap.ticks;
+      total->calls += snap.calls;
+      total->total_us += snap.total_us;
+      total->self_us += snap.self_us;
+    }
+    segment.clear();
+    if (segment_pool.present) {
+      out.pool.present = true;
+      out.pool.ticks += segment_pool.ticks;
+      out.pool.threads = std::max(out.pool.threads, segment_pool.threads);
+      out.pool.tasks += segment_pool.tasks;
+      out.pool.chunks += segment_pool.chunks;
+      out.pool.regions += segment_pool.regions;
+      out.pool.busy_us += segment_pool.busy_us;
+      out.pool.busy_min_us += segment_pool.busy_min_us;
+      out.pool.busy_max_us += segment_pool.busy_max_us;
+      out.pool.queue_peak =
+          std::max(out.pool.queue_peak, segment_pool.queue_peak);
+      segment_pool = PoolProfile{};
+    }
+  };
+
+  bool have_seq = false;
+  for (const TraceEvent& event : file.events) {
+    if (have_seq && event.seq == 0) fold_segment();
+    have_seq = true;
+    if (event.type != "profile") continue;
+    ++out.profile_events;
+    const std::string name(event.str("phase"));
+    if (name == "pool") {
+      segment_pool.present = true;
+      segment_pool.ticks = static_cast<std::uint64_t>(event.num("ticks"));
+      segment_pool.threads = event.num("threads");
+      segment_pool.tasks = event.num("tasks");
+      segment_pool.chunks = event.num("chunks");
+      segment_pool.regions = event.num("regions");
+      segment_pool.busy_us = event.num("wall_busy_us");
+      segment_pool.busy_min_us = event.num("wall_busy_min_us");
+      segment_pool.busy_max_us = event.num("wall_busy_max_us");
+      segment_pool.queue_peak = event.num("wall_queue_peak");
+    } else {
+      ProfilePhase& snap = snapshot_of(name);
+      snap.ticks = static_cast<std::uint64_t>(event.num("ticks"));
+      snap.calls = static_cast<std::uint64_t>(event.num("calls"));
+      snap.total_us = event.num("wall_total_us");
+      snap.self_us = event.num("wall_self_us");
+    }
+  }
+  fold_segment();
+
+  std::stable_sort(out.phases.begin(), out.phases.end(),
+                   [](const ProfilePhase& a, const ProfilePhase& b) {
+                     const int ka = phase_sort_key(a.name);
+                     const int kb = phase_sort_key(b.name);
+                     return ka != kb ? ka < kb : a.name < b.name;
+                   });
+  for (const ProfilePhase& phase : out.phases) {
+    out.ticks = std::max(out.ticks, phase.ticks);
+  }
+  return out;
+}
+
+void export_chrome_profile_counters(const TraceFile& file, std::ostream& out) {
+  // Counters are cumulative, so each sample is the per-tick delta against
+  // the previous snapshot of the same phase (reset at segment boundaries).
+  struct Prev {
+    double value = 0.0;
+    double ticks = 0.0;
+  };
+  std::unordered_map<std::string, Prev> prev;
+  bool have_seq = false;
+  bool first_record = true;
+  std::string line;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (const TraceEvent& event : file.events) {
+    if (have_seq && event.seq == 0) prev.clear();
+    have_seq = true;
+    if (event.type != "profile") continue;
+    const std::string name(event.str("phase"));
+    const bool is_pool = name == "pool";
+    const double cumulative =
+        is_pool ? event.num("wall_busy_us") : event.num("wall_self_us");
+    const double ticks = event.num("ticks");
+    Prev& p = prev[name];
+    const double d_ticks = ticks - p.ticks;
+    const double d_value = cumulative - p.value;
+    p.ticks = ticks;
+    p.value = cumulative;
+    if (d_ticks <= 0.0) continue;
+    line.clear();
+    if (!first_record) line += ",\n";
+    first_record = false;
+    line += "{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":";
+    json_escape_to(line,
+                   is_pool ? "pool busy us/tick" : name + " self us/tick");
+    line += ",\"cat\":\"profile\",\"ts\":";
+    append_json_number(line, event.t * 1e6);
+    line += ",\"args\":{\"value\":";
+    append_json_number(line, d_value / d_ticks);
+    line += "}}";
     out << line;
   }
   out << "]}\n";

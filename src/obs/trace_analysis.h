@@ -105,6 +105,53 @@ struct ValidationReport {
 // between concatenated emitter streams (multi-run bench traces).
 [[nodiscard]] ValidationReport validate_trace(const TraceFile& file);
 
+// ---- Profile aggregation ----------------------------------------------
+
+// One phase's totals folded over every `profile` event in a trace
+// (DESIGN.md §13). Profile events carry cumulative counters, so within a
+// segment the last event per phase holds that segment's totals; a
+// multi-segment file (bench drivers appending runs) sums segment totals.
+struct ProfilePhase {
+  std::string name;
+  std::uint64_t ticks = 0;  // ticks covered by the folded snapshots
+  std::uint64_t calls = 0;
+  double total_us = 0.0;  // inclusive wall time
+  double self_us = 0.0;   // total minus nested phases
+};
+
+// Thread-pool counters from the pseudo-phase "pool" profile events.
+struct PoolProfile {
+  bool present = false;
+  std::uint64_t ticks = 0;
+  double threads = 0.0;  // max across segments (controller + workers)
+  double tasks = 0.0;
+  double chunks = 0.0;
+  double regions = 0.0;
+  double busy_us = 0.0;
+  double busy_min_us = 0.0;  // least-loaded slot (last snapshot folded)
+  double busy_max_us = 0.0;  // most-loaded slot
+  double queue_peak = 0.0;   // max across segments
+};
+
+struct ProfileSummary {
+  // Phases in registry (presentation) order; names the registry does not
+  // know sort after them alphabetically, so newer traces stay readable.
+  std::vector<ProfilePhase> phases;
+  PoolProfile pool;
+  std::size_t profile_events = 0;
+  std::uint64_t ticks = 0;  // max phase ticks (summed across segments)
+  [[nodiscard]] bool empty() const { return profile_events == 0; }
+  [[nodiscard]] const ProfilePhase* find(std::string_view name) const;
+};
+
+[[nodiscard]] ProfileSummary aggregate_profile(const TraceFile& file);
+
+// Chrome counter-track export for profile events: one "C" counter sample
+// per phase per profile event carrying the per-tick self wall time since
+// the previous snapshot (cumulative counters are differenced per segment).
+// Loadable alongside export_chrome_trace output in Perfetto.
+void export_chrome_profile_counters(const TraceFile& file, std::ostream& out);
+
 // ---- Field-level diff --------------------------------------------------
 
 struct DiffOptions {

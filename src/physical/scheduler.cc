@@ -139,6 +139,8 @@ ilp::IlpOptions reference_ilp_options() {
 std::optional<PlacementOutcome> Scheduler::place_stage(
     const StageContext& context, const NetworkView& view,
     const std::vector<int>& extra_slots) const {
+  obs::Profiler::Scope profile_solve(profiler_,
+                                     obs::Phase::kSolverPlacement);
   if (!context.pinned_sites.empty()) {
     // Pinned stages (sources/sinks) bypass the ILP: one task per pin.
     PlacementOutcome outcome;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "physical/placement.h"
 #include "physical/placement_cache.h"
@@ -81,6 +82,10 @@ class Scheduler {
   // time) nested under the caller's ambient span. Null disables.
   void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
 
+  // Tick-phase profiler hook (DESIGN.md §13): place_stage runs under the
+  // control.solver.placement phase. Null (the default) disables.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   // Starts a new decision epoch: clears the placement memo cache. Network
   // estimates change between epochs, so cached outcomes are only reused
   // within one epoch; cache hits within an epoch are guaranteed bit-identical
@@ -113,6 +118,7 @@ class Scheduler {
  private:
   Config config_{};
   obs::TraceEmitter* trace_ = nullptr;  // non-owning; see set_trace
+  obs::Profiler* profiler_ = nullptr;   // non-owning; see set_profiler
   // Per-epoch memo of ILP outcomes; mutable so the const placement API can
   // populate it (it is invisible in results, only in latency).
   mutable PlacementCache cache_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace wasp::resilience {
@@ -37,6 +38,7 @@ void StandbyManager::tick(double now, const engine::Engine& engine,
                           const physical::NetworkView& view,
                           const SiteOk& trusted) {
   if (config_.replicas <= 0) return;
+  obs::Profiler::Scope profile_sync(profiler_, obs::Phase::kStandbySync);
   pump_syncs(now, trusted);
 
   // A replica on a dead/distrusted site is useless; drop it so a fresh one

@@ -35,6 +35,7 @@
 #include "physical/scheduler.h"
 
 namespace wasp::obs {
+class Profiler;
 class TraceEmitter;
 }  // namespace wasp::obs
 
@@ -63,6 +64,12 @@ class StandbyManager {
   StandbyManager& operator=(const StandbyManager&) = delete;
 
   void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
+
+  // Tick-phase profiler hook (DESIGN.md §13): tick() runs under the
+  // control.standby_sync phase (its placement-ILP calls nest under
+  // control.solver.placement through the scheduler's own hook). Null (the
+  // default) disables.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
 
   // Control-plane trust predicate (heartbeat detector), supplied by the
   // runtime so the manager never reads engine failure flags directly.
@@ -142,6 +149,7 @@ class StandbyManager {
   net::Network& network_;
   StandbyConfig config_;
   obs::TraceEmitter* trace_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<int> reserved_;
   double last_sync_ = -1e18;

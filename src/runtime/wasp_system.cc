@@ -124,6 +124,11 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
   policy_->set_trace(&trace_);
   detector_.set_trace(&trace_);
   scheduler_.set_trace(&trace_);  // deploy-time placement spans
+  // Tick-phase profiler (DESIGN.md §13): enabled only by --profile; a
+  // disabled profiler is a null hook everywhere it is wired.
+  profiler_.set_enabled(config_.profile);
+  scheduler_.set_profiler(&profiler_);
+  policy_->set_profiler(&profiler_);
   recorder_.bind_metrics(&metrics_);
   if (config_.slo.has_value() && config_.slo->any()) {
     slo_watchdog_.emplace(*config_.slo, &trace_, &metrics_);
@@ -135,6 +140,7 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
   config_.engine.slo_sec = config_.slo_sec;
   config_.engine.trace = &trace_;
   config_.engine.metrics = &metrics_;
+  config_.engine.profiler = &profiler_;
   // Intra-run parallelism: one persistent pool shared by the engine's tick
   // regions and the network's per-link waterfills. The pool has threads-1
   // workers; the calling thread participates in every region, so total
@@ -143,6 +149,9 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
     pool_ = std::make_unique<exec::ThreadPool>(config_.threads - 1);
     config_.engine.pool = pool_.get();
     network_.set_pool(pool_.get());
+    // Busy-time clock reads in the pool are profile-gated; the event counts
+    // themselves are always on (relaxed increments).
+    if (config_.profile) pool_->set_stats_timing(true);
   }
 
   // Hot-standby replication: the manager plans replica placements in the
@@ -153,6 +162,7 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
     standby_ =
         std::make_unique<resilience::StandbyManager>(network_, config_.standby);
     standby_->set_trace(&trace_);
+    standby_->set_profiler(&profiler_);
   }
 
   for (OperatorId src : spec.plan.sources()) {
@@ -162,6 +172,12 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
 }
 
 WaspSystem::~WaspSystem() {
+  // Final profile flush: totals accumulated since the last periodic emit
+  // must still reach the trace (interrupted runs included).
+  if (profiler_.enabled() && trace_.enabled() &&
+      tick_count_ > last_profile_emit_) {
+    emit_profile_events();
+  }
   if (slo_watchdog_.has_value()) slo_watchdog_->finish(now_);
   // Close every span the run left open so the emitted trace stays begin/end
   // balanced (wasp_trace validate asserts this). Must happen in the body:
@@ -293,13 +309,23 @@ std::vector<int> WaspSystem::free_slots() const {
 }
 
 void WaspSystem::step(bool drive_network) {
+  // Tick-phase accounting (DESIGN.md §13): a root "step" frame plus a chain
+  // of top-level segments, one clock read per boundary. Pure observer: the
+  // profiler touches nothing but its own accumulators.
+  obs::Profiler::Scope profile_step(&profiler_, obs::Phase::kStep);
+  obs::Profiler::Chain profile(&profiler_);
   now_ += config_.tick_sec;
   trace_.set_now(now_);
+  profile.next(obs::Phase::kWorkload);
   apply_workload();
   wan_monitor_.tick(now_);
+  profile.next(obs::Phase::kWaterfill);
   if (drive_network) network_.step(now_, config_.tick_sec);
+  profile.close();  // the engine opens its own inclusive "engine" frame
   engine_->tick(now_);
+  profile.next(obs::Phase::kMonitorExtract);
   metric_monitor_.observe(*engine_, now_);
+  profile.next(obs::Phase::kControl);
 
   // The control plane (detector, adaptation, transition management) freezes
   // during an injected stall; the data plane above keeps running.
@@ -385,6 +411,7 @@ void WaspSystem::step(bool drive_network) {
     watch_stabilization();
   }
 
+  profile.next(obs::Phase::kRecord);
   const auto& m = engine_->last_tick();
   recorder_.record_tick(
       now_, m.delay_sec, m.processing_ratio,
@@ -394,6 +421,14 @@ void WaspSystem::step(bool drive_network) {
       engine_->source_backlog_events(), m.generated_eps * config_.tick_sec,
       m.admitted_eps * config_.tick_sec, m.dropped_eps * config_.tick_sec);
   if (slo_watchdog_.has_value()) slo_watchdog_->tick(now_, recorder_);
+  profile.close();
+
+  ++tick_count_;
+  if (profiler_.enabled() && trace_.enabled() && config_.profile_every > 0 &&
+      tick_count_ - last_profile_emit_ >=
+          static_cast<std::uint64_t>(config_.profile_every)) {
+    emit_profile_events();
+  }
 }
 
 void WaspSystem::run_until(double t_end) {
@@ -422,7 +457,11 @@ void WaspSystem::maybe_adapt() {
   std::vector<adapt::AdaptationAction> actions;
   {
     obs::TraceEmitter::ParentScope in_episode(&trace_, root);
-    actions = policy_->decide_all(*engine_, metric_monitor_, view);
+    {
+      obs::Profiler::Scope profile_decide(&profiler_,
+                                          obs::Phase::kPolicyDecide);
+      actions = policy_->decide_all(*engine_, metric_monitor_, view);
+    }
 
     // §6.2 long-term dynamics: with nothing broken, periodically check in the
     // background whether a different plan-placement pair now fits the (slowly
@@ -1096,6 +1135,75 @@ void WaspSystem::force_reassign(OperatorId op,
   actions.push_back(std::move(action));
   adaptation_span_ = root;
   begin_transition(std::move(actions));
+}
+
+void WaspSystem::emit_profile_events() {
+  if (!profiler_.enabled() || !trace_.enabled()) return;
+  last_profile_emit_ = tick_count_;
+  // One cumulative line per phase that ever ran. `ticks` and `calls` are
+  // deterministic (pure functions of the simulated control flow); every
+  // timing field is wall_*-prefixed so the diff/golden machinery skips it.
+  const auto& accums = profiler_.accums();
+  for (std::size_t i = 0; i < accums.size(); ++i) {
+    const obs::PhaseAccum& accum = accums[i];
+    if (accum.calls == 0) continue;
+    trace_.event("profile")
+        .str("phase", obs::phase_name(static_cast<obs::Phase>(i)))
+        .num("ticks", static_cast<double>(tick_count_))
+        .num("calls", static_cast<double>(accum.calls))
+        .num("wall_total_us", static_cast<double>(accum.total_ns) / 1000.0)
+        .num("wall_self_us", static_cast<double>(accum.self_ns) / 1000.0);
+  }
+  // One pool line (threads > 1 only): totals are deterministic, busy time
+  // and the queue high-water mark are scheduling facts and stay wall_*.
+  if (pool_ != nullptr) {
+    const exec::ThreadPool::PoolStats stats = pool_->stats();
+    std::uint64_t busy_min = 0;
+    std::uint64_t busy_max = 0;
+    for (const auto& t : stats.per_thread) {
+      busy_min = busy_min == 0 ? t.busy_ns : std::min(busy_min, t.busy_ns);
+      busy_max = std::max(busy_max, t.busy_ns);
+    }
+    trace_.event("profile")
+        .str("phase", "pool")
+        .num("ticks", static_cast<double>(tick_count_))
+        .num("threads", static_cast<double>(pool_->workers() + 1))
+        .num("tasks", static_cast<double>(stats.tasks))
+        .num("chunks", static_cast<double>(stats.chunks))
+        .num("regions", static_cast<double>(stats.regions))
+        .num("wall_busy_us", static_cast<double>(stats.busy_ns) / 1000.0)
+        .num("wall_busy_min_us", static_cast<double>(busy_min) / 1000.0)
+        .num("wall_busy_max_us", static_cast<double>(busy_max) / 1000.0)
+        .num("wall_queue_peak", static_cast<double>(stats.queue_peak));
+  }
+}
+
+void WaspSystem::export_profiler_metrics() {
+  if (!profiler_.enabled()) return;
+  const auto& accums = profiler_.accums();
+  for (std::size_t i = 0; i < accums.size(); ++i) {
+    const obs::PhaseAccum& accum = accums[i];
+    if (accum.calls == 0) continue;
+    const std::string base =
+        std::string("profiler.") + obs::phase_name(static_cast<obs::Phase>(i));
+    metrics_.gauge(base + ".calls").set(static_cast<double>(accum.calls));
+    metrics_.gauge(base + ".wall_total_us")
+        .set(static_cast<double>(accum.total_ns) / 1000.0);
+    metrics_.gauge(base + ".wall_self_us")
+        .set(static_cast<double>(accum.self_ns) / 1000.0);
+  }
+  if (pool_ != nullptr) {
+    const exec::ThreadPool::PoolStats stats = pool_->stats();
+    metrics_.gauge("pool.threads")
+        .set(static_cast<double>(pool_->workers() + 1));
+    metrics_.gauge("pool.tasks").set(static_cast<double>(stats.tasks));
+    metrics_.gauge("pool.chunks").set(static_cast<double>(stats.chunks));
+    metrics_.gauge("pool.regions").set(static_cast<double>(stats.regions));
+    metrics_.gauge("pool.wall_busy_us")
+        .set(static_cast<double>(stats.busy_ns) / 1000.0);
+    metrics_.gauge("pool.wall_queue_peak")
+        .set(static_cast<double>(stats.queue_peak));
+  }
 }
 
 }  // namespace wasp::runtime

@@ -53,6 +53,7 @@
 #include "net/network.h"
 #include "net/wan_monitor.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "physical/scheduler.h"
 #include "query/planner.h"
@@ -148,6 +149,16 @@ struct SystemConfig {
   // series each tick; violation episodes become "slo_violation" spans and
   // slo.* metrics. Unset (or a spec with no bound) disables the watchdog.
   std::optional<SloSpec> slo;
+  // Tick-phase profiler (wasp_sim --profile, DESIGN.md §13): times every
+  // step phase (waterfill, engine sub-phases, monitor extraction, control
+  // plane, solver calls, standby syncs) plus the thread pool, and emits
+  // cumulative "profile" events into the trace every `profile_every` ticks
+  // (plus once at shutdown). All timing fields are wall_*-prefixed, so
+  // `wasp_trace diff` and the golden byte-identity harness ignore them; the
+  // profiler itself is a pure observer and cannot change any simulated
+  // byte (tests/profiler_test.cc:ProfilingIsAPureObserver).
+  bool profile = false;
+  int profile_every = 60;
 };
 
 class WaspSystem {
@@ -195,6 +206,15 @@ class WaspSystem {
   [[nodiscard]] const resilience::StandbyManager* standby() const {
     return standby_.get();
   }
+  // The tick-phase profiler (disabled unless SystemConfig::profile).
+  [[nodiscard]] const obs::Profiler& profiler() const { return profiler_; }
+  // Copies the profiler's phase totals and the thread pool's counters into
+  // the MetricsRegistry (profiler.* / pool.* entries). Deliberately NOT done
+  // during the run: the registry's content must be bit-identical with
+  // profiling on or off until the caller explicitly asks for the export
+  // (wasp_sim does, right before --metrics-out). No-op when profiling is
+  // disabled.
+  void export_profiler_metrics();
 
   // Failure injection: fails the site in the engine AND marks it down in
   // the Network, so flows touching it stall instead of silently draining.
@@ -272,6 +292,10 @@ class WaspSystem {
                        std::int64_t op, int attempt, double backoff_sec,
                        const std::string& detail);
   void watch_stabilization();
+  // Emits cumulative "profile" events (one per active phase, plus one pool
+  // line) into the trace. Called every profile_every ticks and once from the
+  // destructor so the final totals always reach the trace.
+  void emit_profile_events();
   [[nodiscard]] std::vector<int> free_slots() const;
 
   net::Network& network_;
@@ -288,6 +312,9 @@ class WaspSystem {
   // must be destroyed first.
   obs::MetricsRegistry metrics_;
   obs::TraceEmitter trace_;
+  // Tick-phase profiler (DESIGN.md §13). Declared before policy_/engine_:
+  // the engine and scheduler hold raw pointers into it.
+  obs::Profiler profiler_;
   adapt::GlobalMetricMonitor metric_monitor_;
   // Intra-run worker pool (config_.threads > 1 only). Declared before
   // policy_/engine_ so it is destroyed after them: the engine holds a raw
@@ -307,6 +334,8 @@ class WaspSystem {
   double now_ = 0.0;
   double last_decision_ = 0.0;
   double last_background_replan_ = 0.0;
+  std::uint64_t tick_count_ = 0;          // steps taken (profile cadence)
+  std::uint64_t last_profile_emit_ = 0;   // tick_count_ at last profile emit
   int initial_tasks_ = 0;
   std::optional<Transition> transition_;
   // A re-plan that must wait for a tumbling-window boundary (§4.3).

@@ -7,6 +7,7 @@
 
 #include "common/units.h"
 #include "lp/simplex.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace wasp::state {
@@ -44,6 +45,8 @@ MigrationPlan MigrationPlanner::plan(
     const std::vector<StateSource>& sources,
     const std::vector<StateDestination>& destinations,
     const physical::NetworkView& view) {
+  obs::Profiler::Scope profile_solve(profiler_,
+                                     obs::Phase::kSolverMigration);
   MigrationPlan out;
   if (strategy_ == MigrationStrategy::kNone) return out;
 

@@ -29,6 +29,7 @@
 #include "physical/placement.h"
 
 namespace wasp::obs {
+class Profiler;
 class TraceEmitter;
 }  // namespace wasp::obs
 
@@ -86,6 +87,10 @@ class MigrationPlanner {
   // "migration_plan" event summarizing the chosen move set.
   void set_trace(obs::TraceEmitter* trace) { trace_ = trace; }
 
+  // Tick-phase profiler hook (DESIGN.md §13): plan() runs under the
+  // control.solver.migration phase. Null (the default) disables.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   // Plans the transfer of all `sources` state to `destinations`. The
   // destination shares must sum to the source total (fluid balance); minor
   // mismatches are normalized. Returns an empty plan for kNone.
@@ -115,6 +120,7 @@ class MigrationPlanner {
   MigrationStrategy strategy_;
   Rng rng_;
   obs::TraceEmitter* trace_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace wasp::state

@@ -40,6 +40,8 @@ struct Options {
   std::string trace_dir;
   std::string bench_out;
   bool quiet = false;
+  bool profile = false;
+  int profile_every = 60;
 };
 
 void print_usage() {
@@ -69,6 +71,11 @@ void print_usage() {
                             more cells than cores
   --out=FILE                merged JSONL (default sweep.jsonl; "-" = stdout)
   --trace-dir=DIR           per-run observability traces DIR/run_<cell>.jsonl
+  --profile                 always-on phase profiler: each traced cell emits
+                            periodic `profile` events (pure observer; the
+                            merged stream is bit-identical either way)
+  --profile-every=N         profile-event cadence in ticks (default 60;
+                            implies --profile)
   --seed=N                  base seed forked per cell when no seeds axis
                             (default 42)
   --mode=M --query=Q --duration=N --rate=N --alpha=X --slo=N
@@ -135,6 +142,11 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->defaults.alpha = std::stod(*v);
     } else if (auto v = value_of("--slo")) {
       opts->defaults.slo_sec = std::stod(*v);
+    } else if (auto v = value_of("--profile-every")) {
+      opts->profile_every = std::max(1, std::atoi(v->c_str()));
+      opts->profile = true;
+    } else if (arg == "--profile") {
+      opts->profile = true;
     } else if (arg == "--quiet") {
       opts->quiet = true;
     } else {
@@ -185,6 +197,8 @@ std::vector<exec::RunResult> run_grid(const std::vector<exec::RunSpec>& cells,
   sweep_opts.jobs = jobs;
   sweep_opts.threads = opts.threads;
   sweep_opts.trace_dir = opts.trace_dir;
+  sweep_opts.profile = opts.profile;
+  sweep_opts.profile_every = opts.profile_every;
   if (!opts.quiet) {
     std::size_t done = 0;
     const std::size_t total = cells.size();

@@ -5,6 +5,8 @@
 //   wasp_trace spans [--id=N] [--op=N] FILE  span forest with critical path
 //   wasp_trace diff A B [--ignore=k1,k2] [--include-wall]
 //                                            field-level comparison
+//   wasp_trace profile FILE [--json] [--diff=B] [--chrome [-o OUT]]
+//                                            phase-profiler breakdown
 //   wasp_trace export --chrome FILE [-o OUT] Chrome trace-event JSON
 //
 // All heavy lifting lives in src/obs/trace_analysis.{h,cc} so tests cover
@@ -45,6 +47,13 @@ int usage(const char* argv0) {
                "  diff A B [--ignore=k1,k2] [--include-wall]\n"
                "                           field-level trace comparison"
                " (wall_* ignored by default)\n"
+               "  profile FILE [--json] [--diff=B] [--chrome [-o OUT]]\n"
+               "                           phase-profiler breakdown from"
+               " `profile` events (--profile runs):\n"
+               "                           top phases by self time, per-tick"
+               " means, thread-pool stats;\n"
+               "                           --diff=B compares two runs,"
+               " --chrome exports counter tracks\n"
                "  export --chrome FILE [-o OUT]\n"
                "                           Chrome trace-event JSON for"
                " Perfetto / chrome://tracing\n",
@@ -115,8 +124,9 @@ int cmd_summary(const std::string& path) {
               spans.nodes.size(), spans.segments, spans.unclosed,
               spans.orphan_ends);
   if (!phases.empty()) {
-    std::printf("  %-16s %6s %10s %10s %10s %10s %12s\n", "phase", "count",
-                "p50(s)", "p90(s)", "p99(s)", "max(s)", "p50 wall(us)");
+    std::printf("  %-16s %6s %10s %10s %10s %10s %7s %13s %12s\n", "phase",
+                "count", "p50(s)", "p90(s)", "p99(s)", "max(s)", "wall n",
+                "mean wall(us)", "p99 wall(us)");
     for (auto& [name, phase] : phases) {
       std::sort(phase.durations.begin(), phase.durations.end());
       std::sort(phase.walls.begin(), phase.walls.end());
@@ -127,7 +137,11 @@ int cmd_summary(const std::string& path) {
                   percentile(phase.durations, 99.0),
                   phase.durations.back());
       if (!phase.walls.empty()) {
-        std::printf(" %12.1f", percentile(phase.walls, 50.0));
+        double wall_sum = 0.0;
+        for (double w : phase.walls) wall_sum += w;
+        std::printf(" %7zu %13.1f %12.1f", phase.walls.size(),
+                    wall_sum / static_cast<double>(phase.walls.size()),
+                    percentile(phase.walls, 99.0));
       }
       std::printf("\n");
     }
@@ -272,6 +286,183 @@ int cmd_diff(const std::vector<std::string>& args) {
   return 1;
 }
 
+void print_profile_json(const wasp::obs::ProfileSummary& profile,
+                        std::FILE* out) {
+  const wasp::obs::ProfilePhase* step = profile.find("step");
+  const double coverage_pct =
+      step != nullptr && step->total_us > 0.0
+          ? 100.0 * (1.0 - step->self_us / step->total_us)
+          : 0.0;
+  std::fprintf(out, "{\n  \"schema\": \"wasp-trace-profile-v1\",\n");
+  std::fprintf(out, "  \"ticks\": %llu,\n",
+               static_cast<unsigned long long>(profile.ticks));
+  std::fprintf(out, "  \"profile_events\": %zu,\n", profile.profile_events);
+  std::fprintf(out, "  \"coverage_pct\": %.3f,\n", coverage_pct);
+  std::fprintf(out, "  \"phases\": [\n");
+  for (std::size_t i = 0; i < profile.phases.size(); ++i) {
+    const auto& p = profile.phases[i];
+    std::fprintf(out,
+                 "    {\"phase\": \"%s\", \"ticks\": %llu, \"calls\": %llu, "
+                 "\"total_us\": %.3f, \"self_us\": %.3f}%s\n",
+                 p.name.c_str(), static_cast<unsigned long long>(p.ticks),
+                 static_cast<unsigned long long>(p.calls), p.total_us,
+                 p.self_us, i + 1 < profile.phases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]%s\n", profile.pool.present ? "," : "");
+  if (profile.pool.present) {
+    const auto& pool = profile.pool;
+    std::fprintf(out,
+                 "  \"pool\": {\"threads\": %.0f, \"tasks\": %.0f, "
+                 "\"chunks\": %.0f, \"regions\": %.0f, \"busy_us\": %.3f, "
+                 "\"busy_min_us\": %.3f, \"busy_max_us\": %.3f, "
+                 "\"queue_peak\": %.0f}\n",
+                 pool.threads, pool.tasks, pool.chunks, pool.regions,
+                 pool.busy_us, pool.busy_min_us, pool.busy_max_us,
+                 pool.queue_peak);
+  }
+  std::fprintf(out, "}\n");
+}
+
+int cmd_profile(const std::vector<std::string>& args) {
+  bool json = false;
+  bool chrome = false;
+  std::string path, diff_path, out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json = true;
+    } else if (args[i] == "--chrome") {
+      chrome = true;
+    } else if (args[i].rfind("--diff=", 0) == 0) {
+      diff_path = args[i].substr(7);
+    } else if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", args[i].c_str());
+      return 2;
+    } else {
+      path = args[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "profile: missing trace file\n");
+    return 2;
+  }
+  auto file = load_or_complain(path);
+  if (!file) return 2;
+  const wasp::obs::ProfileSummary profile = wasp::obs::aggregate_profile(*file);
+  if (profile.empty()) {
+    std::fprintf(stderr,
+                 "%s: no profile events (run with --profile to record them)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  if (chrome) {
+    if (out_path.empty()) {
+      wasp::obs::export_chrome_profile_counters(*file, std::cout);
+      return 0;
+    }
+    std::ofstream out(out_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   out_path.c_str());
+      return 2;
+    }
+    wasp::obs::export_chrome_profile_counters(*file, out);
+    return 0;
+  }
+
+  if (!diff_path.empty()) {
+    auto other = load_or_complain(diff_path);
+    if (!other) return 2;
+    const wasp::obs::ProfileSummary b = wasp::obs::aggregate_profile(*other);
+    if (b.empty()) {
+      std::fprintf(stderr, "%s: no profile events\n", diff_path.c_str());
+      return 1;
+    }
+    // Per-tick self time side by side; delta% is B relative to A.
+    std::printf("%-26s %14s %14s %9s\n", "phase", "A self us/tick",
+                "B self us/tick", "delta");
+    auto per_tick = [](const wasp::obs::ProfilePhase* p) {
+      return p != nullptr && p->ticks > 0
+                 ? p->self_us / static_cast<double>(p->ticks)
+                 : 0.0;
+    };
+    std::vector<std::string> names;
+    for (const auto& p : profile.phases) names.push_back(p.name);
+    for (const auto& p : b.phases) {
+      if (profile.find(p.name) == nullptr) names.push_back(p.name);
+    }
+    for (const std::string& name : names) {
+      const double va = per_tick(profile.find(name));
+      const double vb = per_tick(b.find(name));
+      if (va <= 0.0 && vb <= 0.0) continue;
+      std::printf("%-26s %14.2f %14.2f ", name.c_str(), va, vb);
+      if (va > 0.0) {
+        std::printf("%+8.1f%%\n", 100.0 * (vb - va) / va);
+      } else {
+        std::printf("%9s\n", "new");
+      }
+    }
+    return 0;
+  }
+
+  if (json) {
+    print_profile_json(profile, stdout);
+    return 0;
+  }
+
+  const wasp::obs::ProfilePhase* step = profile.find("step");
+  const double denom_us =
+      step != nullptr && step->total_us > 0.0 ? step->total_us : 0.0;
+  std::printf("%s: %zu profile event(s), %llu tick(s)\n", path.c_str(),
+              profile.profile_events,
+              static_cast<unsigned long long>(profile.ticks));
+  if (denom_us > 0.0) {
+    std::printf("coverage: %.1f%% of tick wall time attributed to phases\n",
+                100.0 * (1.0 - step->self_us / step->total_us));
+  }
+  // Top phases by self time.
+  std::vector<const wasp::obs::ProfilePhase*> by_self;
+  for (const auto& p : profile.phases) by_self.push_back(&p);
+  std::sort(by_self.begin(), by_self.end(),
+            [](const auto* a, const auto* b) {
+              return a->self_us != b->self_us ? a->self_us > b->self_us
+                                              : a->name < b->name;
+            });
+  std::printf("%-26s %9s %12s %11s %11s %7s\n", "phase", "calls",
+              "us/tick", "total ms", "self ms", "self %");
+  for (const auto* p : by_self) {
+    std::printf("%-26s %9llu %12.2f %11.2f %11.2f",
+                p->name.c_str(), static_cast<unsigned long long>(p->calls),
+                p->ticks > 0 ? p->total_us / static_cast<double>(p->ticks)
+                             : 0.0,
+                p->total_us / 1e3, p->self_us / 1e3);
+    if (denom_us > 0.0) {
+      std::printf(" %6.1f%%", 100.0 * p->self_us / denom_us);
+    }
+    std::printf("\n");
+  }
+  if (profile.pool.present) {
+    const auto& pool = profile.pool;
+    std::printf(
+        "pool: threads=%.0f tasks=%.0f chunks=%.0f regions=%.0f "
+        "busy_ms=%.2f busy_min_ms=%.2f busy_max_ms=%.2f queue_peak=%.0f\n",
+        pool.threads, pool.tasks, pool.chunks, pool.regions,
+        pool.busy_us / 1e3, pool.busy_min_us / 1e3, pool.busy_max_us / 1e3,
+        pool.queue_peak);
+    // Worker utilization explains the BENCH_e2e t4 pool-overhead row: busy
+    // time across workers over (workers x measured tick time).
+    if (denom_us > 0.0 && pool.threads > 1.0) {
+      std::printf("pool: worker utilization %.1f%% of %d worker(s) over "
+                  "measured ticks\n",
+                  100.0 * pool.busy_us / ((pool.threads - 1.0) * denom_us),
+                  static_cast<int>(pool.threads - 1.0));
+    }
+  }
+  return 0;
+}
+
 int cmd_export(const std::vector<std::string>& args) {
   bool chrome = false;
   std::string path, out_path;
@@ -321,6 +512,7 @@ int main(int argc, char** argv) {
   if (command == "summary" && args.size() == 1) return cmd_summary(args[0]);
   if (command == "spans") return cmd_spans(args);
   if (command == "diff") return cmd_diff(args);
+  if (command == "profile") return cmd_profile(args);
   if (command == "export") return cmd_export(args);
   return usage(argv[0]);
 }
