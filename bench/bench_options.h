@@ -37,15 +37,27 @@
 #include <utility>
 #include <vector>
 
+#include "net/topology_spec.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
 namespace wasp::bench {
 
+// Process-wide topology for the bench Testbed: the paper's 16-site testbed
+// unless BenchOptions::parse saw `--topology=SPEC` (DESIGN.md §14). A
+// process-wide default -- rather than threading a spec through every
+// driver's Testbed constructions -- keeps the figure drivers' bodies
+// untouched while still letting each one re-run at planet scale.
+inline net::TopologySpec& default_topology_spec() {
+  static net::TopologySpec spec;  // Kind::kPaper
+  return spec;
+}
+
 struct BenchOptions {
   std::shared_ptr<obs::FileSink> sink;  // null unless --trace-out was given
   std::string trace_out;
   std::string metrics_out;  // empty unless --metrics was given
+  std::string topology;     // canonical spec; empty = paper testbed
   int jobs = 1;             // worker threads for the driver's independent runs
   int threads = 1;          // intra-run worker threads per simulation
   bool profile = false;     // always-on phase profiler (DESIGN.md §13)
@@ -69,6 +81,7 @@ struct BenchOptions {
       const std::string jobs_prefix = "--jobs=";
       const std::string threads_prefix = "--threads=";
       const std::string profile_every_prefix = "--profile-every=";
+      const std::string topology_prefix = "--topology=";
       if (arg == "--help" || arg == "-h") {
         std::cout << argv[0]
                   << " [--jobs=N] [--threads=N] [--profile] [--trace-out=FILE] "
@@ -96,7 +109,16 @@ struct BenchOptions {
                      "                    stay bit-identical)\n"
                      "  --profile-every=N profile-event cadence in ticks "
                      "(default 60;\n"
-                     "                    implies --profile)\n";
+                     "                    implies --profile)\n"
+                     "  --topology=SPEC   run on a generated topology instead "
+                     "of the 16-site\n"
+                     "                    paper testbed: paper | "
+                     "uniform:sites=,slots=,bw=,lat=\n"
+                     "                    | edge:sites=,regions=,core=,... "
+                     "(DESIGN.md §14).\n"
+                     "                    Drivers that pin sources to edge "
+                     "sites need a spec\n"
+                     "                    with edge sites (paper or edge:)\n";
         std::exit(0);
       } else if (arg.rfind(trace_prefix, 0) == 0) {
         opts.trace_out = arg.substr(trace_prefix.size());
@@ -113,10 +135,21 @@ struct BenchOptions {
         opts.profile = true;
       } else if (arg == "--profile") {
         opts.profile = true;
+      } else if (arg.rfind(topology_prefix, 0) == 0) {
+        std::string error;
+        const auto spec =
+            net::TopologySpec::parse(arg.substr(topology_prefix.size()), &error);
+        if (!spec.has_value()) {
+          std::cerr << "bad --topology spec: " << error << "\n";
+          std::exit(2);
+        }
+        default_topology_spec() = *spec;
+        opts.topology = spec->to_string();
       } else {
         std::cerr << "unknown argument: " << arg
                   << " (supported: --jobs=N --threads=N --profile "
-                     "--profile-every=N --trace-out=FILE --metrics=FILE)\n";
+                     "--profile-every=N --trace-out=FILE --metrics=FILE "
+                     "--topology=SPEC)\n";
         std::exit(2);
       }
     }

@@ -8,11 +8,17 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "common/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
+
+  // `--topology=SPEC` swaps the measured link's substrate (the plotted pair
+  // stays sites 0 -> 1: the first two DCs of any generated topology).
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  (void)opts;
 
   print_section(std::cout, "Figure 2: bandwidth variability, oregon -> ohio");
 

@@ -7,12 +7,17 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_options.h"
 #include "common/histogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wasp;
   using namespace wasp::bench;
 
+  // `--topology=SPEC` prints the generated topology's CDFs instead -- the
+  // quickest way to eyeball a planet-scale spec against Fig. 7's shapes.
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  (void)opts;
   Testbed bed;
   WeightedHistogram edge_bw, dc_bw, edge_lat, dc_lat;
   for (const auto& a : bed.topology.sites()) {

@@ -30,7 +30,9 @@ QualityRun run_mode(wasp::runtime::AdaptationMode mode,
   bw_cfg.period_sec = 300.0;
   bw_cfg.min_factor = 0.51;
   bw_cfg.max_factor = 2.36;
-  Testbed bed(std::make_shared<net::RandomWalkBandwidth>(16, bw_cfg, bw_rng));
+  Testbed bed(std::make_shared<net::RandomWalkBandwidth>(
+      static_cast<std::size_t>(default_topology_spec().expected_sites()),
+      bw_cfg, bw_rng));
 
   auto spec = make_query(bed, Query::kTopk);
   Rng wl_rng(kSeed + 2);

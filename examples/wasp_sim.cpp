@@ -32,6 +32,7 @@
 #include "net/bandwidth_model.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "net/topology_spec.h"
 #include "net/trace_io.h"
 #include "workload/trace_io.h"
 #include "runtime/wasp_system.h"
@@ -56,6 +57,7 @@ struct Options {
   double duration = 900.0;
   double rate = 10'000.0;
   std::uint64_t seed = 7;
+  std::string topology;  // --topology spec; empty = paper testbed / --sites
   int sites = 0;    // 0 = the 16-site paper testbed
   int threads = 1;  // intra-run worker threads
   int standby_replicas = 0;  // hot standbys per protected stage
@@ -93,6 +95,18 @@ void print_usage() {
                                    500 Mbps, 20 ms) instead of the 16-site
                                    paper testbed; site 0 hosts the sink, the
                                    rest feed sources (scale experiments)
+  --topology=SPEC                  generated topology (DESIGN.md §14):
+                                     paper            16-site paper testbed
+                                     uniform:sites=N,slots=S,bw=MBPS,lat=MS
+                                     edge:sites=200,regions=8,core=4,
+                                          regional=1,core-slots=16,
+                                          regional-slots=8,edge-slots=2-4,
+                                          domains-per-region=1
+                                   every key optional; ';' also separates
+                                   pairs. The edge hierarchy is seeded by
+                                   --seed (same seed, same topology) and
+                                   auto-enables region-decomposed failure
+                                   recovery. Mutually exclusive with --sites
   --threads=N                      intra-run worker threads sharing one run's
                                    tick (default 1). Results and traces are
                                    bit-identical for any N; combine with a
@@ -184,6 +198,8 @@ bool parse_args(int argc, char** argv, Options* opts) {
       opts->rate = std::stod(*v);
     } else if (auto v = value_of("--seed")) {
       opts->seed = std::stoull(*v);
+    } else if (auto v = value_of("--topology")) {
+      opts->topology = *v;
     } else if (auto v = value_of("--sites")) {
       opts->sites = std::stoi(*v);
       if (opts->sites < 2) {
@@ -288,11 +304,26 @@ int main(int argc, char** argv) {
   if (opts.verbose) set_log_level(LogLevel::kInfo);
 
   // --- substrate -----------------------------------------------------------
+  if (!opts.topology.empty() && opts.sites > 0) {
+    std::cerr << "--topology and --sites are mutually exclusive\n";
+    return 2;
+  }
+  std::optional<net::TopologySpec> topo_spec;
+  if (!opts.topology.empty()) {
+    std::string error;
+    topo_spec = net::TopologySpec::parse(opts.topology, &error);
+    if (!topo_spec.has_value()) {
+      std::cerr << "bad --topology spec: " << error << "\n";
+      return 2;
+    }
+  }
   Rng rng(opts.seed);
-  net::Topology topo = opts.sites > 0
-                           ? net::Topology::make_uniform(opts.sites, 4, 500.0,
-                                                         20.0)
-                           : net::Topology::make_paper_testbed(rng);
+  net::Topology topo =
+      topo_spec.has_value()
+          ? topo_spec->build(rng)
+          : (opts.sites > 0
+                 ? net::Topology::make_uniform(opts.sites, 4, 500.0, 20.0)
+                 : net::Topology::make_paper_testbed(rng));
 
   std::shared_ptr<const net::BandwidthModel> bw_model =
       std::make_shared<net::ConstantBandwidth>();
@@ -328,7 +359,10 @@ int main(int argc, char** argv) {
 
   std::vector<SiteId> east, west, edges, dcs;
   SiteId sink;
-  if (opts.sites > 0) {
+  const bool uniform_roles =
+      opts.sites > 0 || (topo_spec.has_value() &&
+                         topo_spec->kind == net::TopologySpec::Kind::kUniform);
+  if (uniform_roles) {
     // Uniform clique (scale experiments): site 0 is the sink hub, every
     // other site feeds sources, split east/west by parity.
     sink = topo.sites().front().id;
@@ -339,6 +373,9 @@ int main(int argc, char** argv) {
       (site.id.value() % 2 != 0 ? east : west).push_back(site.id);
     }
   } else {
+    // Role selection by site type generalizes from the paper testbed to the
+    // edge hierarchy: every edge site feeds sources (split east/west), the
+    // first DC (core-0 in the hierarchy) hosts the sink.
     for (const auto& site : topo.sites()) {
       if (site.type == net::SiteType::kEdge) {
         (east.size() <= west.size() ? east : west).push_back(site.id);
@@ -416,6 +453,13 @@ int main(int argc, char** argv) {
   config.standby_replicas = opts.standby_replicas;
   config.profile = opts.profile;
   config.profile_every = opts.profile_every;
+  if (topo_spec.has_value() &&
+      topo_spec->kind == net::TopologySpec::Kind::kEdgeHierarchy) {
+    // Planet-scale runs: localized site failures re-solve only the affected
+    // failure domain's region (DESIGN.md §14). The domains come from the
+    // generator; WaspSystem forwards them to the policy automatically.
+    config.policy.region_decomposition = true;
+  }
   if (!opts.slo_spec.empty()) {
     std::string error;
     const auto spec = runtime::SloSpec::parse(opts.slo_spec, &error);
@@ -512,6 +556,10 @@ int main(int argc, char** argv) {
           << "  \"duration_sim_sec\": " << opts.duration << ",\n"
           << "  \"rate_eps_per_site\": " << opts.rate << ",\n"
           << "  \"seed\": " << opts.seed << ",\n"
+          << "  \"topology\": \""
+          << (topo_spec.has_value() ? topo_spec->to_string()
+                                    : (opts.sites > 0 ? "uniform" : "paper"))
+          << "\",\n"
           << "  \"sites\": " << topo.num_sites() << ",\n"
           << "  \"threads\": " << opts.threads << ",\n"
           << "  \"wall_ms\": " << wall_ms << ",\n"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/log.h"
@@ -866,6 +867,28 @@ std::vector<AdaptationAction> AdaptationPolicy::plan_recovery(
     rates = logical.estimate_rates(src_rates);
   }
 
+  // Region decomposition applies when every dead site falls in one failure
+  // domain (the localized-failure case: one region lost). A mixed-domain
+  // failure re-solves globally as before. kNoDomain disables the fast path.
+  constexpr int kNoDomain = std::numeric_limits<int>::min();
+  int localized_domain = kNoDomain;
+  if (config_.region_decomposition && !config_.site_domains.empty()) {
+    bool first = true;
+    for (SiteId s : dead_sites) {
+      const auto idx = static_cast<std::size_t>(s.value());
+      const int d = idx < config_.site_domains.size()
+                        ? config_.site_domains[idx]
+                        : -1;
+      if (first) {
+        localized_domain = d;
+        first = false;
+      } else if (localized_domain != d) {
+        localized_domain = kNoDomain;
+        break;
+      }
+    }
+  }
+
   AdjustedSlotsView working_view(view);
   for (OperatorId id : logical.topological_order()) {
     const auto& op = logical.op(id);
@@ -904,6 +927,27 @@ std::vector<AdaptationAction> AdaptationPolicy::plan_recovery(
     // largest feasible task count (degraded capacity beats none).
     const int p = current.parallelism();
     std::optional<physical::PlacementOutcome> outcome;
+    if (localized_domain != kNoDomain) {
+      // Decomposed re-plan (DESIGN.md §14): out-of-region survivors keep
+      // exactly their current tasks, so the solver's free variables are the
+      // affected region's sites only. Infeasible (the region cannot absorb
+      // the lost tasks at full parallelism) falls through to the global
+      // degradation sweep below.
+      physical::StageContext pinned = ctx;
+      pinned.parallelism = p;
+      pinned.min_per_site.assign(view.num_sites(), 0);
+      pinned.max_per_site.assign(view.num_sites(), -1);
+      for (std::size_t s = 0; s < view.num_sites(); ++s) {
+        if (dead[s]) continue;
+        const int domain = s < config_.site_domains.size()
+                               ? config_.site_domains[s]
+                               : -1;
+        if (domain == localized_domain) continue;
+        pinned.min_per_site[s] = current.per_site[s];
+        pinned.max_per_site[s] = current.per_site[s];
+      }
+      outcome = scheduler_.place_stage(pinned, self_view, extra);
+    }
     for (int p_try = p; p_try >= 1 && !outcome.has_value(); --p_try) {
       ctx.parallelism = p_try;
       outcome = scheduler_.place_stage(ctx, self_view, extra);

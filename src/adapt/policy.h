@@ -92,6 +92,17 @@ class AdaptationPolicy {
     // nor while the source backlog exceeds ~this many seconds of workload.
     double scale_down_cooldown_sec = 180.0;
     double scale_down_max_backlog_sec = 5.0;
+    // Region decomposition for failure recovery (DESIGN.md §14): when every
+    // dead site shares one failure domain, re-plans pin each out-of-region
+    // site to its current task count (min == max per-site bounds) so the
+    // placement solver only re-solves the affected region's subproblem.
+    // Falls back to the global solve when the pinned subproblem is
+    // infeasible at the stage's current parallelism (the region cannot
+    // absorb the lost tasks). Off by default; planet-scale runs enable it.
+    bool region_decomposition = false;
+    // Per-site failure-domain labels (indexed by site id), required by
+    // region_decomposition. WaspSystem defaults them from the topology.
+    std::vector<int> site_domains;
   };
 
   AdaptationPolicy(Config config, physical::Scheduler scheduler,

@@ -17,6 +17,7 @@
 #include "net/bandwidth_model.h"
 #include "net/network.h"
 #include "net/topology.h"
+#include "net/topology_spec.h"
 #include "net/trace_io.h"
 #include "runtime/wasp_system.h"
 #include "workload/patterns.h"
@@ -28,7 +29,7 @@ namespace {
 const char* kAxisNames[] = {"seeds",    "policy",        "query",
                             "duration", "rate",          "alpha",
                             "slo",      "trace",         "fault",
-                            "workload-step", "bandwidth-step"};
+                            "workload-step", "bandwidth-step", "topology"};
 
 std::string canonical_axis(const std::string& name) {
   if (name == "seed") return "seeds";
@@ -230,6 +231,20 @@ bool apply_axis(const std::string& axis, const std::string& value,
     }
     return true;
   }
+  if (axis == "topology") {
+    // Specs use ';' between params ("edge:sites=64;regions=4") because ','
+    // separates axis values. "paper" resets to the default testbed.
+    std::string parse_error;
+    const auto topo = net::TopologySpec::parse(value, &parse_error);
+    if (!topo.has_value()) {
+      *error = "bad topology '" + value + "': " + parse_error;
+      return false;
+    }
+    spec->topology = topo->kind == net::TopologySpec::Kind::kPaper
+                         ? std::string{}
+                         : topo->to_string();
+    return true;
+  }
   *error = "unknown axis '" + axis + "'";
   return false;
 }
@@ -355,7 +370,14 @@ RunResult run_one(const RunSpec& spec, const std::string& trace_path,
 
   // ---- private, shared-nothing run context -------------------------------
   Rng rng(spec.seed);
-  net::Topology topo = net::Topology::make_paper_testbed(rng);
+  net::TopologySpec topo_spec;  // Kind::kPaper
+  if (!spec.topology.empty()) {
+    std::string spec_error;
+    const auto parsed = net::TopologySpec::parse(spec.topology, &spec_error);
+    if (!parsed.has_value()) return fail("bad topology: " + spec_error);
+    topo_spec = *parsed;
+  }
+  net::Topology topo = topo_spec.build(rng);
 
   std::shared_ptr<const net::BandwidthModel> bw_model =
       std::make_shared<net::ConstantBandwidth>();
@@ -393,6 +415,15 @@ RunResult run_one(const RunSpec& spec, const std::string& trace_path,
       if (!sink.valid()) sink = site.id;
     }
   }
+  if (edges.empty()) {
+    // Uniform topologies have no edge tier; every non-sink site feeds sources
+    // (the wasp_sim hub layout) so the queries still have inputs.
+    for (const auto& site : topo.sites()) {
+      if (site.id == sink) continue;
+      (east.size() <= west.size() ? east : west).push_back(site.id);
+      edges.push_back(site.id);
+    }
+  }
 
   workload::QuerySpec query = [&] {
     if (spec.query == "ysb") return workload::make_ysb_campaign(edges, sink);
@@ -423,6 +454,11 @@ RunResult run_one(const RunSpec& spec, const std::string& trace_path,
   config.scheduler.alpha = spec.alpha;
   config.seed = spec.seed;
   config.threads = std::max(1, threads);
+  if (topo_spec.kind == net::TopologySpec::Kind::kEdgeHierarchy) {
+    // Planet-scale cells re-plan per failure domain (DESIGN.md §14) so a
+    // localized failure never re-solves the whole placement.
+    config.policy.region_decomposition = true;
+  }
   config.profile = profile;
   config.profile_every = std::max(1, profile_every);
   std::shared_ptr<obs::FileSink> trace_sink;

@@ -51,6 +51,10 @@ namespace wasp::exec {
 //   trace                   bandwidth-trace CSV path, or "live"/"none"
 //   fault (fault-schedule)  fault-schedule file path, or "none"
 //   workload-step / bandwidth-step                  "T:F" steps, '+'-joined
+//   topology                TopologySpec strings (DESIGN.md §14): "paper",
+//                           "uniform:sites=..;slots=..", "edge:sites=..;
+//                           regions=..". Use ';' between params -- ',' would
+//                           split the axis value list.
 // File-valued axes (trace, fault) expand shell-style globs at parse time.
 struct GridAxis {
   std::string name;                 // canonical name (aliases resolved)
@@ -99,6 +103,7 @@ struct RunSpec {
   double slo_sec = 10.0;
   std::string bandwidth_trace;  // empty = constant; "live" = random walk
   std::string fault_schedule;   // empty = none
+  std::string topology;         // canonical TopologySpec; empty = paper
   std::vector<std::pair<double, double>> workload_steps;
   std::vector<std::pair<double, double>> bandwidth_steps;
   // The (axis, value) pairs that produced this cell, in axis order -- echoed

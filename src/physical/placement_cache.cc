@@ -67,6 +67,10 @@ void placement_cache_key(std::string& key, const StageContext& context,
     append_int(key, slots);
     append_int(key, s < context.min_per_site.size() ? context.min_per_site[s]
                                                     : 0);
+    // -1 = uncapped (the default), matching solve_ilp's reading of
+    // max_per_site; the sentinel keeps capped and uncapped contexts distinct.
+    append_int(key, s < context.max_per_site.size() ? context.max_per_site[s]
+                                                    : -1);
   }
   append_int(key, static_cast<std::int64_t>(context.upstream.size()));
   for (const TrafficEndpoint& u : context.upstream) {
@@ -99,14 +103,24 @@ void PlacementCache::insert(std::string key,
 }
 
 std::pair<std::optional<PlacementOutcome>*, bool> PlacementCache::find_or_reserve(
-    const std::string& key) {
+    const std::string& key, bool allow_prev) {
   const auto [it, inserted] = map_.try_emplace(key);
-  if (inserted) {
-    ++stats_.misses;
-  } else {
+  if (!inserted) {
     ++stats_.hits;
+    return {&it->second, true};
   }
-  return {&it->second, !inserted};
+  if (allow_prev) {
+    const auto prev_it = prev_.find(key);
+    if (prev_it != prev_.end()) {
+      // Promote the previous-generation entry so repeat lookups this epoch
+      // stay single-hash.
+      it->second = prev_it->second;
+      ++stats_.hits;
+      return {&it->second, true};
+    }
+  }
+  ++stats_.misses;
+  return {&it->second, false};
 }
 
 }  // namespace wasp::physical

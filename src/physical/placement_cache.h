@@ -56,16 +56,32 @@ class PlacementCache {
 
   // Single-hash find-or-insert: returns {slot, hit}. On a hit the slot holds
   // the memoized outcome; on a miss a default (nullopt) slot was reserved and
-  // the caller must fill it with the solved outcome.
+  // the caller must fill it with the solved outcome. When `allow_prev` is
+  // set, a current-generation miss also consults the previous generation
+  // (see begin_epoch); a hit there is promoted into the current generation.
+  // Exact-byte keys make previous-generation reuse safe: equal keys mean the
+  // solver would read identical bytes and produce the identical outcome.
   [[nodiscard]] std::pair<std::optional<PlacementOutcome>*, bool>
-  find_or_reserve(const std::string& key);
+  find_or_reserve(const std::string& key, bool allow_prev = false);
 
-  void clear() { map_.clear(); }
+  // Epoch rotation: the current generation becomes the previous one (the old
+  // previous generation is dropped). Callers that never pass `allow_prev`
+  // observe exactly the semantics of the old clear() -- an empty cache.
+  void begin_epoch() {
+    prev_ = std::move(map_);
+    map_.clear();
+  }
+
+  void clear() {
+    map_.clear();
+    prev_.clear();
+  }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   std::unordered_map<std::string, std::optional<PlacementOutcome>> map_;
+  std::unordered_map<std::string, std::optional<PlacementOutcome>> prev_;
   Stats stats_;
 };
 

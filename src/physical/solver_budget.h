@@ -1,0 +1,43 @@
+// Adaptive node budget for the budgeted branch & bound path (DESIGN.md §14).
+//
+// The bump/reduce dynamics follow the Limit/Delay idiom CaDiCaL uses for
+// restart scheduling: when a budgeted search trips its limit (the budget was
+// too small to finish), the interval doubles so the next solve gets more
+// room; when a search completes cleanly, the interval halves so budgets decay
+// back toward the base. The limit is `base * (1 + interval)`, so a scheduler
+// whose instances keep tripping grows its budget geometrically instead of
+// paying an LP-rounding fallback forever, and one whose instances are easy
+// pays (almost) only the base.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace wasp::physical {
+
+class AdaptiveNodeBudget {
+ public:
+  AdaptiveNodeBudget() = default;
+  explicit AdaptiveNodeBudget(std::size_t base) : base_(base) {}
+
+  // Node cap for the next budgeted solve.
+  [[nodiscard]] std::size_t limit() const { return base_ + interval_ * base_; }
+  [[nodiscard]] std::size_t base() const { return base_; }
+  [[nodiscard]] std::size_t interval() const { return interval_; }
+
+  // The last budgeted solve tripped its limit: double the interval.
+  void bump() { interval_ = std::min(interval_ == 0 ? 1 : interval_ * 2, kMaxInterval); }
+
+  // The last budgeted solve finished within budget: halve the interval.
+  void reduce() { interval_ /= 2; }
+
+ private:
+  // Caps limit() at base * (1 + 2^10); past that the instance is pathological
+  // and LP rounding is the right answer anyway.
+  static constexpr std::size_t kMaxInterval = 1024;
+
+  std::size_t base_ = 512;
+  std::size_t interval_ = 0;
+};
+
+}  // namespace wasp::physical

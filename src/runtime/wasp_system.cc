@@ -109,6 +109,13 @@ WaspSystem::WaspSystem(net::Network& network, workload::QuerySpec spec,
       pc.allow_scale = false;
       break;
   }
+  // Region decomposition (DESIGN.md §14) reads per-site failure-domain
+  // labels; default them from the topology unless the caller overrode them.
+  if (pc.site_domains.empty()) {
+    for (const net::Site& s : network_.topology().sites()) {
+      pc.site_domains.push_back(s.domain);
+    }
+  }
   policy_ = std::make_unique<adapt::AdaptationPolicy>(
       pc, scheduler_, planner_,
       state::MigrationPlanner(config_.migration, rng_.fork()),

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/units.h"
 #include "lp/simplex.h"
@@ -11,6 +13,100 @@
 #include "obs/trace.h"
 
 namespace wasp::state {
+namespace {
+
+// Source x destination pair count at which plan_network_aware switches from
+// the dense makespan LP to the bottleneck binary-search + max-flow path. The
+// LP is byte-identical below the threshold (existing plans and goldens);
+// above it the LP's superlinear pivot cost is the BM_MigrationMinMaxLp
+// blow-up this path fixes. 48 keeps the paper testbed's migrations (a
+// handful of drained/filled sites) on the LP.
+constexpr std::size_t kBottleneckPairThreshold = 48;
+
+// Dinic max flow over doubles, sized for the tiny tripartite graphs the
+// bottleneck path probes (super-source -> sources -> destinations -> sink).
+class DinicMaxFlow {
+ public:
+  static constexpr double kInf = 1e300;
+
+  explicit DinicMaxFlow(int n) : head_(n, -1), level_(n), it_(n) {}
+
+  // Adds a directed edge u -> v and its zero-capacity reverse; returns the
+  // forward edge index (query residuals via flow_on after run()).
+  int add_edge(int u, int v, double cap) {
+    edges_.push_back(Edge{v, head_[u], cap});
+    head_[u] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back(Edge{u, head_[v], 0.0});
+    head_[v] = static_cast<int>(edges_.size()) - 1;
+    return static_cast<int>(edges_.size()) - 2;
+  }
+
+  double run(int s, int t) {
+    double flow = 0.0;
+    while (bfs(s, t)) {
+      it_ = head_;
+      double pushed;
+      while ((pushed = dfs(s, t, kInf)) > kFlowEps) flow += pushed;
+    }
+    return flow;
+  }
+
+  // Flow routed over forward edge `e` (the reverse edge's residual).
+  [[nodiscard]] double flow_on(int e) const {
+    return edges_[static_cast<std::size_t>(e) ^ 1].cap;
+  }
+
+ private:
+  static constexpr double kFlowEps = 1e-11;
+
+  struct Edge {
+    int to;
+    int next;
+    double cap;
+  };
+
+  bool bfs(int s, int t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    queue_.clear();
+    queue_.push_back(s);
+    level_[s] = 0;
+    for (std::size_t q = 0; q < queue_.size(); ++q) {
+      const int u = queue_[q];
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap > kFlowEps && level_[edges_[e].to] < 0) {
+          level_[edges_[e].to] = level_[u] + 1;
+          queue_.push_back(edges_[e].to);
+        }
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  double dfs(int u, int t, double limit) {
+    if (u == t) return limit;
+    for (int& e = it_[u]; e != -1; e = edges_[e].next) {
+      const int v = edges_[e].to;
+      if (edges_[e].cap > kFlowEps && level_[v] == level_[u] + 1) {
+        const double pushed = dfs(v, t, std::min(limit, edges_[e].cap));
+        if (pushed > kFlowEps) {
+          edges_[e].cap -= pushed;
+          edges_[static_cast<std::size_t>(e) ^ 1].cap += pushed;
+          return pushed;
+        }
+      }
+    }
+    level_[u] = -1;  // dead end: prune for the rest of this phase
+    return 0.0;
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> it_;
+  std::vector<int> queue_;
+};
+
+}  // namespace
 
 const char* to_string(MigrationStrategy strategy) {
   switch (strategy) {
@@ -28,15 +124,23 @@ const char* to_string(MigrationStrategy strategy) {
 
 double MigrationPlanner::estimate_makespan(const std::vector<Move>& moves,
                                            const physical::NetworkView& view) {
-  // Same-link volumes serialize; distinct links run in parallel.
+  // Same-link volumes serialize; distinct links run in parallel. Volumes are
+  // accumulated per link in move order (one map pass instead of the old
+  // O(moves^2) rescan, which dominated large bottleneck-flow plans), so the
+  // per-link sums -- and therefore the result -- are bit-identical to the
+  // quadratic version.
+  std::unordered_map<std::uint64_t, double> link_mb;
+  link_mb.reserve(moves.size());
+  auto link_key = [](const Move& m) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(m.from.value()))
+            << 32) |
+           static_cast<std::uint32_t>(m.to.value());
+  };
+  for (const Move& m : moves) link_mb[link_key(m)] += m.size_mb;
   double worst = 0.0;
-  for (std::size_t i = 0; i < moves.size(); ++i) {
-    double link_mb = 0.0;
-    for (const Move& m : moves) {
-      if (m.from == moves[i].from && m.to == moves[i].to) link_mb += m.size_mb;
-    }
-    const double mbps = view.available_mbps(moves[i].from, moves[i].to);
-    worst = std::max(worst, transfer_seconds(link_mb, mbps));
+  for (const Move& m : moves) {
+    const double mbps = view.available_mbps(m.from, m.to);
+    worst = std::max(worst, transfer_seconds(link_mb[link_key(m)], mbps));
   }
   return worst;
 }
@@ -116,6 +220,13 @@ MigrationPlan MigrationPlanner::plan_network_aware(
     const physical::NetworkView& view, std::size_t* lp_iterations) const {
   const std::size_t ns = sources.size();
   const std::size_t nd = destinations.size();
+  if (ns * nd >= kBottleneckPairThreshold) {
+    // Large instance: the dense LP's pivot count blows up superlinearly in
+    // pairs; the bottleneck-flow path computes the same minimal makespan in
+    // near-linear time (DESIGN.md §14). `lp_iterations` stays untouched
+    // (there is no simplex on this path).
+    return plan_bottleneck_flow(sources, destinations, view);
+  }
 
   // LP: minimize T subject to flow balance and x_ij <= T * r_ij, where r_ij
   // is the link's estimated rate in MB/s. Links with no capacity get x = 0.
@@ -183,6 +294,129 @@ MigrationPlan MigrationPlanner::plan_network_aware(
     for (std::size_t j = 0; j < nd; ++j) {
       const double mb = sol.values[x[i * nd + j]];
       if (mb > 1e-6 && sources[i].site != destinations[j].site) {
+        out.moves.push_back(Move{sources[i].site, destinations[j].site, mb});
+      }
+    }
+  }
+  out.estimated_transition_sec = estimate_makespan(out.moves, view);
+  return out;
+}
+
+MigrationPlan MigrationPlanner::plan_bottleneck_flow(
+    const std::vector<StateSource>& sources,
+    const std::vector<StateDestination>& destinations,
+    const physical::NetworkView& view) const {
+  const std::size_t ns = sources.size();
+  const std::size_t nd = destinations.size();
+  // Node layout: 0 = super source, 1..ns = sources, ns+1..ns+nd =
+  // destinations, ns+nd+1 = sink.
+  const int super = 0;
+  const int sink = static_cast<int>(ns + nd) + 1;
+  auto src_node = [](std::size_t i) { return static_cast<int>(i) + 1; };
+  auto dst_node = [ns](std::size_t j) { return static_cast<int>(ns + j) + 1; };
+
+  double total_mb = 0.0;
+  for (const StateSource& s : sources) total_mb += s.state_mb;
+  const double feas_tol = 1e-9 * std::max(1.0, total_mb);
+
+  // Link rates in MB/s; local (src == dst) transfers cost nothing and get
+  // infinite capacity, dead links get no edge at all -- both matching the LP
+  // formulation's free/forbidden variables.
+  std::vector<double> rate(ns * nd, 0.0);
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) {
+      if (sources[i].site == destinations[j].site) {
+        rate[i * nd + j] = DinicMaxFlow::kInf;
+      } else {
+        rate[i * nd + j] = mbps_to_mb_per_sec(
+            view.available_mbps(sources[i].site, destinations[j].site));
+      }
+    }
+  }
+
+  // Builds the graph for makespan T and returns the achieved flow; fills
+  // `x_edges` (forward edge index per pair, -1 for dead links) so the final
+  // probe can read the routed volumes back.
+  std::vector<int> x_edges(ns * nd, -1);
+  auto probe = [&](double t, DinicMaxFlow* out) {
+    DinicMaxFlow graph(static_cast<int>(ns + nd) + 2);
+    for (std::size_t i = 0; i < ns; ++i) {
+      graph.add_edge(super, src_node(i), sources[i].state_mb);
+    }
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t j = 0; j < nd; ++j) {
+        const double r = rate[i * nd + j];
+        if (r <= 1e-9) continue;  // dead link: no edge
+        const double cap = r >= DinicMaxFlow::kInf ? DinicMaxFlow::kInf : t * r;
+        x_edges[i * nd + j] = graph.add_edge(src_node(i), dst_node(j), cap);
+      }
+    }
+    for (std::size_t j = 0; j < nd; ++j) {
+      graph.add_edge(dst_node(j), sink, destinations[j].share_mb);
+    }
+    const double flow = graph.run(super, sink);
+    if (out != nullptr) *out = std::move(graph);
+    return flow;
+  };
+  auto feasible = [&](double t) { return probe(t, nullptr) >= total_mb - feas_tol; };
+
+  // Bracket the minimal makespan: analytic lower bound (each endpoint must
+  // drain/fill through its aggregate rate), then doubling until feasible.
+  double lo = 0.0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    double out_rate = 0.0;
+    for (std::size_t j = 0; j < nd; ++j) out_rate += rate[i * nd + j];
+    if (out_rate < DinicMaxFlow::kInf) {
+      lo = std::max(lo, out_rate > 1e-12 ? sources[i].state_mb / out_rate
+                                         : DinicMaxFlow::kInf);
+    }
+  }
+  for (std::size_t j = 0; j < nd; ++j) {
+    double in_rate = 0.0;
+    for (std::size_t i = 0; i < ns; ++i) in_rate += rate[i * nd + j];
+    if (in_rate < DinicMaxFlow::kInf) {
+      lo = std::max(lo, in_rate > 1e-12 ? destinations[j].share_mb / in_rate
+                                        : DinicMaxFlow::kInf);
+    }
+  }
+  if (lo >= DinicMaxFlow::kInf) {
+    // Some endpoint has no usable links at any makespan: same fallback as
+    // the LP path's infeasible case.
+    MigrationPlanner greedy(MigrationStrategy::kRandom, Rng(1));
+    return greedy.plan(sources, destinations, view);
+  }
+  double hi = std::max(lo, 1e-3);
+  bool bracketed = feasible(hi);
+  for (int d = 0; d < 64 && !bracketed; ++d) {
+    hi *= 2.0;
+    bracketed = feasible(hi);
+  }
+  if (!bracketed) {
+    MigrationPlanner greedy(MigrationStrategy::kRandom, Rng(1));
+    return greedy.plan(sources, destinations, view);
+  }
+
+  // Bisect to the minimal feasible T. ~55 halvings reach double precision;
+  // the relative cutoff usually stops far earlier.
+  for (int iter = 0; iter < 55 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Extract the routing at the minimal feasible T.
+  DinicMaxFlow graph(0);
+  probe(hi, &graph);
+  MigrationPlan out;
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) {
+      const int e = x_edges[i * nd + j];
+      if (e < 0 || sources[i].site == destinations[j].site) continue;
+      const double mb = graph.flow_on(e);
+      if (mb > 1e-6) {
         out.moves.push_back(Move{sources[i].site, destinations[j].site, mb});
       }
     }

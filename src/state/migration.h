@@ -16,6 +16,14 @@
 //   x_ij <= T · r_ij    (a transfer of x MB over r MB/s takes <= T seconds)
 // Transfers on distinct links run in parallel; same-link volume serializes.
 //
+// The dense LP's simplex cost grows superlinearly in source x destination
+// pairs (it was the BM_MigrationMinMaxLp blow-up: 2.5 µs at 2 flows, 427 µs
+// at 8). Past a pair-count threshold the planner switches to an equivalent
+// bottleneck formulation -- binary search on the makespan T with a max-flow
+// (Dinic) feasibility check over capacities T·r_ij -- whose cost stays
+// near-linear in pairs (DESIGN.md §14). Small instances keep the LP path
+// byte-identical to preserve existing plans and golden traces.
+//
 // The WAN-agnostic baselines of §8.7.1 are also provided: Random (ignore
 // bandwidth), Distant (adversarial: prefer the slowest links), and None
 // (drop the state -- the lossy NoMigrate baseline).
@@ -116,6 +124,15 @@ class MigrationPlanner {
       const std::vector<StateSource>& sources,
       const std::vector<StateDestination>& destinations,
       const physical::NetworkView& view, bool prefer_slow_links);
+
+  // Bottleneck-flow path for large instances (see header comment): binary
+  // search on T, Dinic max-flow feasibility per probe. Falls back to the
+  // greedy plan when no finite T routes the state (disconnected links),
+  // matching the LP path's infeasibility fallback.
+  [[nodiscard]] MigrationPlan plan_bottleneck_flow(
+      const std::vector<StateSource>& sources,
+      const std::vector<StateDestination>& destinations,
+      const physical::NetworkView& view) const;
 
   MigrationStrategy strategy_;
   Rng rng_;

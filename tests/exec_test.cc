@@ -320,9 +320,25 @@ TEST(ExpandGrid, ForksSeedByCellIndexWithoutSeedsAxis) {
   }
 }
 
+TEST(ExpandGrid, TopologyAxisStoresCanonicalSpecs) {
+  GridSpec grid;
+  std::string error;
+  // ';' separates spec params because ',' separates axis values.
+  ASSERT_TRUE(
+      grid.parse_arg("topology=paper,edge:sites=32;regions=4", &error));
+  const auto cells = expand_grid(grid, SweepDefaults{}, &error);
+  ASSERT_TRUE(cells.has_value()) << error;
+  ASSERT_EQ(cells->size(), 2u);
+  EXPECT_TRUE((*cells)[0].topology.empty());  // paper = the default testbed
+  EXPECT_FALSE((*cells)[1].topology.empty());
+  EXPECT_EQ((*cells)[1].topology.rfind("edge:", 0), 0u);
+  EXPECT_EQ((*cells)[1].labels[0].second, "edge:sites=32;regions=4");
+}
+
 TEST(ExpandGrid, RejectsBadValues) {
   for (const char* axis :
-       {"policy=warp", "query=nope", "duration=abc", "workload-step=xyz"}) {
+       {"policy=warp", "query=nope", "duration=abc", "workload-step=xyz",
+        "topology=edge:sites=banana"}) {
     GridSpec grid;
     std::string error;
     ASSERT_TRUE(grid.parse_arg(axis, &error)) << axis;

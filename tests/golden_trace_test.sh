@@ -45,6 +45,12 @@ case "${SCENARIO}" in
       --duration=600 --seed=7 --standby-replicas=1 --threads="${THREADS}" \
       --trace-out="${OUT}" >/dev/null || exit 1
     ;;
+  planet_region_down)
+    "${SIM}" --topology=edge:sites=36,regions=4 \
+      --fault-schedule="${ROOT}/examples/planet_region_down.fsched" \
+      --rate=500 --duration=65 --seed=7 --threads="${THREADS}" \
+      --trace-out="${OUT}" >/dev/null || exit 1
+    ;;
   *)
     echo "unknown scenario: ${SCENARIO}" >&2
     exit 2

@@ -59,6 +59,11 @@ void print_usage() {
                               duration=N rate=N alpha=X slo=N
                               workload-step=T:F[+T:F...]
                               bandwidth-step=T:F[+T:F...]
+                              topology=paper,edge:sites=64;regions=4
+                                                  TopologySpec strings
+                                                  (DESIGN.md §14); use ';'
+                                                  between spec params, ','
+                                                  separates axis values
                             cells = cartesian product, last axis fastest
   --sweep-file=FILE         read axes from FILE (one per line, # comments)
   --jobs=N                  worker threads (default: hardware cores; results
